@@ -1,0 +1,30 @@
+//! TEE executor benchmarks: pricing the paper-scale models through the cost
+//! model (Table 3 / Fig. 3 machinery) is itself cheap enough to sweep.
+use criterion::{criterion_group, criterion_main, Criterion};
+use tbnet_models::{resnet, vgg};
+use tbnet_tee::{simulate_baseline, simulate_two_branch, CostModel, MemoryReport};
+
+fn bench_executor(c: &mut Criterion) {
+    let cost = CostModel::raspberry_pi3();
+    let vgg18 = vgg::vgg18(10, 3, (32, 32));
+    let resnet20 = resnet::resnet20(10, 3, (32, 32));
+    let mut g = c.benchmark_group("executor");
+    g.sample_size(20);
+
+    g.bench_function("simulate_baseline vgg18 (full scale)", |b| {
+        b.iter(|| simulate_baseline(&vgg18, &cost).unwrap())
+    });
+    g.bench_function("simulate_two_branch vgg18 (full scale)", |b| {
+        b.iter(|| simulate_two_branch(&vgg18, &vgg18, &cost).unwrap())
+    });
+    g.bench_function("simulate_two_branch resnet20 (full scale)", |b| {
+        b.iter(|| simulate_two_branch(&resnet20, &resnet20, &cost).unwrap())
+    });
+    g.bench_function("memory report vgg18", |b| {
+        b.iter(|| MemoryReport::for_baseline(&vgg18).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_executor);
+criterion_main!(benches);

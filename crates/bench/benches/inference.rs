@@ -1,0 +1,52 @@
+//! Inference-path benchmarks: victim forward, two-branch forward and the
+//! functional split inference over the one-way channel.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use tbnet_core::deploy::run_split_inference;
+use tbnet_core::TwoBranchModel;
+use tbnet_models::{resnet, vgg, ChainNet};
+use tbnet_nn::{Layer, Mode};
+use tbnet_tensor::init;
+
+fn bench_inference(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let batch = init::randn(&[4, 3, 16, 16], 1.0, &mut rng);
+    let mut g = c.benchmark_group("inference");
+    g.sample_size(10);
+
+    let vgg_spec = vgg::vgg_tiny(10, 3, (16, 16));
+    let mut vgg_net = ChainNet::from_spec(&vgg_spec, &mut rng).unwrap();
+    g.bench_function("vgg_tiny eval forward (batch 4)", |b| {
+        b.iter(|| vgg_net.forward(&batch, Mode::Eval).unwrap())
+    });
+
+    let res_spec = resnet::resnet20_tiny(10, 3, (16, 16));
+    let mut res_net = ChainNet::from_spec(&res_spec, &mut rng).unwrap();
+    g.bench_function("resnet20_tiny eval forward (batch 4)", |b| {
+        b.iter(|| res_net.forward(&batch, Mode::Eval).unwrap())
+    });
+
+    let victim = ChainNet::from_spec(&vgg_spec, &mut rng).unwrap();
+    let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+    g.bench_function("two-branch predict (batch 4)", |b| {
+        b.iter(|| tb.predict(&batch).unwrap())
+    });
+
+    g.bench_function("split inference over one-way channel (batch 4)", |b| {
+        b.iter(|| run_split_inference(&mut tb, &batch).unwrap())
+    });
+
+    g.bench_function("two-branch train step (batch 4)", |b| {
+        b.iter(|| {
+            tb.zero_grad();
+            let logits = tb.forward(&batch, Mode::Train).unwrap();
+            let out =
+                tbnet_nn::loss::softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+            tb.backward(&out.grad).unwrap();
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

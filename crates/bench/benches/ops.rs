@@ -1,0 +1,39 @@
+//! Kernel micro-benchmarks: the tensor operations that dominate training and
+//! inference time.
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::SeedableRng;
+use tbnet_tensor::{init, ops};
+
+fn bench_ops(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let input = init::randn(&[8, 16, 16, 16], 1.0, &mut rng);
+    let weight = init::randn(&[32, 16, 3, 3], 0.1, &mut rng);
+    let mut g = c.benchmark_group("ops");
+    g.sample_size(10);
+
+    g.bench_function("conv2d_forward 8x16x16x16 -> 32ch", |b| {
+        b.iter(|| ops::conv2d_forward(&input, &weight, None, 1, 1).unwrap())
+    });
+
+    let out = ops::conv2d_forward(&input, &weight, None, 1, 1).unwrap();
+    let grad = init::randn(out.dims(), 1.0, &mut rng);
+    g.bench_function("conv2d_backward 8x16x16x16 -> 32ch", |b| {
+        b.iter(|| ops::conv2d_backward(&input, &weight, &grad, 1, 1, false).unwrap())
+    });
+
+    let a = init::randn(&[128, 128], 1.0, &mut rng);
+    let bm = init::randn(&[128, 128], 1.0, &mut rng);
+    g.bench_function("matmul 128x128", |b| b.iter(|| ops::matmul(&a, &bm).unwrap()));
+
+    g.bench_function("channel_mean_var 8x16x16x16", |b| {
+        b.iter(|| ops::channel_mean_var(&input).unwrap())
+    });
+
+    g.bench_function("maxpool2d 8x16x16x16", |b| {
+        b.iter(|| ops::maxpool2d_forward(&input, 2).unwrap())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ops);
+criterion_main!(benches);

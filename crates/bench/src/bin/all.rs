@@ -1,0 +1,29 @@
+//! Runs the entire evaluation, sharing trained artifacts across reports:
+//! Tables 1-3 and Figs. 2-4 in one pass.
+use tbnet_bench::experiments::{run_scenario, ModelKind, Scale, GRID};
+use tbnet_bench::reports::{
+    report_fig2, report_fig3, report_fig4, report_table1, report_table2, report_table3,
+    run_transfer_only, scenario_summary,
+};
+use tbnet_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {} (set TBNET_SCALE=quick for a fast run)", scale.name);
+    let scenarios: Vec<_> = GRID
+        .iter()
+        .map(|&(d, m)| {
+            let s = run_scenario(m, d, &scale);
+            eprintln!("  {}", scenario_summary(&s));
+            s
+        })
+        .collect();
+    println!("{}", report_table1(&scenarios));
+    println!("{}", report_table2(&scenarios, &scale));
+    println!("{}", report_table3(&scenarios));
+    println!("{}", report_fig2(&scenarios, &scale));
+    println!("{}", report_fig3(&scenarios));
+    let (transfer_model, _) =
+        run_transfer_only(ModelKind::Vgg18, DatasetKind::Cifar10Like, &scale);
+    println!("{}", report_fig4(&transfer_model));
+}

@@ -1,0 +1,92 @@
+//! Prior-art comparison (paper §2.3, implemented as an experiment):
+//! full-TEE vs DarkneTZ-style layer partitioning vs TBNet, on the same
+//! victim. For each defense: TEE memory, latency, and the strongest
+//! applicable attack.
+//!
+//! ```sh
+//! TBNET_SCALE=quick cargo run --release -p tbnet-bench --bin baselines
+//! ```
+
+use tbnet_bench::experiments::{pct, run_scenario, ModelKind, Scale};
+use tbnet_bench::table::TextTable;
+use tbnet_core::baselines::{substitute_model_attack, LayerPartition};
+use tbnet_core::deploy::DeploymentPlan;
+use tbnet_data::DatasetKind;
+use tbnet_tee::{simulate_baseline, CostModel, MemoryReport};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    let cost = CostModel::raspberry_pi3();
+
+    // One shared scenario provides the victim, the data and the TBNet
+    // deployment.
+    let s = run_scenario(ModelKind::Vgg18, DatasetKind::Cifar10Like, &scale);
+    let victim_spec = s.artifacts.victim.spec();
+    let n_units = victim_spec.units.len();
+
+    let mut t = TextTable::new(&[
+        "defense",
+        "deployed acc %",
+        "TEE mem (KiB)",
+        "latency (ms)",
+        "best attack",
+        "attack acc %",
+    ]);
+
+    // --- Full-TEE baseline: secure but expensive; no model-stealing attack
+    //     applies under the threat model (everything is inside the TEE). ---
+    let mem = MemoryReport::for_baseline(&victim_spec).expect("memory");
+    let lat = simulate_baseline(&victim_spec, &cost).expect("latency");
+    t.row(&[
+        "full TEE".into(),
+        pct(s.artifacts.victim_acc),
+        format!("{:.1}", mem.total() as f64 / 1024.0),
+        format!("{:.3}", lat.total_s * 1e3),
+        "none applicable".into(),
+        "-".into(),
+    ]);
+
+    // --- DarkneTZ-style partition: protect the second half of the layers. ---
+    let split = n_units / 2;
+    let partition =
+        LayerPartition::new(s.artifacts.victim.clone(), split).expect("partition");
+    let p_mem = partition.memory().expect("memory");
+    let p_lat = partition.latency(&cost).expect("latency");
+    let sub = substitute_model_attack(
+        &partition,
+        s.data.train(),
+        s.data.test(),
+        1.0,
+        &scale.attack_config(),
+    )
+    .expect("substitute attack");
+    t.row(&[
+        format!("layer partition (split {split}/{n_units})"),
+        pct(s.artifacts.victim_acc),
+        format!("{:.1}", p_mem.total() as f64 / 1024.0),
+        format!("{:.3}", p_lat.total_s * 1e3),
+        "substitute-model (§2.3)".into(),
+        pct(sub.accuracy),
+    ]);
+
+    // --- TBNet. ---
+    let plan = DeploymentPlan::new(&s.artifacts.model, victim_spec).expect("plan");
+    let tb_mem = plan.memory().expect("memory");
+    let tb_lat = plan.latency(&cost).expect("latency");
+    t.row(&[
+        "TBNet".into(),
+        pct(s.artifacts.tbnet_acc),
+        format!("{:.1}", tb_mem.tbnet.total() as f64 / 1024.0),
+        format!("{:.3}", tb_lat.tbnet.total_s * 1e3),
+        "direct use of M_R".into(),
+        pct(s.attack_acc),
+    ]);
+
+    println!("Prior-art comparison — same victim, same attacker data budget (100%)");
+    println!("{}", t.render());
+    println!(
+        "shape check: substitute attack on the partition defense should approach the \
+         victim's accuracy, while TBNet's best attack stays far below it."
+    );
+}

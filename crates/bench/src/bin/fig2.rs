@@ -1,0 +1,14 @@
+//! Regenerates Fig. 2 of the paper: fine-tuning attack vs data availability.
+use tbnet_bench::experiments::{run_scenario, ModelKind, Scale};
+use tbnet_bench::reports::report_fig2;
+use tbnet_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    let scenarios = vec![
+        run_scenario(ModelKind::Vgg18, DatasetKind::Cifar10Like, &scale),
+        run_scenario(ModelKind::Vgg18, DatasetKind::Cifar100Like, &scale),
+    ];
+    println!("{}", report_fig2(&scenarios, &scale));
+}

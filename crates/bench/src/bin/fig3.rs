@@ -1,0 +1,10 @@
+//! Regenerates Fig. 3 of the paper: TEE memory usage baseline vs TBNet.
+use tbnet_bench::experiments::{run_scenario, Scale, GRID};
+use tbnet_bench::reports::report_fig3;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    let scenarios: Vec<_> = GRID.iter().map(|&(d, m)| run_scenario(m, d, &scale)).collect();
+    println!("{}", report_fig3(&scenarios));
+}

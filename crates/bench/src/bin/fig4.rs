@@ -1,0 +1,11 @@
+//! Regenerates Fig. 4 of the paper: BN weight distributions after transfer.
+use tbnet_bench::experiments::{ModelKind, Scale};
+use tbnet_bench::reports::{report_fig4, run_transfer_only};
+use tbnet_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    let (model, _data) = run_transfer_only(ModelKind::Vgg18, DatasetKind::Cifar10Like, &scale);
+    println!("{}", report_fig4(&model));
+}

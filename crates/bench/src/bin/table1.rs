@@ -1,0 +1,17 @@
+//! Regenerates Table 1 of the paper: victim vs TBNet vs direct-use attack.
+use tbnet_bench::experiments::{run_scenario, Scale, GRID};
+use tbnet_bench::reports::{report_table1, scenario_summary};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {} (set TBNET_SCALE=quick for a fast run)", scale.name);
+    let scenarios: Vec<_> = GRID
+        .iter()
+        .map(|&(d, m)| {
+            let s = run_scenario(m, d, &scale);
+            eprintln!("  {}", scenario_summary(&s));
+            s
+        })
+        .collect();
+    println!("{}", report_table1(&scenarios));
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table 2 of the paper: M_T retrained alone vs TBNet.
+use tbnet_bench::experiments::{run_scenario, ModelKind, Scale};
+use tbnet_bench::reports::report_table2;
+use tbnet_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    let scenarios = vec![
+        run_scenario(ModelKind::Vgg18, DatasetKind::Cifar10Like, &scale),
+        run_scenario(ModelKind::ResNet20, DatasetKind::Cifar10Like, &scale),
+    ];
+    println!("{}", report_table2(&scenarios, &scale));
+}

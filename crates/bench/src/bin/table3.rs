@@ -1,0 +1,14 @@
+//! Regenerates Table 3 of the paper: inference latency baseline vs TBNet.
+use tbnet_bench::experiments::{run_scenario, ModelKind, Scale};
+use tbnet_bench::reports::report_table3;
+use tbnet_data::DatasetKind;
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("scale: {}", scale.name);
+    let scenarios = vec![
+        run_scenario(ModelKind::Vgg18, DatasetKind::Cifar10Like, &scale),
+        run_scenario(ModelKind::ResNet20, DatasetKind::Cifar10Like, &scale),
+    ];
+    println!("{}", report_table3(&scenarios));
+}

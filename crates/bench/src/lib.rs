@@ -1,0 +1,26 @@
+//! Benchmark harness for the TBNet reproduction.
+//!
+//! This crate regenerates every table and figure of the paper's evaluation:
+//!
+//! | target | paper artefact |
+//! |---|---|
+//! | `cargo run -p tbnet-bench --bin table1 --release` | Table 1 (accuracy & direct-use attack) |
+//! | `cargo run -p tbnet-bench --bin table2 --release` | Table 2 (`M_T`-only ablation) |
+//! | `cargo run -p tbnet-bench --bin table3 --release` | Table 3 (inference latency) |
+//! | `cargo run -p tbnet-bench --bin fig2 --release`   | Fig. 2 (fine-tuning attack) |
+//! | `cargo run -p tbnet-bench --bin fig3 --release`   | Fig. 3 (TEE memory usage) |
+//! | `cargo run -p tbnet-bench --bin fig4 --release`   | Fig. 4 (BN weight distribution) |
+//! | `cargo run -p tbnet-bench --bin all --release`    | everything, sharing trained artifacts |
+//!
+//! The Criterion benches (`cargo bench`) cover kernels, inference paths, the
+//! TEE executor and the DESIGN.md ablations.
+//!
+//! Set `TBNET_SCALE=quick` for a fast smoke run or `TBNET_SCALE=full`
+//! (default) for the experiment scale used in `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod reports;
+pub mod table;

@@ -1,0 +1,284 @@
+//! Analysis utilities for §5.2 of the paper (Fig. 4): the distribution of
+//! BatchNorm scales in the two branches after knowledge transfer.
+//!
+//! The paper observes that `M_R`'s γ end up smaller on average than `M_T`'s —
+//! evidence that the transfer moved the important channels' weight into the
+//! secure branch.
+
+use serde::{Deserialize, Serialize};
+
+use tbnet_models::ChainNet;
+
+use crate::TwoBranchModel;
+
+/// A fixed-width histogram over non-negative values.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive lower bound of the first bin.
+    pub lo: f32,
+    /// Exclusive upper bound of the last bin.
+    pub hi: f32,
+    /// Per-bin counts.
+    pub counts: Vec<u32>,
+}
+
+impl Histogram {
+    /// Builds a histogram with `bins` equal-width bins spanning
+    /// `[min(values), max(values)]`. Empty input yields a single empty bin.
+    pub fn build(values: &[f32], bins: usize) -> Self {
+        let bins = bins.max(1);
+        if values.is_empty() {
+            return Histogram {
+                lo: 0.0,
+                hi: 1.0,
+                counts: vec![0; bins],
+            };
+        }
+        let lo = values.iter().copied().fold(f32::INFINITY, f32::min);
+        let mut hi = values.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        if hi <= lo {
+            hi = lo + 1e-6;
+        }
+        let width = (hi - lo) / bins as f32;
+        let mut counts = vec![0u32; bins];
+        for &v in values {
+            let b = (((v - lo) / width) as usize).min(bins - 1);
+            counts[b] += 1;
+        }
+        Histogram { lo, hi, counts }
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u32 {
+        self.counts.iter().sum()
+    }
+
+    /// Center of bin `i`.
+    pub fn bin_center(&self, i: usize) -> f32 {
+        let width = (self.hi - self.lo) / self.counts.len() as f32;
+        self.lo + width * (i as f32 + 0.5)
+    }
+}
+
+/// Summary statistics of one branch's γ magnitudes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GammaSummary {
+    /// Number of γ values (total channels).
+    pub count: usize,
+    /// Mean |γ|.
+    pub mean: f32,
+    /// Median |γ|.
+    pub median: f32,
+    /// Fraction of channels with |γ| below 0.1 (near-prunable mass).
+    pub frac_small: f32,
+}
+
+impl GammaSummary {
+    /// Computes the summary from raw magnitudes.
+    pub fn from_values(values: &[f32]) -> Self {
+        if values.is_empty() {
+            return GammaSummary {
+                count: 0,
+                mean: 0.0,
+                median: 0.0,
+                frac_small: 0.0,
+            };
+        }
+        let mut sorted: Vec<f32> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        let mean = sorted.iter().sum::<f32>() / sorted.len() as f32;
+        let median = sorted[sorted.len() / 2];
+        let frac_small =
+            sorted.iter().filter(|&&v| v < 0.1).count() as f32 / sorted.len() as f32;
+        GammaSummary {
+            count: sorted.len(),
+            mean,
+            median,
+            frac_small,
+        }
+    }
+}
+
+/// All |γ| magnitudes of a network's BatchNorm layers.
+pub fn gamma_magnitudes(net: &ChainNet) -> Vec<f32> {
+    net.units()
+        .iter()
+        .flat_map(|u| u.bn().gamma().value.as_slice().iter().map(|g| g.abs()))
+        .collect()
+}
+
+/// Fig. 4's data: per-branch γ distributions after knowledge transfer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BnDistributionReport {
+    /// Summary of `M_R`'s scales.
+    pub mr: GammaSummary,
+    /// Summary of `M_T`'s scales.
+    pub mt: GammaSummary,
+    /// Histogram of `M_R`'s scales.
+    pub mr_hist: Histogram,
+    /// Histogram of `M_T`'s scales.
+    pub mt_hist: Histogram,
+}
+
+/// Builds the Fig. 4 report for a two-branch model.
+pub fn bn_weight_report(model: &TwoBranchModel, bins: usize) -> BnDistributionReport {
+    let mr = gamma_magnitudes(model.mr());
+    let mt = gamma_magnitudes(model.mt());
+    BnDistributionReport {
+        mr: GammaSummary::from_values(&mr),
+        mt: GammaSummary::from_values(&mt),
+        mr_hist: Histogram::build(&mr, bins),
+        mt_hist: Histogram::build(&mt, bins),
+    }
+}
+
+/// How far the public `M_R` architecture has diverged from the secret `M_T`
+/// architecture — the quantity rollback finalization (step ⑥) exists to make
+/// non-zero. An attacker inspecting `M_R` learns the *wrong* channel widths
+/// for every diverged unit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DivergenceReport {
+    /// Per-unit channel surplus of `M_R` over `M_T` (`mr − mt`, never
+    /// negative after a valid rollback).
+    pub per_unit_surplus: Vec<isize>,
+    /// Total channels in `M_R`.
+    pub mr_channels: usize,
+    /// Total channels in `M_T`.
+    pub mt_channels: usize,
+    /// Number of units whose widths differ.
+    pub diverged_units: usize,
+}
+
+impl DivergenceReport {
+    /// Fraction of units whose public width misleads the attacker.
+    pub fn diverged_fraction(&self) -> f32 {
+        if self.per_unit_surplus.is_empty() {
+            0.0
+        } else {
+            self.diverged_units as f32 / self.per_unit_surplus.len() as f32
+        }
+    }
+}
+
+/// Computes the architectural divergence between the deployed branches.
+pub fn architecture_divergence(model: &TwoBranchModel) -> DivergenceReport {
+    let per_unit_surplus: Vec<isize> = model
+        .mr()
+        .units()
+        .iter()
+        .zip(model.mt().units())
+        .map(|(r, t)| r.out_channels() as isize - t.out_channels() as isize)
+        .collect();
+    let mr_channels = model.mr().units().iter().map(|u| u.out_channels()).sum();
+    let mt_channels = model.mt().units().iter().map(|u| u.out_channels()).sum();
+    let diverged_units = per_unit_surplus.iter().filter(|&&d| d != 0).count();
+    DivergenceReport {
+        per_unit_surplus,
+        mr_channels,
+        mt_channels,
+        diverged_units,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbnet_models::vgg;
+    use tbnet_tensor::Tensor;
+
+    #[test]
+    fn histogram_bins_and_totals() {
+        let h = Histogram::build(&[0.0, 0.1, 0.2, 0.9, 1.0], 5);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.counts.len(), 5);
+        assert_eq!(h.counts[0], 2); // 0.0 and 0.1 fall into [0, 0.2)
+        assert_eq!(h.counts[4], 2); // 0.9 and 1.0 (max clamps to last bin)
+        assert!(h.bin_center(0) > 0.0 && h.bin_center(0) < 0.2);
+    }
+
+    #[test]
+    fn histogram_handles_degenerate_inputs() {
+        let empty = Histogram::build(&[], 4);
+        assert_eq!(empty.total(), 0);
+        let constant = Histogram::build(&[0.5; 10], 3);
+        assert_eq!(constant.total(), 10);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = GammaSummary::from_values(&[0.05, 0.05, 0.2, 0.3, 1.0]);
+        assert_eq!(s.count, 5);
+        assert!((s.mean - 0.32).abs() < 1e-6);
+        assert_eq!(s.median, 0.2);
+        assert!((s.frac_small - 0.4).abs() < 1e-6);
+        let empty = GammaSummary::from_values(&[]);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn report_reads_both_branches() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = vgg::vgg_from_stages("v", &[(4, 1)], 3, 2, (8, 8));
+        let victim = tbnet_models::ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let mut tb = crate::TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        tb.mr_mut().units_mut()[0].bn_mut().gamma_mut().value =
+            Tensor::from_slice(&[0.1, 0.1, 0.1, 0.1]);
+        tb.mt_mut().units_mut()[0].bn_mut().gamma_mut().value =
+            Tensor::from_slice(&[0.9, 0.9, 0.9, 0.9]);
+        let report = bn_weight_report(&tb, 4);
+        assert!(report.mr.mean < report.mt.mean);
+        assert_eq!(report.mr_hist.total(), 4);
+        assert_eq!(report.mt_hist.total(), 4);
+    }
+
+    #[test]
+    fn divergence_zero_before_rollback() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = vgg::vgg_from_stages("v", &[(4, 1), (6, 1)], 3, 2, (8, 8));
+        let victim = tbnet_models::ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let tb = crate::TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let d = architecture_divergence(&tb);
+        assert_eq!(d.diverged_units, 0);
+        assert_eq!(d.diverged_fraction(), 0.0);
+        assert_eq!(d.mr_channels, d.mt_channels);
+        assert_eq!(d.per_unit_surplus, vec![0, 0]);
+    }
+
+    #[test]
+    fn divergence_counts_width_differences() {
+        use crate::pruning::prune_two_branch_once;
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = vgg::vgg_from_stages("v", &[(6, 1), (6, 1)], 3, 2, (8, 8));
+        let victim = tbnet_models::ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let mut tb = crate::TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let prev_mr = tb.mr().clone();
+        let prev_book = tb.mr_book().clone();
+        prune_two_branch_once(
+            &mut tb,
+            &[
+                vec![true, false, true, true, true, false],
+                vec![true, true, true, true, true, true],
+            ],
+        )
+        .unwrap();
+        tb.finalize_with_rollback(prev_mr, prev_book).unwrap();
+        let d = architecture_divergence(&tb);
+        assert_eq!(d.per_unit_surplus, vec![2, 0]);
+        assert_eq!(d.diverged_units, 1);
+        assert!((d.diverged_fraction() - 0.5).abs() < 1e-6);
+        assert_eq!(d.mr_channels, 12);
+        assert_eq!(d.mt_channels, 10);
+    }
+
+    #[test]
+    fn magnitudes_are_absolute_values() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = vgg::vgg_from_stages("v", &[(3, 1)], 3, 2, (8, 8));
+        let mut net = tbnet_models::ChainNet::from_spec(&spec, &mut rng).unwrap();
+        net.units_mut()[0].bn_mut().gamma_mut().value = Tensor::from_slice(&[-0.5, 0.25, -1.0]);
+        let mags = gamma_magnitudes(&net);
+        assert_eq!(mags, vec![0.5, 0.25, 1.0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! The attacker suite of the paper's evaluation.
+//!
+//! Threat model (paper §2.2): the attacker reads *everything* in REE memory —
+//! `M_R`'s architecture, weights and the victim-inherited classifier — but
+//! the TEE contents are a black box. Three attacks are evaluated:
+//!
+//! * [`direct_use_attack`] — transplant `M_R` and use it as-is (Table 1's
+//!   "Attack Acc.");
+//! * [`fine_tune_attack`] — retrain the stolen `M_R` with a fraction of the
+//!   training data (Fig. 2);
+//! * [`retrain_secure_branch_alone`] — the defender-side ablation of §5.1 /
+//!   Table 2: how good can `M_T` get without `M_R`?
+
+use serde::{Deserialize, Serialize};
+
+use tbnet_data::ImageDataset;
+
+use crate::train::{evaluate, train_victim, TrainConfig};
+use crate::{Result, TwoBranchModel};
+
+/// Outcome of a fine-tuning attack.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FineTuneOutcome {
+    /// Fraction of the training data the attacker had.
+    pub data_fraction: f64,
+    /// Number of training samples that fraction amounted to.
+    pub samples_used: usize,
+    /// Test accuracy of the fine-tuned stolen model.
+    pub accuracy: f32,
+}
+
+/// Table 1's "Attack Acc.": the attacker extracts `M_R` from REE memory and
+/// uses it directly, with its victim-inherited classifier head.
+///
+/// For residual victims this branch lacks the skip connections, and after
+/// knowledge transfer its weights serve the *merged* computation — both
+/// effects degrade standalone accuracy, which is exactly the defense.
+///
+/// # Errors
+///
+/// Returns shape errors when the dataset disagrees with the model geometry.
+pub fn direct_use_attack(model: &TwoBranchModel, test: &ImageDataset) -> Result<f32> {
+    let mut stolen = model.extract_unsecured_branch();
+    evaluate(&mut stolen, test)
+}
+
+/// Fig. 2's attacker: extract `M_R`, then fine-tune all of it (classifier
+/// included) on `data_fraction` of the training set.
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn fine_tune_attack(
+    model: &TwoBranchModel,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    data_fraction: f64,
+    cfg: &TrainConfig,
+) -> Result<FineTuneOutcome> {
+    let mut stolen = model.extract_unsecured_branch();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed ^ 0x5eed_a77a);
+    let subset = train.stratified_fraction(data_fraction, &mut rng);
+    let samples_used = subset.len();
+    if !subset.is_empty() {
+        train_victim(&mut stolen, &subset, cfg)?;
+    }
+    let accuracy = evaluate(&mut stolen, test)?;
+    Ok(FineTuneOutcome {
+        data_fraction,
+        samples_used,
+        accuracy,
+    })
+}
+
+/// §5.1 / Table 2: strip `M_R` entirely and retrain the remaining `M_T` as a
+/// standalone network on the full training set — the best possible
+/// `M_T`-only model. The paper finds it a few points *below* TBNet, showing
+/// the unsecured branch genuinely contributes.
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn retrain_secure_branch_alone(
+    model: &TwoBranchModel,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    cfg: &TrainConfig,
+) -> Result<f32> {
+    let mut alone = model.mt().clone();
+    train_victim(&mut alone, train, cfg)?;
+    evaluate(&mut alone, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbnet_data::{DatasetKind, SyntheticCifar};
+    use tbnet_models::vgg;
+    use tbnet_models::ChainNet as Net;
+
+    use crate::transfer::{evaluate_two_branch, train_two_branch, TransferConfig};
+
+    fn setup() -> (TwoBranchModel, SyntheticCifar) {
+        let mut rng = StdRng::seed_from_u64(0);
+        let data = SyntheticCifar::generate(
+            DatasetKind::Cifar10Like
+                .config()
+                .with_classes(4)
+                .with_train_per_class(16)
+                .with_test_per_class(8)
+                .with_size(8, 8)
+                .with_noise_std(0.25),
+        );
+        let spec = vgg::vgg_from_stages("v", &[(8, 1), (8, 1)], 4, 3, (8, 8));
+        let victim = Net::from_spec(&spec, &mut rng).unwrap();
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        train_two_branch(&mut tb, data.train(), &TransferConfig::paper_scaled(6)).unwrap();
+        (tb, data)
+    }
+
+    #[test]
+    fn direct_use_is_worse_than_tbnet() {
+        let (mut tb, data) = setup();
+        let tbnet_acc = evaluate_two_branch(&mut tb, data.test()).unwrap();
+        let attack_acc = direct_use_attack(&tb, data.test()).unwrap();
+        assert!(
+            attack_acc < tbnet_acc,
+            "direct use ({attack_acc}) should be below TBNet ({tbnet_acc})"
+        );
+    }
+
+    #[test]
+    fn fine_tune_improves_with_more_data() {
+        let (tb, data) = setup();
+        let cfg = TrainConfig {
+            epochs: 4,
+            ..TrainConfig::paper_scaled(4)
+        };
+        let small = fine_tune_attack(&tb, data.train(), data.test(), 0.1, &cfg).unwrap();
+        let large = fine_tune_attack(&tb, data.train(), data.test(), 1.0, &cfg).unwrap();
+        assert!(small.samples_used < large.samples_used);
+        assert_eq!(large.samples_used, data.train().len());
+        // More data should not hurt (tolerate small-sample noise).
+        assert!(large.accuracy + 0.15 >= small.accuracy);
+    }
+
+    #[test]
+    fn zero_fraction_means_direct_use() {
+        let (tb, data) = setup();
+        let cfg = TrainConfig::paper_scaled(2);
+        let out = fine_tune_attack(&tb, data.train(), data.test(), 0.0, &cfg).unwrap();
+        assert_eq!(out.samples_used, 0);
+        let direct = direct_use_attack(&tb, data.test()).unwrap();
+        assert!((out.accuracy - direct).abs() < 1e-6);
+    }
+
+    #[test]
+    fn attack_does_not_mutate_deployed_model() {
+        let (tb, data) = setup();
+        let before = tb.mr().units()[0].conv().weight().value.clone();
+        let cfg = TrainConfig::paper_scaled(2);
+        fine_tune_attack(&tb, data.train(), data.test(), 0.5, &cfg).unwrap();
+        assert_eq!(
+            tb.mr().units()[0].conv().weight().value.as_slice(),
+            before.as_slice()
+        );
+    }
+
+    #[test]
+    fn mt_alone_retrains_to_sensible_accuracy() {
+        let (tb, data) = setup();
+        let cfg = TrainConfig {
+            epochs: 6,
+            ..TrainConfig::paper_scaled(6)
+        };
+        let acc = retrain_secure_branch_alone(&tb, data.train(), data.test(), &cfg).unwrap();
+        assert!((0.0..=1.0).contains(&acc));
+        assert!(acc > 0.3, "retrained M_T should beat chance, got {acc}");
+    }
+}

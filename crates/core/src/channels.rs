@@ -1,0 +1,299 @@
+//! Channel-identity tracking and gather/scatter kernels for the REE→TEE
+//! merge.
+//!
+//! During iterative pruning both branches shrink in lockstep, so the merge is
+//! a plain elementwise add. After rollback finalization `M_R` is one pruning
+//! iteration *wider* than `M_T`, and the TEE must select the subset of
+//! incoming `M_R` channels that corresponds to its own surviving channels
+//! (paper §3.5: "`M_T` identifies and extracts the specific channel that
+//! aligns with their pre-stored feature map"). [`ChannelBook`] tracks original
+//! channel identities through pruning so that selection is exact, and
+//! [`gather_channels`] / [`scatter_add_channels`] are the forward/backward
+//! kernels of the selection.
+
+use tbnet_tensor::{Tensor, TensorError};
+
+use crate::{CoreError, Result};
+
+/// Tracks, per unit, which *original* channel indices survive in a branch.
+///
+/// Freshly initialized branches carry identity books; every applied pruning
+/// mask filters them. Because both branches start identical and are pruned
+/// with shared masks, `M_T`'s surviving set is always a subset of `M_R`'s
+/// set from any earlier iteration — which is what makes rollback alignment
+/// well-defined.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelBook {
+    per_unit: Vec<Vec<usize>>,
+}
+
+impl ChannelBook {
+    /// An identity book for a model whose units have the given channel
+    /// counts.
+    pub fn identity(unit_channels: &[usize]) -> Self {
+        ChannelBook {
+            per_unit: unit_channels.iter().map(|&c| (0..c).collect()).collect(),
+        }
+    }
+
+    /// Rebuilds a book from raw per-unit channel-id lists (persistence).
+    pub fn from_parts(per_unit: Vec<Vec<usize>>) -> Self {
+        ChannelBook { per_unit }
+    }
+
+    /// Number of units tracked.
+    pub fn len(&self) -> usize {
+        self.per_unit.len()
+    }
+
+    /// `true` when no units are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.per_unit.is_empty()
+    }
+
+    /// The surviving original channel ids of `unit`.
+    pub fn unit(&self, unit: usize) -> &[usize] {
+        &self.per_unit[unit]
+    }
+
+    /// Applies a keep-mask to one unit's channel list.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::PruningError`] when the mask length disagrees
+    /// with the current channel count.
+    pub fn apply_mask(&mut self, unit: usize, keep: &[bool]) -> Result<()> {
+        let current = &self.per_unit[unit];
+        if keep.len() != current.len() {
+            return Err(CoreError::PruningError {
+                reason: format!(
+                    "mask length {} does not match {} channels of unit {unit}",
+                    keep.len(),
+                    current.len()
+                ),
+            });
+        }
+        self.per_unit[unit] = current
+            .iter()
+            .zip(keep)
+            .filter_map(|(&id, &k)| k.then_some(id))
+            .collect();
+        Ok(())
+    }
+
+    /// Computes, for every unit, the positions of `self`'s channels within
+    /// `wider`'s channel list — the alignment map the TEE uses to extract the
+    /// matching incoming channels.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::AlignmentError`] if some channel of `self` does
+    /// not appear in `wider` (i.e. `self` is not a subset).
+    pub fn alignment_into(&self, wider: &ChannelBook) -> Result<Vec<Vec<usize>>> {
+        if self.len() != wider.len() {
+            return Err(CoreError::BranchMismatch {
+                reason: format!(
+                    "channel books track {} vs {} units",
+                    self.len(),
+                    wider.len()
+                ),
+            });
+        }
+        let mut maps = Vec::with_capacity(self.len());
+        for (unit, (narrow, wide)) in self.per_unit.iter().zip(&wider.per_unit).enumerate() {
+            let mut map = Vec::with_capacity(narrow.len());
+            for &id in narrow {
+                let pos = wide.iter().position(|&w| w == id).ok_or_else(|| {
+                    CoreError::AlignmentError {
+                        unit,
+                        reason: format!("channel id {id} missing from the wider branch"),
+                    }
+                })?;
+                map.push(pos);
+            }
+            maps.push(map);
+        }
+        Ok(maps)
+    }
+}
+
+/// Selects channels `idx` from a `[N, C, H, W]` tensor, producing
+/// `[N, idx.len(), H, W]`.
+///
+/// # Errors
+///
+/// Returns rank/index errors for inconsistent arguments.
+pub fn gather_channels(t: &Tensor, idx: &[usize]) -> Result<Tensor> {
+    if t.rank() != 4 {
+        return Err(CoreError::Tensor(TensorError::RankMismatch {
+            expected: 4,
+            got: t.rank(),
+            op: "gather_channels",
+        }));
+    }
+    let (n, c, h, w) = (t.dim(0), t.dim(1), t.dim(2), t.dim(3));
+    if let Some(&bad) = idx.iter().find(|&&i| i >= c) {
+        return Err(CoreError::Tensor(TensorError::InvalidGeometry {
+            reason: format!("channel index {bad} out of range for {c} channels"),
+        }));
+    }
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[n, idx.len(), h, w]);
+    let src = t.as_slice();
+    let dst = out.as_mut_slice();
+    for ni in 0..n {
+        for (k, &ci) in idx.iter().enumerate() {
+            let s = (ni * c + ci) * plane;
+            let d = (ni * idx.len() + k) * plane;
+            dst[d..d + plane].copy_from_slice(&src[s..s + plane]);
+        }
+    }
+    Ok(out)
+}
+
+/// Adds `src: [N, K, H, W]` into channels `idx` of `dst: [N, C, H, W]` — the
+/// adjoint of [`gather_channels`], used in the backward pass of the merge.
+///
+/// # Errors
+///
+/// Returns rank/shape/index errors for inconsistent arguments.
+pub fn scatter_add_channels(dst: &mut Tensor, src: &Tensor, idx: &[usize]) -> Result<()> {
+    if dst.rank() != 4 || src.rank() != 4 {
+        return Err(CoreError::Tensor(TensorError::RankMismatch {
+            expected: 4,
+            got: if dst.rank() != 4 { dst.rank() } else { src.rank() },
+            op: "scatter_add_channels",
+        }));
+    }
+    let (n, c, h, w) = (dst.dim(0), dst.dim(1), dst.dim(2), dst.dim(3));
+    if src.dims() != [n, idx.len(), h, w] {
+        return Err(CoreError::Tensor(TensorError::ShapeMismatch {
+            expected: vec![n, idx.len(), h, w],
+            got: src.dims().to_vec(),
+            op: "scatter_add_channels",
+        }));
+    }
+    if let Some(&bad) = idx.iter().find(|&&i| i >= c) {
+        return Err(CoreError::Tensor(TensorError::InvalidGeometry {
+            reason: format!("channel index {bad} out of range for {c} channels"),
+        }));
+    }
+    let plane = h * w;
+    let dv = dst.as_mut_slice();
+    let sv = src.as_slice();
+    for ni in 0..n {
+        for (k, &ci) in idx.iter().enumerate() {
+            let d = (ni * c + ci) * plane;
+            let s = (ni * idx.len() + k) * plane;
+            for (x, &y) in dv[d..d + plane].iter_mut().zip(&sv[s..s + plane]) {
+                *x += y;
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_book() {
+        let book = ChannelBook::identity(&[3, 2]);
+        assert_eq!(book.len(), 2);
+        assert!(!book.is_empty());
+        assert_eq!(book.unit(0), &[0, 1, 2]);
+        assert_eq!(book.unit(1), &[0, 1]);
+    }
+
+    #[test]
+    fn masks_filter_ids() {
+        let mut book = ChannelBook::identity(&[4]);
+        book.apply_mask(0, &[true, false, true, false]).unwrap();
+        assert_eq!(book.unit(0), &[0, 2]);
+        book.apply_mask(0, &[false, true]).unwrap();
+        assert_eq!(book.unit(0), &[2]);
+        assert!(book.apply_mask(0, &[true, true]).is_err());
+    }
+
+    #[test]
+    fn alignment_positions() {
+        let mut narrow = ChannelBook::identity(&[5]);
+        let mut wide = ChannelBook::identity(&[5]);
+        // wide keeps {0,2,3,4}; narrow keeps {2,4}.
+        wide.apply_mask(0, &[true, false, true, true, true]).unwrap();
+        narrow
+            .apply_mask(0, &[false, false, true, false, true])
+            .unwrap();
+        let maps = narrow.alignment_into(&wide).unwrap();
+        assert_eq!(maps[0], vec![1, 3]); // positions of ids 2 and 4 in wide
+    }
+
+    #[test]
+    fn alignment_rejects_non_subset() {
+        let mut narrow = ChannelBook::identity(&[3]);
+        let mut wide = ChannelBook::identity(&[3]);
+        narrow.apply_mask(0, &[true, false, false]).unwrap();
+        wide.apply_mask(0, &[false, true, true]).unwrap();
+        assert!(matches!(
+            narrow.alignment_into(&wide),
+            Err(CoreError::AlignmentError { unit: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn alignment_rejects_unit_count_mismatch() {
+        let a = ChannelBook::identity(&[2]);
+        let b = ChannelBook::identity(&[2, 2]);
+        assert!(a.alignment_into(&b).is_err());
+    }
+
+    #[test]
+    fn gather_selects_channels() {
+        let t = Tensor::from_vec(
+            (0..12).map(|x| x as f32).collect(),
+            &[1, 3, 2, 2],
+        )
+        .unwrap();
+        let g = gather_channels(&t, &[2, 0]).unwrap();
+        assert_eq!(g.dims(), &[1, 2, 2, 2]);
+        assert_eq!(g.as_slice(), &[8.0, 9.0, 10.0, 11.0, 0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn scatter_is_adjoint_of_gather() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let x = tbnet_tensor::init::randn(&[2, 4, 3, 3], 1.0, &mut rng);
+        let idx = [3usize, 1];
+        let y = tbnet_tensor::init::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        // <gather(x), y> == <x, scatter(y)>
+        let gx = gather_channels(&x, &idx).unwrap();
+        let lhs: f32 = gx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let mut sc = Tensor::zeros(x.dims());
+        scatter_add_channels(&mut sc, &y, &idx).unwrap();
+        let rhs: f32 = sc.as_slice().iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-3);
+    }
+
+    #[test]
+    fn gather_scatter_validation() {
+        let t = Tensor::zeros(&[1, 2, 2, 2]);
+        assert!(gather_channels(&t, &[5]).is_err());
+        assert!(gather_channels(&Tensor::zeros(&[4]), &[0]).is_err());
+        let mut dst = Tensor::zeros(&[1, 2, 2, 2]);
+        let src = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(scatter_add_channels(&mut dst, &src, &[9]).is_err());
+        assert!(scatter_add_channels(&mut dst, &src, &[0, 1]).is_err());
+        let bad = Tensor::zeros(&[2]);
+        assert!(scatter_add_channels(&mut dst, &bad, &[0]).is_err());
+    }
+
+    #[test]
+    fn scatter_accumulates_on_repeated_index() {
+        let mut dst = Tensor::zeros(&[1, 2, 1, 1]);
+        let src = Tensor::from_vec(vec![1.0, 2.0], &[1, 2, 1, 1]).unwrap();
+        scatter_add_channels(&mut dst, &src, &[0, 0]).unwrap();
+        assert_eq!(dst.as_slice(), &[3.0, 0.0]);
+    }
+}

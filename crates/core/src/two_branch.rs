@@ -1,0 +1,566 @@
+//! The two-branch substitution model (paper step ① plus the merge semantics
+//! used by every later step).
+//!
+//! Structure (paper Fig. 1): the unsecured branch `M_R` starts as the victim
+//! model (weights included, skip connections stripped for residual victims);
+//! the secure branch `M_T` starts as a freshly initialized copy of the
+//! victim *architecture* (skips included). Inference interleaves the
+//! branches: after unit `i`, `M_R`'s feature map is element-wise added into
+//! `M_T`'s feature map, and the sum is the input of `M_T`'s unit `i+1`.
+//! Data only ever flows `M_R → M_T`, matching the one-way channel the TEE
+//! substrate enforces. The final prediction comes from `M_T`'s classifier.
+//!
+//! After rollback finalization `M_R` is wider than `M_T`; the merge then
+//! gathers the aligned subset of `M_R`'s channels (see
+//! [`crate::ChannelBook`]).
+
+use rand::Rng;
+
+use tbnet_models::ChainNet;
+use tbnet_nn::{Layer, Mode, Param};
+use tbnet_tensor::{ops, Tensor};
+
+use crate::channels::{gather_channels, scatter_add_channels, ChannelBook};
+use crate::{CoreError, Result};
+
+/// The TBNet two-branch substitution model.
+#[derive(Debug, Clone)]
+pub struct TwoBranchModel {
+    mr: ChainNet,
+    mt: ChainNet,
+    mr_book: ChannelBook,
+    mt_book: ChannelBook,
+    /// Per-unit merge alignment: `None` is an identity merge (equal widths);
+    /// `Some(idx)` gathers `M_R` channels `idx` before the add.
+    align: Vec<Option<Vec<usize>>>,
+    /// Cached `M_R` unit-output dims from the last training forward (needed
+    /// to scatter merge gradients back).
+    r_dims: Vec<Vec<usize>>,
+    finalized: bool,
+}
+
+impl TwoBranchModel {
+    /// Step ① — two-branch initialization.
+    ///
+    /// `M_R` clones the victim (architecture, weights and classifier) with
+    /// residual skips stripped; `M_T` is a freshly initialized instance of
+    /// the full victim architecture.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::Model`] when the victim spec fails validation.
+    pub fn from_victim<R: Rng + ?Sized>(victim: &ChainNet, rng: &mut R) -> Result<Self> {
+        let spec = victim.spec();
+        spec.trace()?;
+        let mut mr = victim.clone();
+        for u in mr.units_mut() {
+            u.set_skip_from(None);
+        }
+        let mt = ChainNet::from_spec(&spec, rng)?;
+        let channels: Vec<usize> = spec.units.iter().map(|u| u.out_channels).collect();
+        let n = channels.len();
+        Ok(TwoBranchModel {
+            mr,
+            mt,
+            mr_book: ChannelBook::identity(&channels),
+            mt_book: ChannelBook::identity(&channels),
+            align: vec![None; n],
+            r_dims: vec![Vec::new(); n],
+            finalized: false,
+        })
+    }
+
+    /// Reassembles a model from persisted parts, re-validating the branch
+    /// and book invariants. Intended for [`crate::persist`]; prefer
+    /// [`TwoBranchModel::from_victim`] for construction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::BranchMismatch`] when unit counts disagree or
+    /// [`CoreError::AlignmentError`] when an alignment map indexes outside
+    /// the branches' channel ranges.
+    pub fn from_parts(
+        mr: ChainNet,
+        mt: ChainNet,
+        mr_book: ChannelBook,
+        mt_book: ChannelBook,
+        align: Vec<Option<Vec<usize>>>,
+        finalized: bool,
+    ) -> Result<Self> {
+        let n = mt.units().len();
+        if mr.units().len() != n || mr_book.len() != n || mt_book.len() != n || align.len() != n {
+            return Err(CoreError::BranchMismatch {
+                reason: format!(
+                    "inconsistent part sizes: mr {} units, mt {n}, books {}/{}, align {}",
+                    mr.units().len(),
+                    mr_book.len(),
+                    mt_book.len(),
+                    align.len()
+                ),
+            });
+        }
+        for (i, (map, (ru, tu))) in align
+            .iter()
+            .zip(mr.units().iter().zip(mt.units()))
+            .enumerate()
+        {
+            match map {
+                None => {
+                    if ru.out_channels() != tu.out_channels() {
+                        return Err(CoreError::AlignmentError {
+                            unit: i,
+                            reason: format!(
+                                "identity merge with {} vs {} channels",
+                                ru.out_channels(),
+                                tu.out_channels()
+                            ),
+                        });
+                    }
+                }
+                Some(idx) => {
+                    if idx.len() != tu.out_channels() {
+                        return Err(CoreError::AlignmentError {
+                            unit: i,
+                            reason: format!(
+                                "alignment selects {} channels, M_T has {}",
+                                idx.len(),
+                                tu.out_channels()
+                            ),
+                        });
+                    }
+                    if idx.iter().any(|&p| p >= ru.out_channels()) {
+                        return Err(CoreError::AlignmentError {
+                            unit: i,
+                            reason: "alignment indexes past M_R's channels".into(),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(TwoBranchModel {
+            mr,
+            mt,
+            mr_book,
+            mt_book,
+            align,
+            r_dims: vec![Vec::new(); n],
+            finalized,
+        })
+    }
+
+    /// The unsecured branch `M_R` (attacker-visible in deployment).
+    pub fn mr(&self) -> &ChainNet {
+        &self.mr
+    }
+
+    /// Mutable access to `M_R` (pruning rewrites it).
+    pub fn mr_mut(&mut self) -> &mut ChainNet {
+        &mut self.mr
+    }
+
+    /// The secure branch `M_T` (TEE-resident in deployment).
+    pub fn mt(&self) -> &ChainNet {
+        &self.mt
+    }
+
+    /// Mutable access to `M_T`.
+    pub fn mt_mut(&mut self) -> &mut ChainNet {
+        &mut self.mt
+    }
+
+    /// `M_R`'s surviving-channel book.
+    pub fn mr_book(&self) -> &ChannelBook {
+        &self.mr_book
+    }
+
+    /// Mutable access to `M_R`'s channel book (updated by pruning).
+    pub fn mr_book_mut(&mut self) -> &mut ChannelBook {
+        &mut self.mr_book
+    }
+
+    /// `M_T`'s surviving-channel book.
+    pub fn mt_book(&self) -> &ChannelBook {
+        &self.mt_book
+    }
+
+    /// Mutable access to `M_T`'s channel book (updated by pruning).
+    pub fn mt_book_mut(&mut self) -> &mut ChannelBook {
+        &mut self.mt_book
+    }
+
+    /// The per-unit merge alignment maps (`None` = identity).
+    pub fn align(&self) -> &[Option<Vec<usize>>] {
+        &self.align
+    }
+
+    /// Whether rollback finalization has run.
+    pub fn is_finalized(&self) -> bool {
+        self.finalized
+    }
+
+    /// Number of units per branch.
+    pub fn unit_count(&self) -> usize {
+        self.mt.units().len()
+    }
+
+    /// A standalone copy of the unsecured branch — exactly what an attacker
+    /// extracts from REE memory under the threat model.
+    pub fn extract_unsecured_branch(&self) -> ChainNet {
+        self.mr.clone()
+    }
+
+    /// Step ⑥ — rollback finalization.
+    ///
+    /// Replaces `M_R` with its state (and channel book) from *before* the
+    /// most recent pruning iteration, making the deployed `M_R` architecture
+    /// diverge from `M_T`'s, and computes the channel-alignment maps the TEE
+    /// uses to extract matching channels from the wider incoming feature
+    /// maps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::AlignmentError`] / [`CoreError::BranchMismatch`]
+    /// when `M_T`'s surviving channels are not a subset of the rolled-back
+    /// `M_R`'s.
+    pub fn finalize_with_rollback(
+        &mut self,
+        previous_mr: ChainNet,
+        previous_mr_book: ChannelBook,
+    ) -> Result<()> {
+        if previous_mr.units().len() != self.mt.units().len() {
+            return Err(CoreError::BranchMismatch {
+                reason: format!(
+                    "rolled-back M_R has {} units, M_T has {}",
+                    previous_mr.units().len(),
+                    self.mt.units().len()
+                ),
+            });
+        }
+        let maps = self.mt_book.alignment_into(&previous_mr_book)?;
+        self.align = maps
+            .into_iter()
+            .zip(previous_mr.units().iter().zip(self.mt.units()))
+            .map(|(map, (ru, tu))| {
+                // Identity merges need no gather.
+                let identity = ru.out_channels() == tu.out_channels()
+                    && map.iter().enumerate().all(|(i, &p)| i == p);
+                (!identity).then_some(map)
+            })
+            .collect();
+        self.mr = previous_mr;
+        self.mr_book = previous_mr_book;
+        self.finalized = true;
+        Ok(())
+    }
+
+    /// Recomputes alignment maps after both books changed in lockstep (used
+    /// by pruning, where the branches stay width-identical and alignment
+    /// stays identity).
+    pub fn reset_identity_alignment(&mut self) {
+        self.align = vec![None; self.unit_count()];
+    }
+
+    /// Full two-branch forward pass; the logits come from `M_T`'s head.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if the branches were rewritten inconsistently.
+    #[allow(clippy::needless_range_loop)] // i indexes two branches and the align table
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let n = self.unit_count();
+        let mut merged_outs: Vec<Tensor> = Vec::with_capacity(n);
+        let mut r = input.clone();
+        let mut m = input.clone();
+        for i in 0..n {
+            let r_out = self.mr.units_mut()[i].forward(&r, None, mode)?;
+            if mode.is_train() {
+                self.r_dims[i] = r_out.dims().to_vec();
+            }
+            let skip = self.mt.units()[i]
+                .spec()
+                .skip_from
+                .map(|j| merged_outs[j].clone());
+            let t_out = self.mt.units_mut()[i].forward(&m, skip.as_ref(), mode)?;
+            let r_sel = match &self.align[i] {
+                None => r_out.clone(),
+                Some(idx) => gather_channels(&r_out, idx)?,
+            };
+            let merged = ops::add(&t_out, &r_sel).map_err(|e| CoreError::BranchMismatch {
+                reason: format!("merge at unit {i} failed: {e}"),
+            })?;
+            merged_outs.push(merged.clone());
+            r = r_out;
+            m = merged;
+        }
+        Ok(self.mt.head_mut().forward(&m, mode)?)
+    }
+
+    /// Convenience inference wrapper (eval mode).
+    ///
+    /// # Errors
+    ///
+    /// See [`TwoBranchModel::forward`].
+    pub fn predict(&mut self, input: &Tensor) -> Result<Tensor> {
+        self.forward(input, Mode::Eval)
+    }
+
+    /// Backward pass through both branches, accumulating parameter
+    /// gradients. Must follow a training-mode [`TwoBranchModel::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns missing-cache errors when no training forward preceded it.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Result<()> {
+        let n = self.unit_count();
+        let g_features = self.mt.head_mut().backward(grad_logits)?;
+        let mut gm: Vec<Option<Tensor>> = vec![None; n];
+        let mut gr: Vec<Option<Tensor>> = vec![None; n];
+        gm[n - 1] = Some(g_features);
+        for i in (0..n).rev() {
+            let g_merged = gm[i]
+                .take()
+                .expect("merged output of every unit feeds the chain");
+            // The merge `m_i = t_i + select(r_i)` routes the gradient to both
+            // branches.
+            match &self.align[i] {
+                None => accumulate(&mut gr[i], g_merged.clone())?,
+                Some(idx) => {
+                    if self.r_dims[i].is_empty() {
+                        return Err(CoreError::Nn(tbnet_nn::NnError::MissingForwardCache {
+                            layer: "TwoBranchModel",
+                        }));
+                    }
+                    let mut z = Tensor::zeros(&self.r_dims[i]);
+                    scatter_add_channels(&mut z, &g_merged, idx)?;
+                    accumulate(&mut gr[i], z)?;
+                }
+            }
+            let ug = self.mt.units_mut()[i].backward(&g_merged)?;
+            if let (Some(j), Some(gs)) = (self.mt.units()[i].spec().skip_from, ug.grad_skip) {
+                accumulate(&mut gm[j], gs)?;
+            }
+            if i > 0 {
+                accumulate(&mut gm[i - 1], ug.grad_input)?;
+            }
+            let g_r = gr[i]
+                .take()
+                .expect("every M_R output feeds the merge, so a gradient exists");
+            let rg = self.mr.units_mut()[i].backward(&g_r)?;
+            if i > 0 {
+                accumulate(&mut gr[i - 1], rg.grad_input)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Visits the trainable parameters of both branches.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.mr.visit_params(f);
+        self.mt.visit_params(f);
+        // M_R's classifier head is *not* part of the TBNet computation graph
+        // (the prediction comes from M_T), so its stale victim weights are
+        // excluded from optimization on purpose: mr.visit_params covers it,
+        // but it never receives gradients, and SGD with zero gradient and no
+        // weight decay on the bias leaves only the weight-decay shrinkage.
+    }
+
+    /// Clears gradients in both branches.
+    pub fn zero_grad(&mut self) {
+        self.mr.zero_grad();
+        self.mt.zero_grad();
+    }
+
+    /// Total trainable parameters across both branches.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.numel());
+        count
+    }
+}
+
+fn accumulate(slot: &mut Option<Tensor>, grad: Tensor) -> Result<()> {
+    match slot {
+        Some(existing) => {
+            ops::add_assign(existing, &grad)?;
+        }
+        None => *slot = Some(grad),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbnet_models::{resnet, vgg, ChainNet};
+    use tbnet_nn::loss::softmax_cross_entropy;
+    use tbnet_tensor::init;
+
+    fn tiny_victim(rng: &mut StdRng) -> ChainNet {
+        let spec = vgg::vgg_from_stages("v", &[(4, 1), (6, 1)], 3, 2, (8, 8));
+        ChainNet::from_spec(&spec, rng).unwrap()
+    }
+
+    #[test]
+    fn construction_clones_victim_into_mr() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let victim = tiny_victim(&mut rng);
+        let tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        assert_eq!(tb.unit_count(), 2);
+        assert!(!tb.is_finalized());
+        // M_R weights equal the victim's.
+        assert_eq!(
+            tb.mr().units()[0].conv().weight().value.as_slice(),
+            victim.units()[0].conv().weight().value.as_slice()
+        );
+        // M_T weights are fresh (different from the victim's).
+        assert_ne!(
+            tb.mt().units()[0].conv().weight().value.as_slice(),
+            victim.units()[0].conv().weight().value.as_slice()
+        );
+    }
+
+    #[test]
+    fn resnet_mr_loses_skips_mt_keeps_them() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = resnet::resnet20_tiny(4, 3, (16, 16));
+        let victim = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        assert!(tb.mr().units().iter().all(|u| u.spec().skip_from.is_none()));
+        assert!(tb.mt().units().iter().any(|u| u.spec().skip_from.is_some()));
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let victim = tiny_victim(&mut rng);
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let x = init::randn(&[3, 2, 8, 8], 1.0, &mut rng);
+        let logits = tb.predict(&x).unwrap();
+        assert_eq!(logits.dims(), &[3, 3]);
+        assert!(logits.all_finite());
+    }
+
+    #[test]
+    fn backward_gradients_match_numerical() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let victim = tiny_victim(&mut rng);
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let x = init::randn(&[2, 2, 8, 8], 1.0, &mut rng);
+        let targets = [0usize, 2];
+
+        tb.zero_grad();
+        let logits = tb.forward(&x, Mode::Train).unwrap();
+        let out = softmax_cross_entropy(&logits, &targets).unwrap();
+        tb.backward(&out.grad).unwrap();
+
+        let eps = 1e-2f32;
+        // Check one M_T conv weight and one M_R conv weight.
+        let loss_with = |tb: &mut TwoBranchModel, x: &Tensor| {
+            let logits = tb.forward(x, Mode::Train).unwrap();
+            softmax_cross_entropy(&logits, &targets).unwrap().loss
+        };
+        for branch in ["mt", "mr"] {
+            for &idx in &[0usize, 7] {
+                let ana = {
+                    let net = if branch == "mt" { tb.mt() } else { tb.mr() };
+                    net.units()[0].conv().weight().grad.as_slice()[idx]
+                };
+                let mut plus = tb.clone();
+                {
+                    let net = if branch == "mt" { plus.mt_mut() } else { plus.mr_mut() };
+                    net.units_mut()[0].conv_mut().weight_mut().value.as_mut_slice()[idx] += eps;
+                }
+                let mut minus = tb.clone();
+                {
+                    let net = if branch == "mt" { minus.mt_mut() } else { minus.mr_mut() };
+                    net.units_mut()[0].conv_mut().weight_mut().value.as_mut_slice()[idx] -= eps;
+                }
+                let num = (loss_with(&mut plus, &x) - loss_with(&mut minus, &x)) / (2.0 * eps);
+                assert!(
+                    (num - ana).abs() < 0.02 + 0.05 * ana.abs().max(num.abs()),
+                    "{branch} weight[{idx}]: num {num} vs ana {ana}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mr_gradients_flow_through_merge() {
+        // After one forward/backward, M_R conv weights must receive non-zero
+        // gradient even though the loss reads M_T's head.
+        let mut rng = StdRng::seed_from_u64(4);
+        let victim = tiny_victim(&mut rng);
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let x = init::randn(&[4, 2, 8, 8], 1.0, &mut rng);
+        tb.zero_grad();
+        let logits = tb.forward(&x, Mode::Train).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 0]).unwrap();
+        tb.backward(&out.grad).unwrap();
+        let g = tb.mr().units()[0].conv().weight().grad.l1_norm();
+        assert!(g > 0.0, "M_R received no gradient");
+        // The victim classifier inside M_R must receive no gradient: it is
+        // outside the TBNet graph.
+        assert_eq!(tb.mr().head().linear().weight().grad.l1_norm(), 0.0);
+    }
+
+    #[test]
+    fn extracted_branch_is_detached_copy() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let victim = tiny_victim(&mut rng);
+        let tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let mut stolen = tb.extract_unsecured_branch();
+        stolen.units_mut()[0]
+            .conv_mut()
+            .weight_mut()
+            .value
+            .fill(0.0);
+        // Original unaffected.
+        assert!(tb.mr().units()[0].conv().weight().value.l1_norm() > 0.0);
+    }
+
+    #[test]
+    fn rollback_finalization_sets_alignment() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let victim = tiny_victim(&mut rng);
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        // Simulate one pruning iteration on M_T only via the books: M_T keeps
+        // channels {0,2,3} of unit 0 while the rolled-back M_R keeps all 4.
+        let prev_mr = tb.mr().clone();
+        let prev_book = tb.mr_book().clone();
+        tb.mt_book_mut()
+            .apply_mask(0, &[true, false, true, true])
+            .unwrap();
+        // (The actual weight slicing is pruning's job; alignment math only
+        // needs the books and unit counts.)
+        tb.finalize_with_rollback(prev_mr, prev_book).unwrap();
+        assert!(tb.is_finalized());
+        assert_eq!(tb.align()[0].as_ref().unwrap(), &vec![0, 2, 3]);
+        assert!(tb.align()[1].is_none()); // unchanged unit stays identity
+    }
+
+    #[test]
+    fn rollback_rejects_non_subset_books() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let victim = tiny_victim(&mut rng);
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let prev_mr = tb.mr().clone();
+        let mut prev_book = tb.mr_book().clone();
+        // M_R book lost channel 0, M_T book still has it.
+        prev_book.apply_mask(0, &[false, true, true, true]).unwrap();
+        assert!(tb.finalize_with_rollback(prev_mr, prev_book).is_err());
+    }
+
+    #[test]
+    fn param_visitation_covers_both_branches() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let victim = tiny_victim(&mut rng);
+        let victim_params = {
+            let mut v = victim.clone();
+            v.param_count()
+        };
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        assert_eq!(tb.param_count(), 2 * victim_params);
+    }
+}

@@ -1,0 +1,173 @@
+//! Training-time image augmentation (random horizontal flips and
+//! translations — the standard CIFAR recipe).
+//!
+//! Augmentation is opt-in: the calibrated experiment harness trains without
+//! it so the recorded numbers stay reproducible, but downstream users
+//! squeezing accuracy out of small synthetic datasets can enable it via
+//! [`ImageDataset::minibatches_augmented`](crate::ImageDataset::minibatches_augmented).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::Batch;
+
+/// Augmentation policy applied independently to every sample of a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Augment {
+    /// Flip images left-right with probability ½.
+    pub flip_horizontal: bool,
+    /// Translate by up to ± this many pixels in each direction (edge pixels
+    /// are replicated).
+    pub max_shift: usize,
+}
+
+impl Augment {
+    /// The standard CIFAR policy: horizontal flips and ±2-pixel shifts.
+    pub fn standard() -> Self {
+        Augment {
+            flip_horizontal: true,
+            max_shift: 2,
+        }
+    }
+
+    /// No-op policy.
+    pub fn none() -> Self {
+        Augment {
+            flip_horizontal: false,
+            max_shift: 0,
+        }
+    }
+
+    /// Applies the policy to every image in the batch, in place.
+    pub fn apply<R: Rng + ?Sized>(&self, batch: &mut Batch, rng: &mut R) {
+        let dims = batch.images.dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let sample = c * plane;
+        let data = batch.images.as_mut_slice();
+        for ni in 0..n {
+            let img = &mut data[ni * sample..(ni + 1) * sample];
+            if self.flip_horizontal && rng.gen_bool(0.5) {
+                for ci in 0..c {
+                    for y in 0..h {
+                        let row = &mut img[ci * plane + y * w..ci * plane + (y + 1) * w];
+                        row.reverse();
+                    }
+                }
+            }
+            if self.max_shift > 0 {
+                let s = self.max_shift as isize;
+                let dy = rng.gen_range(-s..=s);
+                let dx = rng.gen_range(-s..=s);
+                if dy != 0 || dx != 0 {
+                    let src: Vec<f32> = img.to_vec();
+                    for ci in 0..c {
+                        for y in 0..h {
+                            let sy = (y as isize + dy).clamp(0, h as isize - 1) as usize;
+                            for x in 0..w {
+                                let sx = (x as isize + dx).clamp(0, w as isize - 1) as usize;
+                                img[ci * plane + y * w + x] = src[ci * plane + sy * w + sx];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Default for Augment {
+    fn default() -> Self {
+        Augment::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ImageDataset;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbnet_tensor::Tensor;
+
+    fn batch_of(n: usize) -> Batch {
+        let data: Vec<f32> = (0..n * 3 * 4 * 4).map(|x| x as f32).collect();
+        Batch {
+            images: Tensor::from_vec(data, &[n, 3, 4, 4]).unwrap(),
+            labels: vec![0; n],
+        }
+    }
+
+    #[test]
+    fn none_policy_is_identity() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut b = batch_of(2);
+        let before = b.images.clone();
+        Augment::none().apply(&mut b, &mut rng);
+        assert_eq!(b.images.as_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn flip_preserves_pixel_multiset_per_row() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut b = batch_of(8);
+        let before = b.images.clone();
+        Augment {
+            flip_horizontal: true,
+            max_shift: 0,
+        }
+        .apply(&mut b, &mut rng);
+        // Every row is either identical or reversed.
+        let w = 4;
+        for (orig_row, new_row) in before
+            .as_slice()
+            .chunks(w)
+            .zip(b.images.as_slice().chunks(w))
+        {
+            let mut rev = orig_row.to_vec();
+            rev.reverse();
+            assert!(new_row == orig_row || new_row == rev.as_slice());
+        }
+    }
+
+    #[test]
+    fn shift_keeps_shape_and_finiteness() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut b = batch_of(4);
+        Augment {
+            flip_horizontal: false,
+            max_shift: 2,
+        }
+        .apply(&mut b, &mut rng);
+        assert_eq!(b.images.dims(), &[4, 3, 4, 4]);
+        assert!(b.images.all_finite());
+    }
+
+    #[test]
+    fn labels_untouched() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut b = batch_of(3);
+        b.labels = vec![2, 0, 1];
+        Augment::standard().apply(&mut b, &mut rng);
+        assert_eq!(b.labels, vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = batch_of(4);
+        let mut b = batch_of(4);
+        Augment::standard().apply(&mut a, &mut StdRng::seed_from_u64(7));
+        Augment::standard().apply(&mut b, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.images.as_slice(), b.images.as_slice());
+    }
+
+    #[test]
+    fn augmented_minibatches_cover_dataset() {
+        let images = Tensor::zeros(&[10, 3, 4, 4]);
+        let ds = ImageDataset::new(images, (0..10).map(|i| i % 2).collect(), 2).unwrap();
+        let mut rng = StdRng::seed_from_u64(4);
+        let batches = ds.minibatches_augmented(4, &Augment::standard(), &mut rng);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 10);
+    }
+}

@@ -1,0 +1,303 @@
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use tbnet_tensor::{Tensor, TensorError};
+
+/// A minibatch: images `[B, C, H, W]` plus integer labels.
+#[derive(Debug, Clone)]
+pub struct Batch {
+    /// Image tensor `[B, C, H, W]`.
+    pub images: Tensor,
+    /// One label per image.
+    pub labels: Vec<usize>,
+}
+
+impl Batch {
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+}
+
+/// An in-memory labelled image dataset with `[N, C, H, W]` storage.
+///
+/// Provides the three access patterns the experiments need: full-tensor
+/// evaluation, shuffled minibatch iteration, and stratified fractional
+/// subsets (the attacker's "x% of the training data" in Fig. 2 of the paper).
+#[derive(Debug, Clone)]
+pub struct ImageDataset {
+    images: Tensor,
+    labels: Vec<usize>,
+    classes: usize,
+}
+
+impl ImageDataset {
+    /// Wraps image storage and labels into a dataset.
+    ///
+    /// # Errors
+    ///
+    /// Returns a tensor error when `images` is not 4-D, the label count does
+    /// not match the batch dimension, or a label is `>= classes`.
+    pub fn new(images: Tensor, labels: Vec<usize>, classes: usize) -> Result<Self, TensorError> {
+        if images.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: images.rank(),
+                op: "ImageDataset::new",
+            });
+        }
+        if images.dim(0) != labels.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: images.dim(0),
+                got: labels.len(),
+                op: "ImageDataset::new",
+            });
+        }
+        if let Some(&bad) = labels.iter().find(|&&l| l >= classes) {
+            return Err(TensorError::InvalidGeometry {
+                reason: format!("label {bad} out of range for {classes} classes"),
+            });
+        }
+        Ok(ImageDataset {
+            images,
+            labels,
+            classes,
+        })
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// `true` when the dataset has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Image channel count.
+    pub fn channels(&self) -> usize {
+        self.images.dim(1)
+    }
+
+    /// Image height.
+    pub fn height(&self) -> usize {
+        self.images.dim(2)
+    }
+
+    /// Image width.
+    pub fn width(&self) -> usize {
+        self.images.dim(3)
+    }
+
+    /// The full image tensor `[N, C, H, W]`.
+    pub fn images(&self) -> &Tensor {
+        &self.images
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[usize] {
+        &self.labels
+    }
+
+    /// Copies the samples at `indices` into a [`Batch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range (indices are produced internally).
+    pub fn gather(&self, indices: &[usize]) -> Batch {
+        let (c, h, w) = (self.channels(), self.height(), self.width());
+        let sample = c * h * w;
+        let mut data = Vec::with_capacity(indices.len() * sample);
+        let src = self.images.as_slice();
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(&src[i * sample..(i + 1) * sample]);
+            labels.push(self.labels[i]);
+        }
+        let images = Tensor::from_vec(data, &[indices.len(), c, h, w])
+            .expect("gather: internally consistent shape");
+        Batch { images, labels }
+    }
+
+    /// Shuffled minibatches covering the dataset once (the final batch may be
+    /// smaller).
+    pub fn minibatches<R: Rng + ?Sized>(&self, batch_size: usize, rng: &mut R) -> Vec<Batch> {
+        let batch_size = batch_size.max(1);
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        order
+            .chunks(batch_size)
+            .map(|chunk| self.gather(chunk))
+            .collect()
+    }
+
+    /// Shuffled minibatches with a training-time augmentation policy applied
+    /// to every batch (see [`crate::Augment`]).
+    pub fn minibatches_augmented<R: Rng + ?Sized>(
+        &self,
+        batch_size: usize,
+        augment: &crate::Augment,
+        rng: &mut R,
+    ) -> Vec<Batch> {
+        let mut batches = self.minibatches(batch_size, rng);
+        for b in &mut batches {
+            augment.apply(b, rng);
+        }
+        batches
+    }
+
+    /// The whole dataset as one batch (for evaluation).
+    pub fn as_batch(&self) -> Batch {
+        Batch {
+            images: self.images.clone(),
+            labels: self.labels.clone(),
+        }
+    }
+
+    /// A stratified random subset containing `fraction` of each class
+    /// (rounded up so tiny fractions keep at least one sample per class).
+    ///
+    /// This models the attacker's partial training data in the fine-tuning
+    /// experiment (paper Fig. 2).
+    pub fn stratified_fraction<R: Rng + ?Sized>(&self, fraction: f64, rng: &mut R) -> ImageDataset {
+        let fraction = fraction.clamp(0.0, 1.0);
+        let mut per_class: Vec<Vec<usize>> = vec![Vec::new(); self.classes];
+        for (i, &l) in self.labels.iter().enumerate() {
+            per_class[l].push(i);
+        }
+        let mut keep = Vec::new();
+        for idxs in per_class.iter_mut() {
+            if idxs.is_empty() {
+                continue;
+            }
+            idxs.shuffle(rng);
+            let take = if fraction == 0.0 {
+                0
+            } else {
+                ((idxs.len() as f64 * fraction).ceil() as usize).max(1)
+            };
+            keep.extend_from_slice(&idxs[..take.min(idxs.len())]);
+        }
+        keep.sort_unstable();
+        let batch = self.gather(&keep);
+        ImageDataset {
+            images: batch.images,
+            labels: batch.labels,
+            classes: self.classes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn toy(n_per_class: usize, classes: usize) -> ImageDataset {
+        let n = n_per_class * classes;
+        let mut data = vec![0.0f32; n * 3 * 2 * 2];
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let label = i % classes;
+            labels.push(label);
+            data[i * 12] = label as f32; // encode the label in pixel 0
+        }
+        ImageDataset::new(
+            Tensor::from_vec(data, &[n, 3, 2, 2]).unwrap(),
+            labels,
+            classes,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let imgs = Tensor::zeros(&[4, 3, 2, 2]);
+        assert!(ImageDataset::new(imgs.clone(), vec![0, 1, 2], 3).is_err());
+        assert!(ImageDataset::new(imgs.clone(), vec![0, 1, 2, 5], 3).is_err());
+        assert!(ImageDataset::new(Tensor::zeros(&[4, 12]), vec![0; 4], 3).is_err());
+        assert!(ImageDataset::new(imgs, vec![0, 1, 2, 2], 3).is_ok());
+    }
+
+    #[test]
+    fn accessors() {
+        let ds = toy(5, 4);
+        assert_eq!(ds.len(), 20);
+        assert_eq!(ds.classes(), 4);
+        assert_eq!(ds.channels(), 3);
+        assert_eq!(ds.height(), 2);
+        assert_eq!(ds.width(), 2);
+        assert!(!ds.is_empty());
+    }
+
+    #[test]
+    fn gather_preserves_pairing() {
+        let ds = toy(3, 3);
+        let batch = ds.gather(&[2, 5, 8]);
+        assert_eq!(batch.len(), 3);
+        for (i, &l) in batch.labels.iter().enumerate() {
+            // Pixel 0 encodes the label.
+            assert_eq!(batch.images.as_slice()[i * 12] as usize, l);
+        }
+    }
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let ds = toy(4, 5);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = ds.minibatches(7, &mut rng);
+        let total: usize = batches.iter().map(Batch::len).sum();
+        assert_eq!(total, 20);
+        assert_eq!(batches.len(), 3); // 7 + 7 + 6
+        // Labels stay consistent with pixel encoding after shuffling.
+        for b in &batches {
+            for (i, &l) in b.labels.iter().enumerate() {
+                assert_eq!(b.images.as_slice()[i * 12] as usize, l);
+            }
+        }
+    }
+
+    #[test]
+    fn stratified_fraction_is_balanced() {
+        let ds = toy(10, 4);
+        let mut rng = StdRng::seed_from_u64(1);
+        let half = ds.stratified_fraction(0.5, &mut rng);
+        assert_eq!(half.len(), 20);
+        for c in 0..4 {
+            let count = half.labels().iter().filter(|&&l| l == c).count();
+            assert_eq!(count, 5, "class {c}");
+        }
+    }
+
+    #[test]
+    fn tiny_fraction_keeps_one_per_class() {
+        let ds = toy(100, 3);
+        let mut rng = StdRng::seed_from_u64(2);
+        let tiny = ds.stratified_fraction(0.001, &mut rng);
+        assert_eq!(tiny.len(), 3);
+        let zero = ds.stratified_fraction(0.0, &mut rng);
+        assert!(zero.is_empty());
+        let all = ds.stratified_fraction(1.0, &mut rng);
+        assert_eq!(all.len(), 300);
+    }
+
+    #[test]
+    fn as_batch_is_whole_dataset() {
+        let ds = toy(2, 2);
+        let b = ds.as_batch();
+        assert_eq!(b.len(), ds.len());
+        assert!(!b.is_empty());
+    }
+}

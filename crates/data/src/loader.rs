@@ -1,0 +1,76 @@
+//! Epoch planning helpers.
+
+use serde::{Deserialize, Serialize};
+
+/// A derived description of how a dataset splits into minibatches — used by
+/// the training loops for progress accounting and by tests to validate
+/// coverage without materializing batches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchPlan {
+    /// Number of samples in the dataset.
+    pub samples: usize,
+    /// Configured batch size.
+    pub batch_size: usize,
+}
+
+impl BatchPlan {
+    /// Creates a plan; a zero batch size is promoted to 1.
+    pub fn new(samples: usize, batch_size: usize) -> Self {
+        BatchPlan {
+            samples,
+            batch_size: batch_size.max(1),
+        }
+    }
+
+    /// Number of batches per epoch (ceiling division).
+    pub fn batches_per_epoch(&self) -> usize {
+        self.samples.div_ceil(self.batch_size)
+    }
+
+    /// Size of the final (possibly ragged) batch.
+    pub fn last_batch_size(&self) -> usize {
+        if self.samples == 0 {
+            0
+        } else {
+            let rem = self.samples % self.batch_size;
+            if rem == 0 {
+                self.batch_size
+            } else {
+                rem
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_division() {
+        let p = BatchPlan::new(100, 25);
+        assert_eq!(p.batches_per_epoch(), 4);
+        assert_eq!(p.last_batch_size(), 25);
+    }
+
+    #[test]
+    fn ragged_final_batch() {
+        let p = BatchPlan::new(103, 25);
+        assert_eq!(p.batches_per_epoch(), 5);
+        assert_eq!(p.last_batch_size(), 3);
+    }
+
+    #[test]
+    fn zero_batch_size_promoted() {
+        let p = BatchPlan::new(10, 0);
+        assert_eq!(p.batch_size, 1);
+        assert_eq!(p.batches_per_epoch(), 10);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let p = BatchPlan::new(0, 32);
+        assert_eq!(p.batches_per_epoch(), 0);
+        assert_eq!(p.last_batch_size(), 0);
+    }
+}

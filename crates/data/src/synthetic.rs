@@ -1,0 +1,394 @@
+//! Procedural CIFAR-like dataset generation.
+//!
+//! Each class is defined by a smooth random *prototype* image (a coarse random
+//! grid, bilinearly upsampled). Samples are drawn by translating the
+//! prototype, adding a per-sample low-frequency jitter pattern and Gaussian
+//! pixel noise. Class separability therefore lives in spatial structure — the
+//! thing convolutions detect — rather than in trivially separable statistics,
+//! and accuracy degrades smoothly with less capacity or data.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use tbnet_tensor::Tensor;
+
+use crate::ImageDataset;
+
+/// Which paper dataset a synthetic dataset stands in for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Stand-in for CIFAR-10: 10 classes, many samples per class, moderate
+    /// noise.
+    Cifar10Like,
+    /// Stand-in for CIFAR-100: 100 classes, few samples per class, higher
+    /// noise — the harder regime the paper's CIFAR-100 rows reflect.
+    Cifar100Like,
+}
+
+impl DatasetKind {
+    /// The default generation config for this dataset kind.
+    pub fn config(self) -> SyntheticConfig {
+        match self {
+            DatasetKind::Cifar10Like => SyntheticConfig {
+                kind: self,
+                classes: 10,
+                train_per_class: 100,
+                test_per_class: 30,
+                channels: 3,
+                height: 16,
+                width: 16,
+                grid: 4,
+                noise_std: 1.6,
+                jitter: 0.25,
+                max_shift: 2,
+                seed: 42,
+            },
+            DatasetKind::Cifar100Like => SyntheticConfig {
+                kind: self,
+                classes: 100,
+                train_per_class: 20,
+                test_per_class: 5,
+                channels: 3,
+                height: 16,
+                width: 16,
+                grid: 4,
+                noise_std: 1.7,
+                jitter: 0.35,
+                max_shift: 2,
+                seed: 43,
+            },
+        }
+    }
+
+    /// Short display name used in experiment tables (mirrors the paper rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            DatasetKind::Cifar10Like => "CIFAR10*",
+            DatasetKind::Cifar100Like => "CIFAR100*",
+        }
+    }
+}
+
+/// Configuration of the synthetic generator. Construct via
+/// [`DatasetKind::config`] and refine with the `with_*` builder methods.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticConfig {
+    /// Which dataset this config emulates.
+    pub kind: DatasetKind,
+    /// Number of classes.
+    pub classes: usize,
+    /// Training samples generated per class.
+    pub train_per_class: usize,
+    /// Test samples generated per class.
+    pub test_per_class: usize,
+    /// Image channels.
+    pub channels: usize,
+    /// Image height in pixels.
+    pub height: usize,
+    /// Image width in pixels.
+    pub width: usize,
+    /// Coarse prototype grid size (upsampled to `height × width`).
+    pub grid: usize,
+    /// Standard deviation of per-pixel Gaussian noise.
+    pub noise_std: f32,
+    /// Amplitude of the per-sample low-frequency jitter pattern.
+    pub jitter: f32,
+    /// Maximum translation (pixels) applied per sample.
+    pub max_shift: usize,
+    /// RNG seed; the whole dataset is deterministic given the config.
+    pub seed: u64,
+}
+
+impl SyntheticConfig {
+    /// Overrides the training samples per class.
+    pub fn with_train_per_class(mut self, n: usize) -> Self {
+        self.train_per_class = n;
+        self
+    }
+
+    /// Overrides the test samples per class.
+    pub fn with_test_per_class(mut self, n: usize) -> Self {
+        self.test_per_class = n;
+        self
+    }
+
+    /// Overrides the noise standard deviation.
+    pub fn with_noise_std(mut self, std: f32) -> Self {
+        self.noise_std = std;
+        self
+    }
+
+    /// Overrides the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Overrides the class count (prototypes are regenerated accordingly).
+    pub fn with_classes(mut self, classes: usize) -> Self {
+        self.classes = classes;
+        self
+    }
+
+    /// Overrides image height and width.
+    pub fn with_size(mut self, height: usize, width: usize) -> Self {
+        self.height = height;
+        self.width = width;
+        self
+    }
+}
+
+/// A generated train/test pair standing in for CIFAR-10 or CIFAR-100.
+#[derive(Debug, Clone)]
+pub struct SyntheticCifar {
+    train: ImageDataset,
+    test: ImageDataset,
+    config: SyntheticConfig,
+}
+
+impl SyntheticCifar {
+    /// Generates the dataset described by `config`, deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config describes a degenerate geometry (zero classes,
+    /// zero-sized images, or a prototype grid larger than the image).
+    pub fn generate(config: SyntheticConfig) -> Self {
+        assert!(config.classes > 0, "need at least one class");
+        assert!(
+            config.height >= config.grid && config.width >= config.grid && config.grid > 0,
+            "prototype grid must fit in the image"
+        );
+        assert!(config.channels > 0 && config.height > 0 && config.width > 0);
+        let mut rng = StdRng::seed_from_u64(config.seed);
+
+        // One smooth prototype per class.
+        let prototypes: Vec<Vec<f32>> = (0..config.classes)
+            .map(|_| smooth_pattern(&config, 1.0, &mut rng))
+            .collect();
+
+        let train = Self::sample_split(&config, &prototypes, config.train_per_class, &mut rng);
+        let test = Self::sample_split(&config, &prototypes, config.test_per_class, &mut rng);
+        SyntheticCifar {
+            train,
+            test,
+            config,
+        }
+    }
+
+    fn sample_split(
+        config: &SyntheticConfig,
+        prototypes: &[Vec<f32>],
+        per_class: usize,
+        rng: &mut StdRng,
+    ) -> ImageDataset {
+        let (c, h, w) = (config.channels, config.height, config.width);
+        let sample = c * h * w;
+        let n = per_class * config.classes;
+        let mut data = Vec::with_capacity(n * sample);
+        let mut labels = Vec::with_capacity(n);
+        for (class, proto) in prototypes.iter().enumerate() {
+            for _ in 0..per_class {
+                let dy = rng.gen_range(-(config.max_shift as isize)..=config.max_shift as isize);
+                let dx = rng.gen_range(-(config.max_shift as isize)..=config.max_shift as isize);
+                let jitter = smooth_pattern(config, config.jitter, rng);
+                for ci in 0..c {
+                    for yi in 0..h {
+                        for xi in 0..w {
+                            let sy = clamp_shift(yi as isize + dy, h);
+                            let sx = clamp_shift(xi as isize + dx, w);
+                            let base = proto[(ci * h + sy) * w + sx];
+                            let j = jitter[(ci * h + yi) * w + xi];
+                            let noise = gaussian(rng) * config.noise_std;
+                            data.push(base + j + noise);
+                        }
+                    }
+                }
+                labels.push(class);
+            }
+        }
+        let images = Tensor::from_vec(data, &[n, c, h, w])
+            .expect("sample_split: internally consistent shape");
+        ImageDataset::new(images, labels, config.classes)
+            .expect("sample_split: labels in range by construction")
+    }
+
+    /// The training split.
+    pub fn train(&self) -> &ImageDataset {
+        &self.train
+    }
+
+    /// The held-out test split.
+    pub fn test(&self) -> &ImageDataset {
+        &self.test
+    }
+
+    /// The generating configuration.
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+}
+
+/// A smooth random `[C, H, W]` pattern: coarse `grid × grid` values in
+/// `[-amp, amp]`, bilinearly upsampled.
+fn smooth_pattern(config: &SyntheticConfig, amp: f32, rng: &mut StdRng) -> Vec<f32> {
+    let (c, h, w, g) = (config.channels, config.height, config.width, config.grid);
+    let mut coarse = vec![0.0f32; c * g * g];
+    for x in coarse.iter_mut() {
+        *x = rng.gen_range(-amp..amp);
+    }
+    let mut out = vec![0.0f32; c * h * w];
+    for ci in 0..c {
+        for yi in 0..h {
+            // Map pixel centre into the coarse grid.
+            let fy = (yi as f32 + 0.5) / h as f32 * g as f32 - 0.5;
+            let y0 = fy.floor().clamp(0.0, (g - 1) as f32) as usize;
+            let y1 = (y0 + 1).min(g - 1);
+            let ty = (fy - y0 as f32).clamp(0.0, 1.0);
+            for xi in 0..w {
+                let fx = (xi as f32 + 0.5) / w as f32 * g as f32 - 0.5;
+                let x0 = fx.floor().clamp(0.0, (g - 1) as f32) as usize;
+                let x1 = (x0 + 1).min(g - 1);
+                let tx = (fx - x0 as f32).clamp(0.0, 1.0);
+                let v00 = coarse[(ci * g + y0) * g + x0];
+                let v01 = coarse[(ci * g + y0) * g + x1];
+                let v10 = coarse[(ci * g + y1) * g + x0];
+                let v11 = coarse[(ci * g + y1) * g + x1];
+                let top = v00 * (1.0 - tx) + v01 * tx;
+                let bot = v10 * (1.0 - tx) + v11 * tx;
+                out[(ci * h + yi) * w + xi] = top * (1.0 - ty) + bot * ty;
+            }
+        }
+    }
+    out
+}
+
+fn clamp_shift(i: isize, len: usize) -> usize {
+    i.clamp(0, len as isize - 1) as usize
+}
+
+fn gaussian(rng: &mut StdRng) -> f32 {
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg() -> SyntheticConfig {
+        DatasetKind::Cifar10Like
+            .config()
+            .with_train_per_class(6)
+            .with_test_per_class(3)
+    }
+
+    #[test]
+    fn shapes_and_counts() {
+        let d = SyntheticCifar::generate(small_cfg());
+        assert_eq!(d.train().len(), 60);
+        assert_eq!(d.test().len(), 30);
+        assert_eq!(d.train().channels(), 3);
+        assert_eq!(d.train().height(), 16);
+        assert_eq!(d.train().classes(), 10);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyntheticCifar::generate(small_cfg());
+        let b = SyntheticCifar::generate(small_cfg());
+        assert_eq!(a.train().images().as_slice(), b.train().images().as_slice());
+        let c = SyntheticCifar::generate(small_cfg().with_seed(99));
+        assert_ne!(a.train().images().as_slice(), c.train().images().as_slice());
+    }
+
+    #[test]
+    fn labels_are_balanced() {
+        let d = SyntheticCifar::generate(small_cfg());
+        for class in 0..10 {
+            let n = d.train().labels().iter().filter(|&&l| l == class).count();
+            assert_eq!(n, 6);
+        }
+    }
+
+    #[test]
+    fn images_are_finite() {
+        let d = SyntheticCifar::generate(small_cfg());
+        assert!(d.train().images().all_finite());
+        assert!(d.test().images().all_finite());
+    }
+
+    #[test]
+    fn same_class_is_more_similar_than_cross_class() {
+        // Prototype structure must dominate noise on average: mean intra-class
+        // distance < mean inter-class distance.
+        let d = SyntheticCifar::generate(small_cfg().with_noise_std(0.3));
+        let imgs = d.train().images().as_slice();
+        let labels = d.train().labels();
+        let sample = 3 * 16 * 16;
+        let dist = |a: usize, b: usize| -> f32 {
+            imgs[a * sample..(a + 1) * sample]
+                .iter()
+                .zip(&imgs[b * sample..(b + 1) * sample])
+                .map(|(x, y)| (x - y).powi(2))
+                .sum()
+        };
+        let mut intra = (0.0f64, 0u32);
+        let mut inter = (0.0f64, 0u32);
+        for i in 0..d.train().len() {
+            for j in (i + 1)..d.train().len() {
+                let dd = dist(i, j) as f64;
+                if labels[i] == labels[j] {
+                    intra.0 += dd;
+                    intra.1 += 1;
+                } else {
+                    inter.0 += dd;
+                    inter.1 += 1;
+                }
+            }
+        }
+        let intra_mean = intra.0 / intra.1 as f64;
+        let inter_mean = inter.0 / inter.1 as f64;
+        assert!(
+            intra_mean < inter_mean,
+            "intra {intra_mean} must be < inter {inter_mean}"
+        );
+    }
+
+    #[test]
+    fn cifar100_regime_is_harder() {
+        let c10 = DatasetKind::Cifar10Like.config();
+        let c100 = DatasetKind::Cifar100Like.config();
+        assert!(c100.classes > c10.classes);
+        assert!(c100.train_per_class < c10.train_per_class);
+        assert!(c100.noise_std > c10.noise_std);
+        assert_eq!(DatasetKind::Cifar10Like.label(), "CIFAR10*");
+        assert_eq!(DatasetKind::Cifar100Like.label(), "CIFAR100*");
+    }
+
+    #[test]
+    fn builder_methods_apply() {
+        let cfg = DatasetKind::Cifar10Like
+            .config()
+            .with_classes(7)
+            .with_size(8, 12)
+            .with_noise_std(0.1)
+            .with_seed(5)
+            .with_train_per_class(2)
+            .with_test_per_class(1);
+        let d = SyntheticCifar::generate(cfg);
+        assert_eq!(d.train().classes(), 7);
+        assert_eq!(d.train().height(), 8);
+        assert_eq!(d.train().width(), 12);
+        assert_eq!(d.train().len(), 14);
+        assert_eq!(d.test().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn zero_classes_panics() {
+        SyntheticCifar::generate(DatasetKind::Cifar10Like.config().with_classes(0));
+    }
+}

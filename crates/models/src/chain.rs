@@ -1,0 +1,659 @@
+//! Executable chain networks built from [`ModelSpec`]s.
+//!
+//! A [`ChainNet`] is a sequence of [`Unit`]s (conv → BN → ReLU, optional
+//! max-pool, optional residual input) plus a classifier [`Head`]. Units are
+//! public and individually drivable — `tbnet-core` runs the two branches of
+//! the TBNet substitution model unit-by-unit and injects the REE→TEE merge
+//! between units, something a closed `Sequential` could not express.
+
+use rand::Rng;
+
+use tbnet_nn::{
+    BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Mode, Param, Relu,
+};
+use tbnet_tensor::{ops, Tensor};
+
+use crate::{HeadSpec, ModelError, ModelSpec, Result, UnitSpec};
+
+/// Gradients flowing out of a [`Unit`] backward pass.
+#[derive(Debug, Clone)]
+pub struct UnitGrads {
+    /// Gradient w.r.t. the unit's main input.
+    pub grad_input: Tensor,
+    /// Gradient w.r.t. the residual skip input (present when the forward pass
+    /// received one).
+    pub grad_skip: Option<Tensor>,
+}
+
+/// One conv → batch-norm → ReLU unit with optional max pooling and an
+/// optional residual input added to the pre-activation.
+#[derive(Debug, Clone)]
+pub struct Unit {
+    spec: UnitSpec,
+    conv: Conv2d,
+    bn: BatchNorm2d,
+    relu: Relu,
+    pool: Option<MaxPool2d>,
+    had_skip: bool,
+}
+
+impl Unit {
+    /// Builds a unit with freshly initialized weights.
+    pub fn new<R: Rng + ?Sized>(in_channels: usize, spec: UnitSpec, rng: &mut R) -> Self {
+        let conv = Conv2d::new(
+            in_channels,
+            spec.out_channels,
+            spec.kernel,
+            spec.stride,
+            spec.pad,
+            rng,
+        );
+        let bn = BatchNorm2d::new(spec.out_channels);
+        let pool = spec.pool_after.map(MaxPool2d::new);
+        Unit {
+            spec,
+            conv,
+            bn,
+            relu: Relu::new(),
+            pool,
+            had_skip: false,
+        }
+    }
+
+    /// The unit's spec (kept in sync with the actual layer shapes).
+    pub fn spec(&self) -> &UnitSpec {
+        &self.spec
+    }
+
+    /// The convolution layer.
+    pub fn conv(&self) -> &Conv2d {
+        &self.conv
+    }
+
+    /// Mutable convolution access (pruning rewrites weights).
+    pub fn conv_mut(&mut self) -> &mut Conv2d {
+        &mut self.conv
+    }
+
+    /// The batch-norm layer.
+    pub fn bn(&self) -> &BatchNorm2d {
+        &self.bn
+    }
+
+    /// Mutable batch-norm access.
+    pub fn bn_mut(&mut self) -> &mut BatchNorm2d {
+        &mut self.bn
+    }
+
+    /// Output channel count (from the convolution weight, the ground truth).
+    pub fn out_channels(&self) -> usize {
+        self.conv.out_channels()
+    }
+
+    /// Input channel count.
+    pub fn in_channels(&self) -> usize {
+        self.conv.in_channels()
+    }
+
+    /// Updates the stored spec's channel count after pruning rewrote the
+    /// convolution; also updates group/skip metadata when provided.
+    pub fn sync_spec_channels(&mut self) {
+        self.spec.out_channels = self.conv.out_channels();
+    }
+
+    /// Rewrites the skip source recorded in the spec (rollback finalization
+    /// strips skips from `M_R`).
+    pub fn set_skip_from(&mut self, from: Option<usize>) {
+        self.spec.skip_from = from;
+    }
+
+    /// Runs the unit: `pool(relu(bn(conv(x)) + skip))`.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `input` or `skip` disagree with the unit's
+    /// geometry.
+    pub fn forward(&mut self, input: &Tensor, skip: Option<&Tensor>, mode: Mode) -> Result<Tensor> {
+        let mut pre = self.bn.forward(&self.conv.forward(input, mode)?, mode)?;
+        if let Some(s) = skip {
+            ops::add_assign(&mut pre, s).map_err(|e| ModelError::SkipShapeMismatch {
+                unit: usize::MAX,
+                from: usize::MAX,
+                reason: e.to_string(),
+            })?;
+        }
+        self.had_skip = skip.is_some();
+        let act = self.relu.forward(&pre, mode)?;
+        let out = match self.pool.as_mut() {
+            Some(p) => p.forward(&act, mode)?,
+            None => act,
+        };
+        Ok(out)
+    }
+
+    /// Backward pass matching the last training-mode [`Unit::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`tbnet_nn::NnError::MissingForwardCache`] (wrapped) when no
+    /// training forward preceded this call.
+    pub fn backward(&mut self, grad_out: &Tensor) -> Result<UnitGrads> {
+        let g = match self.pool.as_mut() {
+            Some(p) => p.backward(grad_out)?,
+            None => grad_out.clone(),
+        };
+        let g_pre = self.relu.backward(&g)?;
+        // The skip input was added directly to the pre-activation, so its
+        // gradient is exactly the pre-activation gradient.
+        let grad_skip = self.had_skip.then(|| g_pre.clone());
+        let g_bn = self.bn.backward(&g_pre)?;
+        let grad_input = self.conv.backward(&g_bn)?;
+        Ok(UnitGrads {
+            grad_input,
+            grad_skip,
+        })
+    }
+
+    /// Visits the unit's trainable parameters (conv weight, BN γ/β).
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.conv.visit_params(f);
+        self.bn.visit_params(f);
+    }
+
+    /// Clears parameter gradients.
+    pub fn zero_grad(&mut self) {
+        self.conv.zero_grad();
+        self.bn.zero_grad();
+    }
+}
+
+/// Classifier head: flatten+linear (VGG) or global-average-pool+linear
+/// (ResNet).
+#[derive(Debug, Clone)]
+pub enum Head {
+    /// Flatten then linear.
+    FlattenLinear {
+        /// The flatten layer.
+        flatten: Flatten,
+        /// The classifier.
+        linear: Linear,
+    },
+    /// Global average pool then linear.
+    GapLinear {
+        /// The pooling layer.
+        gap: GlobalAvgPool,
+        /// The classifier.
+        linear: Linear,
+    },
+}
+
+impl Head {
+    /// Builds a head of the given kind.
+    pub fn new<R: Rng + ?Sized>(
+        kind: HeadSpec,
+        in_features: usize,
+        classes: usize,
+        rng: &mut R,
+    ) -> Self {
+        match kind {
+            HeadSpec::FlattenLinear => Head::FlattenLinear {
+                flatten: Flatten::new(),
+                linear: Linear::new(in_features, classes, rng),
+            },
+            HeadSpec::GapLinear => Head::GapLinear {
+                gap: GlobalAvgPool::new(),
+                linear: Linear::new(in_features, classes, rng),
+            },
+        }
+    }
+
+    /// Which [`HeadSpec`] this head implements.
+    pub fn kind(&self) -> HeadSpec {
+        match self {
+            Head::FlattenLinear { .. } => HeadSpec::FlattenLinear,
+            Head::GapLinear { .. } => HeadSpec::GapLinear,
+        }
+    }
+
+    /// The classifier linear layer.
+    pub fn linear(&self) -> &Linear {
+        match self {
+            Head::FlattenLinear { linear, .. } | Head::GapLinear { linear, .. } => linear,
+        }
+    }
+
+    /// Mutable classifier access (pruning shrinks its input features).
+    pub fn linear_mut(&mut self) -> &mut Linear {
+        match self {
+            Head::FlattenLinear { linear, .. } | Head::GapLinear { linear, .. } => linear,
+        }
+    }
+
+    /// Runs the head on `[N, C, H, W]` features, producing `[N, classes]`
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for inconsistent features.
+    pub fn forward(&mut self, features: &Tensor, mode: Mode) -> Result<Tensor> {
+        Ok(match self {
+            Head::FlattenLinear { flatten, linear } => {
+                linear.forward(&flatten.forward(features, mode)?, mode)?
+            }
+            Head::GapLinear { gap, linear } => {
+                linear.forward(&gap.forward(features, mode)?, mode)?
+            }
+        })
+    }
+
+    /// Backward pass matching the last training-mode forward.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-cache error when no training forward preceded it.
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Result<Tensor> {
+        Ok(match self {
+            Head::FlattenLinear { flatten, linear } => {
+                flatten.backward(&linear.backward(grad_logits)?)?
+            }
+            Head::GapLinear { gap, linear } => gap.backward(&linear.backward(grad_logits)?)?,
+        })
+    }
+
+    /// Visits the head's trainable parameters.
+    pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        self.linear_mut().visit_params(f);
+    }
+}
+
+/// An executable network: a chain of [`Unit`]s and a classifier [`Head`].
+#[derive(Debug, Clone)]
+pub struct ChainNet {
+    name: String,
+    in_channels: usize,
+    input_hw: (usize, usize),
+    classes: usize,
+    head_kind: HeadSpec,
+    units: Vec<Unit>,
+    head: Head,
+}
+
+impl ChainNet {
+    /// Instantiates a network with fresh weights from a spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSpec`] / skip errors for inconsistent
+    /// specs.
+    pub fn from_spec<R: Rng + ?Sized>(spec: &ModelSpec, rng: &mut R) -> Result<Self> {
+        let traces = spec.trace()?;
+        let mut units = Vec::with_capacity(spec.units.len());
+        for (u, t) in spec.units.iter().zip(&traces) {
+            units.push(Unit::new(t.in_channels, u.clone(), rng));
+        }
+        let head = Head::new(spec.head, spec.head_in_features()?, spec.classes, rng);
+        Ok(ChainNet {
+            name: spec.name.clone(),
+            in_channels: spec.in_channels,
+            input_hw: spec.input_hw,
+            classes: spec.classes,
+            head_kind: spec.head,
+            units,
+            head,
+        })
+    }
+
+    /// The network's display name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// The unit chain.
+    pub fn units(&self) -> &[Unit] {
+        &self.units
+    }
+
+    /// Mutable unit access (pruning rewrites weights in place).
+    pub fn units_mut(&mut self) -> &mut [Unit] {
+        &mut self.units
+    }
+
+    /// The classifier head.
+    pub fn head(&self) -> &Head {
+        &self.head
+    }
+
+    /// Mutable head access.
+    pub fn head_mut(&mut self) -> &mut Head {
+        &mut self.head
+    }
+
+    /// Reconstructs the current [`ModelSpec`] from the live layer shapes, so
+    /// a pruned network reports its *actual* architecture.
+    pub fn spec(&self) -> ModelSpec {
+        ModelSpec {
+            name: self.name.clone(),
+            in_channels: self.in_channels,
+            input_hw: self.input_hw,
+            classes: self.classes,
+            units: self
+                .units
+                .iter()
+                .map(|u| {
+                    let mut s = u.spec.clone();
+                    s.out_channels = u.conv.out_channels();
+                    s
+                })
+                .collect(),
+            head: self.head_kind,
+        }
+    }
+
+    /// Total trainable parameter count.
+    pub fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.numel());
+        count
+    }
+}
+
+impl Layer for ChainNet {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> tbnet_nn::Result<Tensor> {
+        self.forward_impl(input, mode)
+            .map_err(model_to_nn_error)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> tbnet_nn::Result<Tensor> {
+        self.backward_impl(grad_out).map_err(model_to_nn_error)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for u in &mut self.units {
+            u.visit_params(f);
+        }
+        self.head.visit_params(f);
+    }
+
+    fn name(&self) -> &'static str {
+        "ChainNet"
+    }
+}
+
+fn model_to_nn_error(e: ModelError) -> tbnet_nn::NnError {
+    match e {
+        ModelError::Nn(e) => e,
+        ModelError::Tensor(e) => tbnet_nn::NnError::Tensor(e),
+        other => tbnet_nn::NnError::Tensor(tbnet_tensor::TensorError::InvalidGeometry {
+            reason: other.to_string(),
+        }),
+    }
+}
+
+impl ChainNet {
+    fn forward_impl(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut outs: Vec<Tensor> = Vec::with_capacity(self.units.len());
+        let mut x = input.clone();
+        for i in 0..self.units.len() {
+            let skip = self.units[i].spec.skip_from.map(|j| outs[j].clone());
+            let y = self.units[i].forward(&x, skip.as_ref(), mode)?;
+            outs.push(y.clone());
+            x = y;
+        }
+        self.head.forward(&x, mode)
+    }
+
+    fn backward_impl(&mut self, grad_logits: &Tensor) -> Result<Tensor> {
+        let n = self.units.len();
+        let g_features = self.head.backward(grad_logits)?;
+        let mut gouts: Vec<Option<Tensor>> = vec![None; n];
+        gouts[n - 1] = Some(g_features);
+        let mut grad_input = None;
+        for i in (0..n).rev() {
+            let g = gouts[i]
+                .take()
+                .expect("every unit output feeds the chain, so a gradient must exist");
+            let ug = self.units[i].backward(&g)?;
+            if let (Some(j), Some(gs)) = (self.units[i].spec.skip_from, ug.grad_skip) {
+                accumulate(&mut gouts[j], gs)?;
+            }
+            if i > 0 {
+                accumulate(&mut gouts[i - 1], ug.grad_input)?;
+            } else {
+                grad_input = Some(ug.grad_input);
+            }
+        }
+        Ok(grad_input.expect("loop visits unit 0"))
+    }
+}
+
+fn accumulate(slot: &mut Option<Tensor>, grad: Tensor) -> Result<()> {
+    match slot {
+        Some(existing) => {
+            ops::add_assign(existing, &grad)?;
+        }
+        None => *slot = Some(grad),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbnet_tensor::init;
+
+    fn vgg_like_spec() -> ModelSpec {
+        ModelSpec {
+            name: "mini".into(),
+            in_channels: 3,
+            input_hw: (8, 8),
+            classes: 4,
+            units: vec![
+                UnitSpec::conv3x3(6, 0).with_pool(2),
+                UnitSpec::conv3x3(8, 1).with_pool(2),
+            ],
+            head: HeadSpec::FlattenLinear,
+        }
+    }
+
+    fn residual_spec() -> ModelSpec {
+        ModelSpec {
+            name: "res-mini".into(),
+            in_channels: 3,
+            input_hw: (8, 8),
+            classes: 4,
+            units: vec![
+                UnitSpec::conv3x3(6, 0),
+                UnitSpec::conv3x3(6, 1),
+                UnitSpec::conv3x3(6, 0).with_skip_from(0),
+            ],
+            head: HeadSpec::GapLinear,
+        }
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = ChainNet::from_spec(&vgg_like_spec(), &mut rng).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 4]);
+        assert_eq!(net.name(), "mini");
+        assert_eq!(net.classes(), 4);
+        assert_eq!(net.units().len(), 2);
+    }
+
+    #[test]
+    fn residual_forward_shapes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = ChainNet::from_spec(&residual_spec(), &mut rng).unwrap();
+        let y = net.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn backward_numerical_check_plain() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = ChainNet::from_spec(&vgg_like_spec(), &mut rng).unwrap();
+        let x = init::randn(&[1, 3, 8, 8], 0.5, &mut rng);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let gx = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        // BatchNorm with batch 1 and spatial stats still works; compare to a
+        // numerical derivative of the summed logits.
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 50, 120] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = net.forward_impl(&xp, Mode::Train).unwrap().sum();
+            let lm = net.forward_impl(&xm, Mode::Train).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gx.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 0.05 + 0.05 * ana.abs().max(num.abs()),
+                "idx {idx}: num {num} vs ana {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn backward_numerical_check_residual() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = ChainNet::from_spec(&residual_spec(), &mut rng).unwrap();
+        let x = init::randn(&[1, 3, 8, 8], 0.5, &mut rng);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let gx = net.backward(&Tensor::ones(y.dims())).unwrap();
+        let eps = 1e-2f32;
+        for &idx in &[3usize, 77, 150] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = net.forward_impl(&xp, Mode::Train).unwrap().sum();
+            let lm = net.forward_impl(&xm, Mode::Train).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gx.as_slice()[idx];
+            assert!(
+                (num - ana).abs() < 0.05 + 0.05 * ana.abs().max(num.abs()),
+                "idx {idx}: num {num} vs ana {ana}"
+            );
+        }
+    }
+
+    #[test]
+    fn spec_roundtrip_reflects_live_shapes() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let spec = vgg_like_spec();
+        let net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let derived = net.spec();
+        assert_eq!(derived.units.len(), spec.units.len());
+        assert_eq!(derived.units[0].out_channels, 6);
+        assert_eq!(derived.head, HeadSpec::FlattenLinear);
+        assert_eq!(derived.trace().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn param_count_matches_descriptor() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let spec = vgg_like_spec();
+        let mut net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        assert_eq!(net.param_count(), spec.param_count().unwrap());
+    }
+
+    #[test]
+    fn unit_skip_gradient_flows() {
+        // A unit given a skip input must report a skip gradient.
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut unit = Unit::new(2, UnitSpec::conv3x3(2, 0), &mut rng);
+        let x = init::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let s = init::randn(&[1, 2, 4, 4], 1.0, &mut rng);
+        let y = unit.forward(&x, Some(&s), Mode::Train).unwrap();
+        let grads = unit.backward(&Tensor::ones(y.dims())).unwrap();
+        assert!(grads.grad_skip.is_some());
+        assert_eq!(grads.grad_input.dims(), x.dims());
+
+        // Without a skip there is no skip gradient.
+        let y = unit.forward(&x, None, Mode::Train).unwrap();
+        let grads = unit.backward(&Tensor::ones(y.dims())).unwrap();
+        assert!(grads.grad_skip.is_none());
+    }
+
+    #[test]
+    fn unit_rejects_bad_skip_shape() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut unit = Unit::new(2, UnitSpec::conv3x3(2, 0), &mut rng);
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        let bad_skip = Tensor::zeros(&[1, 3, 4, 4]);
+        assert!(unit.forward(&x, Some(&bad_skip), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn accessors_allow_pruning_edits() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut net = ChainNet::from_spec(&vgg_like_spec(), &mut rng).unwrap();
+        assert_eq!(net.units()[0].out_channels(), 6);
+        net.units_mut()[0]
+            .conv_mut()
+            .set_weight(Tensor::zeros(&[4, 3, 3, 3]));
+        net.units_mut()[0].sync_spec_channels();
+        assert_eq!(net.spec().units[0].out_channels, 4);
+        assert_eq!(net.head().linear().out_features(), 4);
+        net.units_mut()[0].set_skip_from(Some(0));
+        assert_eq!(net.units()[0].spec().skip_from, Some(0));
+    }
+
+    #[test]
+    fn training_decreases_loss_on_toy_task() {
+        use tbnet_nn::loss::softmax_cross_entropy;
+        use tbnet_nn::optim::Sgd;
+
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = ModelSpec {
+            name: "toy".into(),
+            in_channels: 1,
+            input_hw: (6, 6),
+            classes: 2,
+            units: vec![UnitSpec::conv3x3(4, 0).with_pool(2)],
+            head: HeadSpec::FlattenLinear,
+        };
+        let mut net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        // Class 0: bright top half. Class 1: bright bottom half.
+        let mut images = Tensor::zeros(&[8, 1, 6, 6]);
+        let mut labels = Vec::new();
+        for i in 0..8 {
+            let label = i % 2;
+            labels.push(label);
+            for y in 0..6 {
+                for x in 0..6 {
+                    let bright = if label == 0 { y < 3 } else { y >= 3 };
+                    *images.at_mut(&[i, 0, y, x]).unwrap() =
+                        if bright { 1.0 } else { -1.0 };
+                }
+            }
+        }
+        let sgd = Sgd::new(0.05, 0.9, 0.0).unwrap();
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..30 {
+            net.zero_grad();
+            let logits = net.forward(&images, Mode::Train).unwrap();
+            let out = softmax_cross_entropy(&logits, &labels).unwrap();
+            net.backward(&out.grad).unwrap();
+            sgd.step(&mut net);
+            first.get_or_insert(out.loss);
+            last = out.loss;
+        }
+        assert!(
+            last < first.unwrap() * 0.5,
+            "loss did not halve: {} -> {last}",
+            first.unwrap()
+        );
+    }
+}

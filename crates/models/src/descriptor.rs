@@ -1,0 +1,529 @@
+//! Declarative architecture descriptors.
+//!
+//! A [`ModelSpec`] is the single source of truth about a network's shape.
+//! The TBNet pipeline manipulates specs directly: pruning shrinks
+//! `out_channels`, rollback restores them, and the TEE cost model prices a
+//! spec without instantiating weights.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{ModelError, Result};
+
+/// One conv → batch-norm → ReLU unit, optionally followed by max pooling and
+/// optionally receiving a residual skip.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitSpec {
+    /// Output channels of the convolution.
+    pub out_channels: usize,
+    /// Square kernel size.
+    pub kernel: usize,
+    /// Convolution stride.
+    pub stride: usize,
+    /// Zero padding on each side.
+    pub pad: usize,
+    /// Max-pool window applied after the activation (`None` for no pooling).
+    pub pool_after: Option<usize>,
+    /// Pruning group: units sharing a group are pruned with a shared channel
+    /// mask, which keeps residually-connected feature maps aligned.
+    pub group: usize,
+    /// Residual connection: add the *output* of the referenced unit to this
+    /// unit's pre-activation (post-BN) feature map. `None` for plain chains.
+    /// The TBNet unsecured branch `M_R` strips these (paper §4).
+    pub skip_from: Option<usize>,
+}
+
+impl UnitSpec {
+    /// A plain 3×3 stride-1 same-padding unit — the workhorse of both VGG and
+    /// ResNet bodies.
+    pub fn conv3x3(out_channels: usize, group: usize) -> Self {
+        UnitSpec {
+            out_channels,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            pool_after: None,
+            group,
+            skip_from: None,
+        }
+    }
+
+    /// Adds a max-pool window after this unit.
+    pub fn with_pool(mut self, window: usize) -> Self {
+        self.pool_after = Some(window);
+        self
+    }
+
+    /// Sets the convolution stride.
+    pub fn with_stride(mut self, stride: usize) -> Self {
+        self.stride = stride;
+        self
+    }
+
+    /// Sets the residual source unit.
+    pub fn with_skip_from(mut self, from: usize) -> Self {
+        self.skip_from = Some(from);
+        self
+    }
+}
+
+/// Classifier head placed after the last unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HeadSpec {
+    /// Flatten the `[C, H, W]` features and apply one linear layer (VGG).
+    FlattenLinear,
+    /// Global average pooling then one linear layer (ResNet).
+    GapLinear,
+}
+
+/// Shape trace of one unit: channels and spatial dimensions on entry/exit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct UnitTrace {
+    /// Input channels of the convolution.
+    pub in_channels: usize,
+    /// Output channels of the convolution.
+    pub out_channels: usize,
+    /// Spatial size entering the convolution.
+    pub in_hw: (usize, usize),
+    /// Spatial size after the convolution (before pooling).
+    pub conv_hw: (usize, usize),
+    /// Spatial size leaving the unit (after optional pooling).
+    pub out_hw: (usize, usize),
+}
+
+/// A complete architecture: input geometry, a chain of units and a head.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ModelSpec {
+    /// Human-readable model name (appears in experiment tables).
+    pub name: String,
+    /// Input channels (3 for RGB).
+    pub in_channels: usize,
+    /// Input spatial size `(H, W)`.
+    pub input_hw: (usize, usize),
+    /// Number of output classes.
+    pub classes: usize,
+    /// The unit chain.
+    pub units: Vec<UnitSpec>,
+    /// The classifier head.
+    pub head: HeadSpec,
+}
+
+impl ModelSpec {
+    /// Computes the per-unit shape trace, validating geometry and skips.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSpec`] for degenerate geometry and
+    /// [`ModelError::SkipShapeMismatch`] when a residual source's output
+    /// shape cannot be added to a unit's conv output.
+    pub fn trace(&self) -> Result<Vec<UnitTrace>> {
+        if self.units.is_empty() {
+            return Err(ModelError::InvalidSpec {
+                reason: "model has no units".into(),
+            });
+        }
+        if self.classes == 0 {
+            return Err(ModelError::InvalidSpec {
+                reason: "model has zero classes".into(),
+            });
+        }
+        let mut traces = Vec::with_capacity(self.units.len());
+        let mut in_c = self.in_channels;
+        let mut hw = self.input_hw;
+        for (i, u) in self.units.iter().enumerate() {
+            if u.out_channels == 0 {
+                return Err(ModelError::InvalidSpec {
+                    reason: format!("unit {i} has zero output channels"),
+                });
+            }
+            if u.kernel == 0 || u.stride == 0 {
+                return Err(ModelError::InvalidSpec {
+                    reason: format!("unit {i} has zero kernel or stride"),
+                });
+            }
+            let conv_h = conv_out(hw.0, u.kernel, u.stride, u.pad, i)?;
+            let conv_w = conv_out(hw.1, u.kernel, u.stride, u.pad, i)?;
+            let mut out_hw = (conv_h, conv_w);
+            if let Some(p) = u.pool_after {
+                if p == 0 || conv_h < p || conv_w < p {
+                    return Err(ModelError::InvalidSpec {
+                        reason: format!("unit {i}: pool window {p} does not fit in {conv_h}×{conv_w}"),
+                    });
+                }
+                out_hw = (conv_h / p, conv_w / p);
+            }
+            if let Some(from) = u.skip_from {
+                if from >= i {
+                    return Err(ModelError::SkipShapeMismatch {
+                        unit: i,
+                        from,
+                        reason: "skip must reference an earlier unit".into(),
+                    });
+                }
+                let src: &UnitTrace = &traces[from];
+                if src.out_channels != u.out_channels {
+                    return Err(ModelError::SkipShapeMismatch {
+                        unit: i,
+                        from,
+                        reason: format!(
+                            "channel mismatch: {} vs {}",
+                            src.out_channels, u.out_channels
+                        ),
+                    });
+                }
+                if src.out_hw != (conv_h, conv_w) {
+                    return Err(ModelError::SkipShapeMismatch {
+                        unit: i,
+                        from,
+                        reason: format!("spatial mismatch: {:?} vs {:?}", src.out_hw, (conv_h, conv_w)),
+                    });
+                }
+                if self.units[from].group != u.group {
+                    return Err(ModelError::SkipShapeMismatch {
+                        unit: i,
+                        from,
+                        reason: "residually-connected units must share a pruning group".into(),
+                    });
+                }
+            }
+            traces.push(UnitTrace {
+                in_channels: in_c,
+                out_channels: u.out_channels,
+                in_hw: hw,
+                conv_hw: (conv_h, conv_w),
+                out_hw,
+            });
+            in_c = u.out_channels;
+            hw = out_hw;
+        }
+        Ok(traces)
+    }
+
+    /// Feature dimension entering the classifier head.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation errors.
+    pub fn head_in_features(&self) -> Result<usize> {
+        let traces = self.trace()?;
+        let last = traces.last().expect("trace is non-empty");
+        Ok(match self.head {
+            HeadSpec::FlattenLinear => last.out_channels * last.out_hw.0 * last.out_hw.1,
+            HeadSpec::GapLinear => last.out_channels,
+        })
+    }
+
+    /// Total trainable parameter count (convs without bias, BN γ/β, head
+    /// weight + bias).
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation errors.
+    pub fn param_count(&self) -> Result<usize> {
+        let traces = self.trace()?;
+        let mut count = 0usize;
+        for (u, t) in self.units.iter().zip(&traces) {
+            count += u.out_channels * t.in_channels * u.kernel * u.kernel; // conv
+            count += 2 * u.out_channels; // BN γ and β
+        }
+        count += self.head_in_features()? * self.classes + self.classes;
+        Ok(count)
+    }
+
+    /// Forward-pass multiply-accumulate count for one sample.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation errors.
+    pub fn forward_macs(&self) -> Result<u64> {
+        let traces = self.trace()?;
+        let mut macs = 0u64;
+        for (u, t) in self.units.iter().zip(&traces) {
+            let per_pos = (t.in_channels * u.kernel * u.kernel) as u64;
+            macs += per_pos
+                * u.out_channels as u64
+                * (t.conv_hw.0 * t.conv_hw.1) as u64;
+        }
+        macs += (self.head_in_features()? * self.classes) as u64;
+        Ok(macs)
+    }
+
+    /// Largest single activation tensor (in elements) produced during a
+    /// forward pass with batch size 1 — the peak-memory driver inside a TEE.
+    ///
+    /// # Errors
+    ///
+    /// Propagates trace validation errors.
+    pub fn peak_activation_elems(&self) -> Result<usize> {
+        let traces = self.trace()?;
+        let mut peak = self.in_channels * self.input_hw.0 * self.input_hw.1;
+        for t in &traces {
+            peak = peak.max(t.out_channels * t.conv_hw.0 * t.conv_hw.1);
+        }
+        Ok(peak)
+    }
+
+    /// The number of distinct pruning groups in the spec.
+    pub fn group_count(&self) -> usize {
+        let mut groups: Vec<usize> = self.units.iter().map(|u| u.group).collect();
+        groups.sort_unstable();
+        groups.dedup();
+        groups.len()
+    }
+
+    /// Returns the sub-model consisting of units `split..`, re-rooted so it
+    /// can be priced or instantiated on its own — used by the DarkneTZ-style
+    /// layer-partition baseline, whose TEE half is exactly such a tail.
+    ///
+    /// Residual skips that would cross the boundary are dropped (the
+    /// partition severs them); internal skips are re-indexed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::InvalidSpec`] when `split` is out of range
+    /// (`split == 0` returns a clone; `split >= units.len()` is an error) or
+    /// the spec itself fails validation.
+    pub fn tail(&self, split: usize) -> Result<ModelSpec> {
+        if split >= self.units.len() {
+            return Err(ModelError::InvalidSpec {
+                reason: format!(
+                    "tail split {split} out of range for {} units",
+                    self.units.len()
+                ),
+            });
+        }
+        let traces = self.trace()?;
+        if split == 0 {
+            return Ok(self.clone());
+        }
+        let boundary = &traces[split - 1];
+        let units = self.units[split..]
+            .iter()
+            .map(|u| {
+                let mut u = u.clone();
+                u.skip_from = u
+                    .skip_from
+                    .and_then(|from| from.checked_sub(split));
+                u
+            })
+            .collect();
+        Ok(ModelSpec {
+            name: format!("{}-tail{split}", self.name),
+            in_channels: boundary.out_channels,
+            input_hw: boundary.out_hw,
+            classes: self.classes,
+            units,
+            head: self.head,
+        })
+    }
+
+    /// Returns a copy of this spec with every residual skip removed — the
+    /// initialization of the unsecured branch `M_R` for residual victims
+    /// (paper §4: "`M_R` is initialized from the main branch, excluding skip
+    /// connections").
+    pub fn without_skips(&self) -> ModelSpec {
+        let mut spec = self.clone();
+        for u in &mut spec.units {
+            u.skip_from = None;
+        }
+        spec.name = format!("{}-noskip", self.name);
+        spec
+    }
+}
+
+fn conv_out(input: usize, kernel: usize, stride: usize, pad: usize, unit: usize) -> Result<usize> {
+    let padded = input + 2 * pad;
+    if padded < kernel {
+        return Err(ModelError::InvalidSpec {
+            reason: format!("unit {unit}: kernel {kernel} exceeds padded input {padded}"),
+        });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plain_spec() -> ModelSpec {
+        ModelSpec {
+            name: "test".into(),
+            in_channels: 3,
+            input_hw: (16, 16),
+            classes: 10,
+            units: vec![
+                UnitSpec::conv3x3(8, 0).with_pool(2),
+                UnitSpec::conv3x3(16, 1).with_pool(2),
+            ],
+            head: HeadSpec::FlattenLinear,
+        }
+    }
+
+    #[test]
+    fn trace_computes_shapes() {
+        let spec = plain_spec();
+        let t = spec.trace().unwrap();
+        assert_eq!(t[0].in_channels, 3);
+        assert_eq!(t[0].conv_hw, (16, 16));
+        assert_eq!(t[0].out_hw, (8, 8));
+        assert_eq!(t[1].in_channels, 8);
+        assert_eq!(t[1].out_hw, (4, 4));
+        assert_eq!(spec.head_in_features().unwrap(), 16 * 4 * 4);
+    }
+
+    #[test]
+    fn gap_head_features_are_channels() {
+        let mut spec = plain_spec();
+        spec.head = HeadSpec::GapLinear;
+        assert_eq!(spec.head_in_features().unwrap(), 16);
+    }
+
+    #[test]
+    fn param_count_formula() {
+        let spec = plain_spec();
+        let expected = 8 * 3 * 9 + 16 // conv1 + bn1
+            + 16 * 8 * 9 + 32 // conv2 + bn2
+            + 256 * 10 + 10; // head
+        assert_eq!(spec.param_count().unwrap(), expected);
+    }
+
+    #[test]
+    fn macs_are_positive_and_scale_with_width() {
+        let spec = plain_spec();
+        let base = spec.forward_macs().unwrap();
+        let mut wide = spec.clone();
+        wide.units[0].out_channels = 16;
+        assert!(wide.forward_macs().unwrap() > base);
+    }
+
+    #[test]
+    fn peak_activation() {
+        let spec = plain_spec();
+        // Unit 0 conv output: 8 * 16 * 16 = 2048 dominates input 768, unit1 16*8*8=1024.
+        assert_eq!(spec.peak_activation_elems().unwrap(), 2048);
+    }
+
+    #[test]
+    fn skip_validation() {
+        let mut spec = plain_spec();
+        spec.units[0].pool_after = None;
+        spec.units[1].pool_after = None;
+        // Same channels + same group ⇒ valid skip.
+        spec.units[1].out_channels = 8;
+        spec.units[1].group = 0;
+        spec.units[1].skip_from = Some(0);
+        assert!(spec.trace().is_ok());
+        // Channel mismatch rejected.
+        let mut bad = spec.clone();
+        bad.units[1].out_channels = 16;
+        assert!(matches!(bad.trace(), Err(ModelError::SkipShapeMismatch { .. })));
+        // Group mismatch rejected.
+        let mut bad = spec.clone();
+        bad.units[1].group = 7;
+        assert!(matches!(bad.trace(), Err(ModelError::SkipShapeMismatch { .. })));
+        // Forward reference rejected.
+        let mut bad = spec;
+        bad.units[0].skip_from = Some(1);
+        assert!(bad.trace().is_err());
+    }
+
+    #[test]
+    fn degenerate_specs_rejected() {
+        let mut spec = plain_spec();
+        spec.units.clear();
+        assert!(spec.trace().is_err());
+        let mut spec = plain_spec();
+        spec.classes = 0;
+        assert!(spec.trace().is_err());
+        let mut spec = plain_spec();
+        spec.units[0].out_channels = 0;
+        assert!(spec.trace().is_err());
+        let mut spec = plain_spec();
+        spec.units[0].pool_after = Some(0);
+        assert!(spec.trace().is_err());
+        let mut spec = plain_spec();
+        spec.units[0].kernel = 64;
+        assert!(spec.trace().is_err());
+    }
+
+    #[test]
+    fn without_skips_strips_all() {
+        let mut spec = plain_spec();
+        spec.units[0].pool_after = None;
+        spec.units[1].pool_after = None;
+        spec.units[1].out_channels = 8;
+        spec.units[1].group = 0;
+        spec.units[1].skip_from = Some(0);
+        let stripped = spec.without_skips();
+        assert!(stripped.units.iter().all(|u| u.skip_from.is_none()));
+        assert!(stripped.name.contains("noskip"));
+        // Original untouched.
+        assert!(spec.units[1].skip_from.is_some());
+    }
+
+    #[test]
+    fn group_count() {
+        let spec = plain_spec();
+        assert_eq!(spec.group_count(), 2);
+    }
+
+    #[test]
+    fn tail_reroots_geometry() {
+        let spec = plain_spec();
+        let tail = spec.tail(1).unwrap();
+        assert_eq!(tail.units.len(), 1);
+        assert_eq!(tail.in_channels, 8);
+        assert_eq!(tail.input_hw, (8, 8));
+        assert!(tail.trace().is_ok());
+        assert_eq!(tail.head_in_features().unwrap(), 16 * 4 * 4);
+        // split 0 is the whole model; out-of-range rejected.
+        assert_eq!(spec.tail(0).unwrap().units.len(), 2);
+        assert!(spec.tail(2).is_err());
+    }
+
+    #[test]
+    fn tail_drops_boundary_crossing_skips() {
+        let mut spec = plain_spec();
+        spec.units[0].pool_after = None;
+        spec.units[1].pool_after = None;
+        spec.units[1].out_channels = 8;
+        spec.units[1].group = 0;
+        spec.units[1].skip_from = Some(0);
+        let tail = spec.tail(1).unwrap();
+        assert_eq!(tail.units[0].skip_from, None);
+        assert!(tail.trace().is_ok());
+    }
+
+    #[test]
+    fn tail_reindexes_internal_skips() {
+        let spec = ModelSpec {
+            name: "t".into(),
+            in_channels: 3,
+            input_hw: (8, 8),
+            classes: 4,
+            units: vec![
+                UnitSpec::conv3x3(4, 0),
+                UnitSpec::conv3x3(6, 1),
+                UnitSpec::conv3x3(6, 2),
+                UnitSpec::conv3x3(6, 1).with_skip_from(1),
+            ],
+            head: HeadSpec::GapLinear,
+        };
+        assert!(spec.trace().is_ok());
+        let tail = spec.tail(1).unwrap();
+        assert_eq!(tail.units[2].skip_from, Some(0));
+        assert!(tail.trace().is_ok());
+    }
+
+    #[test]
+    fn builders() {
+        let u = UnitSpec::conv3x3(32, 5)
+            .with_pool(2)
+            .with_stride(2)
+            .with_skip_from(1);
+        assert_eq!(u.out_channels, 32);
+        assert_eq!(u.group, 5);
+        assert_eq!(u.pool_after, Some(2));
+        assert_eq!(u.stride, 2);
+        assert_eq!(u.skip_from, Some(1));
+    }
+}

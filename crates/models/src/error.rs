@@ -1,0 +1,85 @@
+use std::error::Error;
+use std::fmt;
+
+use tbnet_nn::NnError;
+use tbnet_tensor::TensorError;
+
+/// Error type for model construction and execution.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// A layer operation failed.
+    Nn(NnError),
+    /// A tensor kernel failed.
+    Tensor(TensorError),
+    /// The model spec is internally inconsistent.
+    InvalidSpec {
+        /// Description of the inconsistency.
+        reason: String,
+    },
+    /// A residual skip referenced a unit whose output shape does not match.
+    SkipShapeMismatch {
+        /// Index of the unit receiving the skip.
+        unit: usize,
+        /// Index of the unit the skip reads from.
+        from: usize,
+        /// Description of the mismatch.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Nn(e) => write!(f, "layer failure: {e}"),
+            ModelError::Tensor(e) => write!(f, "tensor failure: {e}"),
+            ModelError::InvalidSpec { reason } => write!(f, "invalid model spec: {reason}"),
+            ModelError::SkipShapeMismatch { unit, from, reason } => {
+                write!(f, "skip into unit {unit} from unit {from} is inconsistent: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Nn(e) => Some(e),
+            ModelError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NnError> for ModelError {
+    fn from(e: NnError) -> Self {
+        ModelError::Nn(e)
+    }
+}
+
+impl From<TensorError> for ModelError {
+    fn from(e: TensorError) -> Self {
+        ModelError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_sources() {
+        let e = ModelError::from(NnError::MissingForwardCache { layer: "Conv2d" });
+        assert!(e.to_string().contains("Conv2d"));
+        assert!(Error::source(&e).is_some());
+        let e2 = ModelError::InvalidSpec { reason: "empty".into() };
+        assert!(e2.to_string().contains("empty"));
+        assert!(Error::source(&e2).is_none());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

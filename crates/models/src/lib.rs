@@ -1,0 +1,51 @@
+//! Model zoo for the TBNet reproduction: VGG-style and ResNet-20 networks.
+//!
+//! Two views of every model live here:
+//!
+//! * [`ModelSpec`] — a declarative architecture descriptor (per-unit channel
+//!   counts, strides, pooling, residual skips and pruning groups). The TBNet
+//!   pruning pass in `tbnet-core` rewrites specs, and the TEE cost model in
+//!   `tbnet-tee` prices them (FLOPs, parameter bytes, activation bytes).
+//! * [`ChainNet`] — an executable network built from a spec: a chain of
+//!   conv → batch-norm → ReLU units with optional max-pooling and residual
+//!   connections, plus a classifier head.
+//!
+//! The per-unit structure (rather than a flat `Sequential`) is what makes the
+//! two-branch substitution model of the paper expressible: `tbnet-core`
+//! drives two `ChainNet` feature extractors unit-by-unit and merges their
+//! feature maps after every unit.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), tbnet_models::ModelError> {
+//! use rand::SeedableRng;
+//! use tbnet_models::{vgg, ChainNet};
+//! use tbnet_nn::{Layer, Mode};
+//! use tbnet_tensor::Tensor;
+//!
+//! let spec = vgg::vgg_tiny(10, 3, (16, 16));
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+//! let mut net = ChainNet::from_spec(&spec, &mut rng)?;
+//! let logits = net.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)?;
+//! assert_eq!(logits.dims(), &[2, 10]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod chain;
+mod descriptor;
+mod error;
+
+pub mod resnet;
+pub mod vgg;
+
+pub use chain::{ChainNet, Head, Unit};
+pub use descriptor::{HeadSpec, ModelSpec, UnitSpec, UnitTrace};
+pub use error::ModelError;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, ModelError>;

@@ -1,0 +1,106 @@
+use std::error::Error;
+use std::fmt;
+
+use tbnet_tensor::TensorError;
+
+/// Error type for every fallible operation in `tbnet-nn`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum NnError {
+    /// A tensor kernel failed (shape mismatch, bad geometry, …).
+    Tensor(TensorError),
+    /// `backward` was called without a preceding `forward` (no cache).
+    MissingForwardCache {
+        /// Layer whose cache was missing.
+        layer: &'static str,
+    },
+    /// A label index was out of range for the number of classes.
+    LabelOutOfRange {
+        /// The offending label.
+        label: usize,
+        /// The number of classes.
+        classes: usize,
+    },
+    /// The batch dimension of two related tensors disagreed.
+    BatchMismatch {
+        /// Batch size of the first operand.
+        lhs: usize,
+        /// Batch size of the second operand.
+        rhs: usize,
+        /// Name of the operation that failed.
+        op: &'static str,
+    },
+    /// A hyper-parameter was outside its valid range.
+    InvalidHyperparameter {
+        /// Name of the parameter.
+        name: &'static str,
+        /// Description of the constraint that was violated.
+        reason: String,
+    },
+}
+
+impl fmt::Display for NnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NnError::Tensor(e) => write!(f, "tensor kernel failure: {e}"),
+            NnError::MissingForwardCache { layer } => {
+                write!(f, "backward called on `{layer}` without a cached forward pass")
+            }
+            NnError::LabelOutOfRange { label, classes } => {
+                write!(f, "label {label} out of range for {classes} classes")
+            }
+            NnError::BatchMismatch { lhs, rhs, op } => {
+                write!(f, "batch size mismatch in `{op}`: {lhs} vs {rhs}")
+            }
+            NnError::InvalidHyperparameter { name, reason } => {
+                write!(f, "invalid hyper-parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for NnError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NnError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for NnError {
+    fn from(e: TensorError) -> Self {
+        NnError::Tensor(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_tensor_error_with_source() {
+        let e = NnError::from(TensorError::ZeroSizedParameter { name: "stride" });
+        assert!(e.to_string().contains("stride"));
+        assert!(Error::source(&e).is_some());
+    }
+
+    #[test]
+    fn is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NnError>();
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(NnError::MissingForwardCache { layer: "conv" }
+            .to_string()
+            .contains("conv"));
+        assert!(NnError::LabelOutOfRange { label: 12, classes: 10 }
+            .to_string()
+            .contains("12"));
+        assert!(NnError::BatchMismatch { lhs: 4, rhs: 8, op: "loss" }
+            .to_string()
+            .contains("loss"));
+    }
+}

@@ -1,0 +1,82 @@
+use crate::{Param, Result};
+use tbnet_tensor::Tensor;
+
+/// Whether a forward pass is part of training (batch statistics, caches for
+/// backprop) or inference (running statistics, no caches required).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Training: layers cache activations and BatchNorm uses batch statistics.
+    Train,
+    /// Inference: no caches, BatchNorm uses running statistics.
+    Eval,
+}
+
+impl Mode {
+    /// `true` for [`Mode::Train`].
+    pub fn is_train(self) -> bool {
+        matches!(self, Mode::Train)
+    }
+}
+
+/// The contract every network layer implements.
+///
+/// Layers own their parameters ([`Param`]) and any caches needed by the
+/// backward pass. `backward` *accumulates* into parameter gradients, so a
+/// training step is: `zero_grad` → `forward(Train)` → loss backward →
+/// `backward` → optimizer step.
+///
+/// The trait is object-safe; [`Sequential`](crate::Sequential) stores
+/// `Box<dyn Layer>`.
+pub trait Layer: Send {
+    /// Runs the layer on `input`, caching whatever the backward pass needs
+    /// when `mode` is [`Mode::Train`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError`] when shapes are inconsistent with the
+    /// layer's configuration.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor>;
+
+    /// Propagates `grad_out` (gradient w.r.t. this layer's output) back to a
+    /// gradient w.r.t. its input, accumulating parameter gradients.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::NnError::MissingForwardCache`] when called before
+    /// `forward(…, Mode::Train)`, or shape errors for inconsistent gradients.
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor>;
+
+    /// Visits every trainable parameter (for optimizers and regularizers).
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Human-readable layer name for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Clears gradients of all owned parameters.
+    fn zero_grad(&mut self) {
+        self.visit_params(&mut |p| p.zero_grad());
+    }
+
+    /// Total number of scalar parameters in this layer.
+    fn param_count(&mut self) -> usize {
+        let mut count = 0;
+        self.visit_params(&mut |p| count += p.numel());
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mode_predicates() {
+        assert!(Mode::Train.is_train());
+        assert!(!Mode::Eval.is_train());
+    }
+
+    #[test]
+    fn layer_trait_is_object_safe() {
+        fn _takes_dyn(_l: &mut dyn Layer) {}
+    }
+}

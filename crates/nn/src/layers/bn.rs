@@ -1,0 +1,416 @@
+use tbnet_tensor::{ops, Tensor, TensorError};
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// 2-D batch normalization over `[N, C, H, W]` activations.
+///
+/// The learnable scale γ is the channel-importance signal TBNet's composite
+/// pruning criterion reads (Alg. 1 of the paper), and the L1 penalty of Eq. 1
+/// is applied to it by the trainer in `tbnet-core` via [`BatchNorm2d::gamma_mut`].
+///
+/// γ and β are created with weight decay disabled so the only shrinkage
+/// pressure on γ is the explicit sparsity penalty.
+#[derive(Debug, Clone)]
+pub struct BatchNorm2d {
+    gamma: Param,
+    beta: Param,
+    running_mean: Tensor,
+    running_var: Tensor,
+    eps: f32,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+#[derive(Debug, Clone)]
+struct BnCache {
+    x_hat: Tensor,
+    inv_std: Tensor,
+}
+
+impl BatchNorm2d {
+    /// Creates a batch-norm layer for `channels` feature maps with γ = 1,
+    /// β = 0, ε = 1e-5 and running-stat momentum 0.1 (PyTorch defaults).
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new(Tensor::ones(&[channels]), false),
+            beta: Param::new(Tensor::zeros(&[channels]), false),
+            running_mean: Tensor::zeros(&[channels]),
+            running_var: Tensor::ones(&[channels]),
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// Number of normalized channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.numel()
+    }
+
+    /// Read access to the scale parameter γ.
+    pub fn gamma(&self) -> &Param {
+        &self.gamma
+    }
+
+    /// Mutable access to γ (used for the L1 sparsity penalty and pruning).
+    pub fn gamma_mut(&mut self) -> &mut Param {
+        &mut self.gamma
+    }
+
+    /// Read access to the offset parameter β.
+    pub fn beta(&self) -> &Param {
+        &self.beta
+    }
+
+    /// Mutable access to β.
+    pub fn beta_mut(&mut self) -> &mut Param {
+        &mut self.beta
+    }
+
+    /// Running mean (inference statistics).
+    pub fn running_mean(&self) -> &Tensor {
+        &self.running_mean
+    }
+
+    /// Running variance (inference statistics).
+    pub fn running_var(&self) -> &Tensor {
+        &self.running_var
+    }
+
+    /// Replaces all per-channel state at once — the pruning pass uses this to
+    /// drop channels. All four tensors must be rank-1 of equal length.
+    ///
+    /// # Errors
+    ///
+    /// Returns a shape error when the tensors disagree in length.
+    pub fn set_channel_state(
+        &mut self,
+        gamma: Tensor,
+        beta: Tensor,
+        running_mean: Tensor,
+        running_var: Tensor,
+    ) -> Result<()> {
+        let n = gamma.numel();
+        for (t, name) in [(&beta, "beta"), (&running_mean, "running_mean"), (&running_var, "running_var")] {
+            if t.numel() != n {
+                return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                    expected: vec![n],
+                    got: t.dims().to_vec(),
+                    op: match name {
+                        "beta" => "set_channel_state (beta)",
+                        "running_mean" => "set_channel_state (running_mean)",
+                        _ => "set_channel_state (running_var)",
+                    },
+                }));
+            }
+        }
+        self.gamma.set_value(gamma);
+        self.beta.set_value(beta);
+        self.running_mean = running_mean;
+        self.running_var = running_var;
+        self.cache = None;
+        Ok(())
+    }
+}
+
+impl Layer for BatchNorm2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() != 4 {
+            return Err(NnError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                got: input.rank(),
+                op: "BatchNorm2d",
+            }));
+        }
+        let c = input.dim(1);
+        if c != self.channels() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                expected: vec![self.channels()],
+                got: vec![c],
+                op: "BatchNorm2d (channels)",
+            }));
+        }
+        let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
+        let plane = h * w;
+        let (mean, var) = if mode.is_train() {
+            let (m, v) = ops::channel_mean_var(input)?;
+            // Update running statistics.
+            for ci in 0..c {
+                let rm = &mut self.running_mean.as_mut_slice()[ci];
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * m.as_slice()[ci];
+                let rv = &mut self.running_var.as_mut_slice()[ci];
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * v.as_slice()[ci];
+            }
+            (m, v)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let mut inv_std = Tensor::zeros(&[c]);
+        for ci in 0..c {
+            inv_std.as_mut_slice()[ci] = 1.0 / (var.as_slice()[ci] + self.eps).sqrt();
+        }
+
+        let mut x_hat = input.clone();
+        {
+            let xv = x_hat.as_mut_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let m = mean.as_slice()[ci];
+                    let is = inv_std.as_slice()[ci];
+                    let base = (ni * c + ci) * plane;
+                    for x in &mut xv[base..base + plane] {
+                        *x = (*x - m) * is;
+                    }
+                }
+            }
+        }
+
+        let mut out = x_hat.clone();
+        {
+            let ov = out.as_mut_slice();
+            let g = self.gamma.value.as_slice();
+            let b = self.beta.value.as_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    for x in &mut ov[base..base + plane] {
+                        *x = g[ci] * *x + b[ci];
+                    }
+                }
+            }
+        }
+
+        self.cache = mode.is_train().then_some(BnCache { x_hat, inv_std });
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let cache = self
+            .cache
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "BatchNorm2d" })?;
+        grad_out.expect_same_shape(&cache.x_hat, "BatchNorm2d backward").map_err(NnError::Tensor)?;
+        let (n, c, h, w) = (
+            grad_out.dim(0),
+            grad_out.dim(1),
+            grad_out.dim(2),
+            grad_out.dim(3),
+        );
+        let plane = h * w;
+        let count = (n * plane) as f32;
+
+        // Per-channel reductions: Σ dy and Σ dy·x̂.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        {
+            let gv = grad_out.as_slice();
+            let xv = cache.x_hat.as_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let base = (ni * c + ci) * plane;
+                    let mut s = 0.0f32;
+                    let mut sx = 0.0f32;
+                    for off in base..base + plane {
+                        s += gv[off];
+                        sx += gv[off] * xv[off];
+                    }
+                    sum_dy[ci] += s;
+                    sum_dy_xhat[ci] += sx;
+                }
+            }
+        }
+
+        // Parameter gradients.
+        for ci in 0..c {
+            self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat[ci];
+            self.beta.grad.as_mut_slice()[ci] += sum_dy[ci];
+        }
+
+        // Input gradient:
+        // dx = γ·inv_std · (dy − mean(dy) − x̂·mean(dy·x̂))
+        let mut grad_in = grad_out.clone();
+        {
+            let gi = grad_in.as_mut_slice();
+            let xv = cache.x_hat.as_slice();
+            let g = self.gamma.value.as_slice();
+            let is = cache.inv_std.as_slice();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let mean_dy = sum_dy[ci] / count;
+                    let mean_dy_xhat = sum_dy_xhat[ci] / count;
+                    let scale = g[ci] * is[ci];
+                    let base = (ni * c + ci) * plane;
+                    for off in base..base + plane {
+                        gi[off] = scale * (gi[off] - mean_dy - xv[off] * mean_dy_xhat);
+                    }
+                }
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.gamma);
+        f(&mut self.beta);
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbnet_tensor::init;
+
+    #[test]
+    fn train_forward_normalizes() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut bn = BatchNorm2d::new(3);
+        let x = init::randn(&[8, 3, 4, 4], 2.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let (mean, var) = ops::channel_mean_var(&y).unwrap();
+        for ci in 0..3 {
+            assert!(mean.as_slice()[ci].abs() < 1e-4, "channel {ci} mean");
+            assert!((var.as_slice()[ci] - 1.0).abs() < 1e-3, "channel {ci} var");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_apply_affine() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma_mut().value = Tensor::from_slice(&[2.0, 0.5]);
+        bn.beta_mut().value = Tensor::from_slice(&[1.0, -1.0]);
+        let x = init::randn(&[4, 2, 3, 3], 1.0, &mut rng);
+        let y = bn.forward(&x, Mode::Train).unwrap();
+        let (mean, var) = ops::channel_mean_var(&y).unwrap();
+        assert!((mean.as_slice()[0] - 1.0).abs() < 1e-4);
+        assert!((mean.as_slice()[1] + 1.0).abs() < 1e-4);
+        assert!((var.as_slice()[0] - 4.0).abs() < 1e-2);
+        assert!((var.as_slice()[1] - 0.25).abs() < 1e-2);
+    }
+
+    #[test]
+    fn running_stats_converge_to_batch_stats() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut bn = BatchNorm2d::new(1);
+        // Constant-distribution batches: running stats should approach (3, 4).
+        for _ in 0..200 {
+            let mut x = init::randn(&[16, 1, 2, 2], 2.0, &mut rng);
+            x.map_inplace(|v| v + 3.0);
+            bn.forward(&x, Mode::Train).unwrap();
+        }
+        assert!((bn.running_mean().as_slice()[0] - 3.0).abs() < 0.3);
+        assert!((bn.running_var().as_slice()[0] - 4.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        // With default running stats (mean 0, var 1), eval is ~identity.
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = bn.forward(&x, Mode::Eval).unwrap();
+        for (a, b) in y.as_slice().iter().zip(x.as_slice()) {
+            assert!((a - b).abs() < 1e-3);
+        }
+        // Eval forward must not populate the training cache.
+        assert!(bn.backward(&x).is_err());
+    }
+
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let x = init::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+
+        // Loss: weighted sum so the gradient is not uniform.
+        let weights = init::randn(&[2, 2, 3, 3], 1.0, &mut rng);
+        let loss_of = |bn: &mut BatchNorm2d, x: &Tensor| {
+            let y = bn.forward(x, Mode::Train).unwrap();
+            y.as_slice()
+                .iter()
+                .zip(weights.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+
+        let make_bn = || {
+            let mut bn = BatchNorm2d::new(2);
+            bn.gamma_mut().value = Tensor::from_slice(&[1.3, 0.7]);
+            bn.beta_mut().value = Tensor::from_slice(&[0.2, -0.1]);
+            bn
+        };
+
+        let mut bn = make_bn();
+        bn.forward(&x, Mode::Train).unwrap();
+        let gx = bn.backward(&weights).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 5, 17, 35] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            // Fresh BN each time so running stats do not drift into the check.
+            let num = (loss_of(&mut make_bn(), &xp) - loss_of(&mut make_bn(), &xm)) / (2.0 * eps);
+            let ana = gx.as_slice()[idx];
+            assert!((num - ana).abs() < 3e-2, "idx {idx}: num {num} vs ana {ana}");
+        }
+
+        // γ gradient check.
+        for ci in 0..2 {
+            let mut bn_p = make_bn();
+            bn_p.gamma_mut().value.as_mut_slice()[ci] += eps;
+            let mut bn_m = make_bn();
+            bn_m.gamma_mut().value.as_mut_slice()[ci] -= eps;
+            let num = (loss_of(&mut bn_p, &x) - loss_of(&mut bn_m, &x)) / (2.0 * eps);
+            let ana = bn.gamma().grad.as_slice()[ci];
+            assert!((num - ana).abs() < 3e-2, "gamma[{ci}]: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn channel_count_validated() {
+        let mut bn = BatchNorm2d::new(3);
+        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train).is_err());
+        assert!(bn.forward(&Tensor::zeros(&[2, 4]), Mode::Train).is_err());
+    }
+
+    #[test]
+    fn set_channel_state_validates_and_applies() {
+        let mut bn = BatchNorm2d::new(4);
+        assert!(bn
+            .set_channel_state(
+                Tensor::ones(&[2]),
+                Tensor::zeros(&[3]),
+                Tensor::zeros(&[2]),
+                Tensor::ones(&[2]),
+            )
+            .is_err());
+        bn.set_channel_state(
+            Tensor::ones(&[2]),
+            Tensor::zeros(&[2]),
+            Tensor::zeros(&[2]),
+            Tensor::ones(&[2]),
+        )
+        .unwrap();
+        assert_eq!(bn.channels(), 2);
+    }
+
+    #[test]
+    fn param_visitation_sees_gamma_and_beta() {
+        let mut bn = BatchNorm2d::new(5);
+        assert_eq!(bn.param_count(), 10);
+    }
+
+    #[test]
+    fn bn_params_skip_weight_decay() {
+        let bn = BatchNorm2d::new(2);
+        assert!(!bn.gamma().decay);
+        assert!(!bn.beta().decay);
+    }
+}

@@ -1,0 +1,264 @@
+use rand::Rng;
+
+use tbnet_tensor::{init, ops, Tensor};
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// 2-D convolution layer (`[N, C, H, W]` activations, `[O, C, KH, KW]`
+/// weight, optional bias).
+///
+/// The TBNet networks follow every convolution with a [`BatchNorm2d`]
+/// (`crate::BatchNorm2d`), so the default constructors create bias-free
+/// convolutions; [`Conv2d::with_bias`] exists for classifier-adjacent uses.
+///
+/// # Example
+///
+/// ```
+/// # fn main() -> Result<(), tbnet_nn::NnError> {
+/// use rand::SeedableRng;
+/// use tbnet_nn::{Conv2d, Layer, Mode};
+/// use tbnet_tensor::Tensor;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+/// let y = conv.forward(&Tensor::zeros(&[2, 3, 16, 16]), Mode::Eval)?;
+/// assert_eq!(y.dims(), &[2, 8, 16, 16]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Conv2d {
+    weight: Param,
+    bias: Option<Param>,
+    stride: usize,
+    pad: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// Creates a bias-free convolution with Kaiming-normal weights.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let weight = init::kaiming_normal(&[out_channels, in_channels, kernel, kernel], rng);
+        Conv2d {
+            weight: Param::new(weight, true),
+            bias: None,
+            stride,
+            pad,
+            cache_input: None,
+        }
+    }
+
+    /// Creates a convolution with a zero-initialized bias.
+    pub fn with_bias<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut conv = Conv2d::new(in_channels, out_channels, kernel, stride, pad, rng);
+        conv.bias = Some(Param::new(Tensor::zeros(&[out_channels]), false));
+        conv
+    }
+
+    /// Number of output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+
+    /// Number of input channels.
+    pub fn in_channels(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    /// Kernel size (square).
+    pub fn kernel(&self) -> usize {
+        self.weight.value.dim(2)
+    }
+
+    /// Convolution stride.
+    pub fn stride(&self) -> usize {
+        self.stride
+    }
+
+    /// Zero padding on each side.
+    pub fn pad(&self) -> usize {
+        self.pad
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter (used by pruning to rewrite
+    /// channel slices).
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Read access to the optional bias parameter.
+    pub fn bias(&self) -> Option<&Param> {
+        self.bias.as_ref()
+    }
+
+    /// Replaces the weight tensor, resetting optimizer state. The pruning
+    /// pass uses this after slicing channels out.
+    pub fn set_weight(&mut self, weight: Tensor) {
+        self.weight.set_value(weight);
+        self.cache_input = None;
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = ops::conv2d_forward(
+            input,
+            &self.weight.value,
+            self.bias.as_ref().map(|b| &b.value),
+            self.stride,
+            self.pad,
+        )?;
+        self.cache_input = mode.is_train().then(|| input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cache_input
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Conv2d" })?;
+        let grads = ops::conv2d_backward(
+            input,
+            &self.weight.value,
+            grad_out,
+            self.stride,
+            self.pad,
+            self.bias.is_some(),
+        )?;
+        ops::add_assign(&mut self.weight.grad, &grads.grad_weight)?;
+        if let (Some(b), Some(gb)) = (self.bias.as_mut(), grads.grad_bias) {
+            ops::add_assign(&mut b.grad, &gb)?;
+        }
+        Ok(grads.grad_input)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        if let Some(b) = self.bias.as_mut() {
+            f(b);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(3, 8, 3, 1, 1, &mut rng);
+        let y = conv
+            .forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval)
+            .unwrap();
+        assert_eq!(y.dims(), &[2, 8, 8, 8]);
+        assert_eq!(conv.out_channels(), 8);
+        assert_eq!(conv.in_channels(), 3);
+        assert_eq!(conv.kernel(), 3);
+    }
+
+    #[test]
+    fn backward_without_forward_fails() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        assert!(matches!(
+            conv.backward(&Tensor::zeros(&[1, 1, 4, 4])),
+            Err(NnError::MissingForwardCache { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_mode_does_not_cache() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
+        conv.forward(&Tensor::zeros(&[1, 1, 4, 4]), Mode::Eval).unwrap();
+        assert!(conv.backward(&Tensor::zeros(&[1, 1, 4, 4])).is_err());
+    }
+
+    #[test]
+    fn gradient_accumulates_across_backwards() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut conv = Conv2d::new(1, 2, 3, 1, 1, &mut rng);
+        let x = init::randn(&[1, 1, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let g = Tensor::ones(y.dims());
+        conv.backward(&g).unwrap();
+        let g1 = conv.weight().grad.clone();
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.backward(&g).unwrap();
+        for (a, b) in conv.weight().grad.as_slice().iter().zip(g1.as_slice()) {
+            assert!((a - 2.0 * b).abs() < 1e-4);
+        }
+        conv.zero_grad();
+        assert_eq!(conv.weight().grad.sum(), 0.0);
+    }
+
+    #[test]
+    fn numerical_gradient_with_bias() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut conv = Conv2d::with_bias(2, 3, 3, 1, 1, &mut rng);
+        let x = init::randn(&[1, 2, 5, 5], 1.0, &mut rng);
+        let y = conv.forward(&x, Mode::Train).unwrap();
+        let gx = conv.backward(&Tensor::ones(y.dims())).unwrap();
+
+        let eps = 1e-2f32;
+        for &idx in &[0usize, 10, 30] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let lp = conv.forward(&xp, Mode::Eval).unwrap().sum();
+            let lm = conv.forward(&xm, Mode::Eval).unwrap().sum();
+            let num = (lp - lm) / (2.0 * eps);
+            let ana = gx.as_slice()[idx];
+            assert!((num - ana).abs() < 2e-2, "idx {idx}: {num} vs {ana}");
+        }
+    }
+
+    #[test]
+    fn param_count_and_visitation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut conv = Conv2d::with_bias(2, 4, 3, 1, 1, &mut rng);
+        assert_eq!(conv.param_count(), 4 * 2 * 3 * 3 + 4);
+        let mut names = 0;
+        conv.visit_params(&mut |_| names += 1);
+        assert_eq!(names, 2);
+    }
+
+    #[test]
+    fn set_weight_resets_cache_and_state() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut conv = Conv2d::new(2, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros(&[1, 2, 4, 4]);
+        conv.forward(&x, Mode::Train).unwrap();
+        conv.set_weight(Tensor::zeros(&[3, 2, 3, 3]));
+        assert_eq!(conv.out_channels(), 3);
+        // Cache cleared, so backward must fail rather than mixing shapes.
+        assert!(conv.backward(&Tensor::zeros(&[1, 3, 4, 4])).is_err());
+    }
+}

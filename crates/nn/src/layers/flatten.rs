@@ -1,0 +1,69 @@
+use tbnet_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// Flattens `[N, …]` to `[N, prod(…)]` — the bridge from convolutional
+/// features to the linear classifier head.
+#[derive(Debug, Default, Clone)]
+pub struct Flatten {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { input_dims: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() < 1 {
+            return Err(NnError::Tensor(tbnet_tensor::TensorError::RankMismatch {
+                expected: 2,
+                got: input.rank(),
+                op: "Flatten",
+            }));
+        }
+        let n = input.dim(0);
+        let rest: usize = input.dims().iter().skip(1).product();
+        let out = input.reshape(&[n, rest])?;
+        self.input_dims = mode.is_train().then(|| input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Flatten" })?;
+        Ok(grad_out.reshape(dims)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Flatten"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flattens_and_restores() {
+        let mut fl = Flatten::new();
+        let x = Tensor::zeros(&[2, 3, 4, 4]);
+        let y = fl.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.dims(), &[2, 48]);
+        let g = fl.backward(&Tensor::ones(&[2, 48])).unwrap();
+        assert_eq!(g.dims(), &[2, 3, 4, 4]);
+    }
+
+    #[test]
+    fn backward_requires_cache() {
+        let mut fl = Flatten::new();
+        assert!(fl.backward(&Tensor::zeros(&[2, 4])).is_err());
+    }
+}

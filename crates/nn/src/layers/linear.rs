@@ -1,0 +1,214 @@
+use rand::Rng;
+
+use tbnet_tensor::{init, ops, Tensor, TensorError};
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// Fully-connected layer: `y = x Wᵀ + b` for `x: [N, in]`, `W: [out, in]`.
+///
+/// Used as the classifier head of every network in the reproduction. The
+/// pruning pass rewrites its input dimension when the preceding feature
+/// extractor loses channels, via [`Linear::set_weight`].
+#[derive(Debug, Clone)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    cache_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-uniform weights and zero bias.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        Linear {
+            weight: Param::new(init::xavier_uniform(&[out_features, in_features], rng), true),
+            bias: Param::new(Tensor::zeros(&[out_features]), false),
+            cache_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dim(1)
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dim(0)
+    }
+
+    /// Read access to the weight parameter.
+    pub fn weight(&self) -> &Param {
+        &self.weight
+    }
+
+    /// Mutable access to the weight parameter.
+    pub fn weight_mut(&mut self) -> &mut Param {
+        &mut self.weight
+    }
+
+    /// Read access to the bias parameter.
+    pub fn bias(&self) -> &Param {
+        &self.bias
+    }
+
+    /// Mutable access to the bias parameter (used by persistence and the
+    /// substitute-attack baseline when re-initializing heads).
+    pub fn bias_mut(&mut self) -> &mut Param {
+        &mut self.bias
+    }
+
+    /// Replaces the weight tensor (optimizer state resets); used by pruning
+    /// to drop input features.
+    pub fn set_weight(&mut self, weight: Tensor) {
+        self.weight.set_value(weight);
+        self.cache_input = None;
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if input.rank() != 2 {
+            return Err(NnError::Tensor(TensorError::RankMismatch {
+                expected: 2,
+                got: input.rank(),
+                op: "Linear",
+            }));
+        }
+        if input.dim(1) != self.in_features() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                expected: vec![input.dim(0), self.in_features()],
+                got: input.dims().to_vec(),
+                op: "Linear",
+            }));
+        }
+        // y = x @ Wᵀ
+        let mut out = ops::matmul_transpose_b(input, &self.weight.value)?;
+        let (n, o) = (out.dim(0), out.dim(1));
+        {
+            let ov = out.as_mut_slice();
+            let bv = self.bias.value.as_slice();
+            for ni in 0..n {
+                for (x, &b) in ov[ni * o..(ni + 1) * o].iter_mut().zip(bv) {
+                    *x += b;
+                }
+            }
+        }
+        self.cache_input = mode.is_train().then(|| input.clone());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let input = self
+            .cache_input
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Linear" })?;
+        // dW = dyᵀ @ x ; dx = dy @ W ; db = Σ_N dy
+        let gw = ops::matmul_transpose_a(grad_out, input)?;
+        ops::add_assign(&mut self.weight.grad, &gw)?;
+        let gb = ops::sum_axis0(grad_out)?;
+        ops::add_assign(&mut self.bias.grad, &gb)?;
+        Ok(ops::matmul(grad_out, &self.weight.value)?)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        f(&mut self.weight);
+        f(&mut self.bias);
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        lin.weight_mut().value = Tensor::zeros(&[2, 3]);
+        lin.bias.value = Tensor::from_slice(&[1.0, -1.0]);
+        let y = lin.forward(&Tensor::ones(&[4, 3]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        assert_eq!(&y.as_slice()[..2], &[1.0, -1.0]);
+    }
+
+    #[test]
+    fn known_product() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(2, 2, &mut rng);
+        lin.weight_mut().value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        let x = Tensor::from_vec(vec![1.0, 1.0], &[1, 2]).unwrap();
+        let y = lin.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[3.0, 7.0]);
+    }
+
+    #[test]
+    fn numerical_gradient() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        let x = init::randn(&[2, 4], 1.0, &mut rng);
+        let w_mask = init::randn(&[2, 3], 1.0, &mut rng);
+
+        let y = lin.forward(&x, Mode::Train).unwrap();
+        let gx = lin.backward(&w_mask).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |lin: &mut Linear, x: &Tensor| {
+            lin.forward(x, Mode::Eval)
+                .unwrap()
+                .as_slice()
+                .iter()
+                .zip(w_mask.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        // Input gradient.
+        for idx in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&mut lin, &xp) - loss(&mut lin, &xm)) / (2.0 * eps);
+            assert!((num - gx.as_slice()[idx]).abs() < 1e-2);
+        }
+        // Weight gradient.
+        let base_w = lin.weight().value.clone();
+        for &idx in &[0usize, 5, 11] {
+            let mut wp = base_w.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = base_w.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            lin.weight_mut().value = wp;
+            let lp = loss(&mut lin, &x);
+            lin.weight_mut().value = wm;
+            let lm = loss(&mut lin, &x);
+            lin.weight_mut().value = base_w.clone();
+            let num = (lp - lm) / (2.0 * eps);
+            assert!((num - lin.weight().grad.as_slice()[idx]).abs() < 1e-2);
+        }
+        let _ = y;
+    }
+
+    #[test]
+    fn input_validation() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new(4, 3, &mut rng);
+        assert!(lin.forward(&Tensor::zeros(&[2, 5]), Mode::Eval).is_err());
+        assert!(lin.forward(&Tensor::zeros(&[4]), Mode::Eval).is_err());
+        assert!(lin.backward(&Tensor::zeros(&[2, 3])).is_err());
+    }
+
+    #[test]
+    fn set_weight_changes_dims() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lin = Linear::new(8, 2, &mut rng);
+        lin.set_weight(Tensor::zeros(&[2, 6]));
+        assert_eq!(lin.in_features(), 6);
+        assert_eq!(lin.out_features(), 2);
+    }
+}

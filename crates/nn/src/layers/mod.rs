@@ -1,0 +1,18 @@
+//! Concrete layer implementations.
+//!
+//! Each layer lives in its own module and carries unit tests that check its
+//! backward pass against a numerical gradient.
+
+mod bn;
+mod conv;
+mod flatten;
+mod linear;
+mod pool;
+mod relu;
+
+pub use bn::BatchNorm2d;
+pub use conv::Conv2d;
+pub use flatten::Flatten;
+pub use linear::Linear;
+pub use pool::{GlobalAvgPool, MaxPool2d};
+pub use relu::Relu;

@@ -1,0 +1,120 @@
+use tbnet_tensor::{ops, Tensor};
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// Non-overlapping 2-D max pooling with a square window (VGG-style).
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    k: usize,
+    indices: Option<ops::MaxPoolIndices>,
+}
+
+impl MaxPool2d {
+    /// Creates a max-pool layer with window and stride `k`.
+    pub fn new(k: usize) -> Self {
+        MaxPool2d { k, indices: None }
+    }
+
+    /// Pooling window size.
+    pub fn window(&self) -> usize {
+        self.k
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let (out, idx) = ops::maxpool2d_forward(input, self.k)?;
+        self.indices = mode.is_train().then_some(idx);
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let idx = self
+            .indices
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "MaxPool2d" })?;
+        Ok(ops::maxpool2d_backward(grad_out, idx)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "MaxPool2d"
+    }
+}
+
+/// Global average pooling, `[N, C, H, W]` → `[N, C]` (ResNet classifier head).
+#[derive(Debug, Default, Clone)]
+pub struct GlobalAvgPool {
+    input_dims: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average-pool layer.
+    pub fn new() -> Self {
+        GlobalAvgPool { input_dims: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = ops::avgpool2d_global_forward(input)?;
+        self.input_dims = mode.is_train().then(|| input.dims().to_vec());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let dims = self
+            .input_dims
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "GlobalAvgPool" })?;
+        Ok(ops::avgpool2d_global_backward(grad_out, dims)?)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "GlobalAvgPool"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_layer_roundtrip() {
+        let mut pool = MaxPool2d::new(2);
+        assert_eq!(pool.window(), 2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let y = pool.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[4.0]);
+        let g = pool.backward(&Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn gap_layer_roundtrip() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 1, 2, 2]).unwrap();
+        let y = gap.forward(&x, Mode::Train).unwrap();
+        assert_eq!(y.as_slice(), &[5.0]);
+        let g = gap.backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap()).unwrap();
+        assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_needs_forward() {
+        let mut pool = MaxPool2d::new(2);
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+        let mut gap = GlobalAvgPool::new();
+        assert!(gap.backward(&Tensor::zeros(&[1, 1])).is_err());
+    }
+
+    #[test]
+    fn eval_mode_skips_cache() {
+        let mut pool = MaxPool2d::new(2);
+        pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).unwrap();
+        assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
+    }
+}

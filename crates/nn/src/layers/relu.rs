@@ -1,0 +1,91 @@
+use tbnet_tensor::Tensor;
+
+use crate::{Layer, Mode, NnError, Param, Result};
+
+/// Rectified linear unit, `y = max(x, 0)`, applied elementwise.
+///
+/// Stateless apart from the backward mask; works on tensors of any rank.
+#[derive(Debug, Default, Clone)]
+pub struct Relu {
+    mask: Option<Vec<bool>>,
+}
+
+impl Relu {
+    /// Creates a ReLU layer.
+    pub fn new() -> Self {
+        Relu { mask: None }
+    }
+}
+
+impl Layer for Relu {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let out = input.map(|x| x.max(0.0));
+        self.mask = mode
+            .is_train()
+            .then(|| input.as_slice().iter().map(|&x| x > 0.0).collect());
+        Ok(out)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mask = self
+            .mask
+            .as_ref()
+            .ok_or(NnError::MissingForwardCache { layer: "Relu" })?;
+        if mask.len() != grad_out.numel() {
+            return Err(NnError::Tensor(tbnet_tensor::TensorError::LengthMismatch {
+                expected: mask.len(),
+                got: grad_out.numel(),
+                op: "Relu backward",
+            }));
+        }
+        let mut grad_in = grad_out.clone();
+        for (g, &keep) in grad_in.as_mut_slice().iter_mut().zip(mask) {
+            if !keep {
+                *g = 0.0;
+            }
+        }
+        Ok(grad_in)
+    }
+
+    fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
+
+    fn name(&self) -> &'static str {
+        "Relu"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clamps_negatives() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 0.0, 2.0]);
+        let y = relu.forward(&x, Mode::Eval).unwrap();
+        assert_eq!(y.as_slice(), &[0.0, 0.0, 2.0]);
+    }
+
+    #[test]
+    fn backward_gates_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_slice(&[-1.0, 3.0, 0.0, 2.0]);
+        relu.forward(&x, Mode::Train).unwrap();
+        let g = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0])).unwrap();
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_requires_cache_and_shape() {
+        let mut relu = Relu::new();
+        assert!(relu.backward(&Tensor::ones(&[2])).is_err());
+        relu.forward(&Tensor::ones(&[2]), Mode::Train).unwrap();
+        assert!(relu.backward(&Tensor::ones(&[3])).is_err());
+    }
+
+    #[test]
+    fn no_params() {
+        let mut relu = Relu::new();
+        assert_eq!(relu.param_count(), 0);
+    }
+}

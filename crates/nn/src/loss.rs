@@ -1,0 +1,189 @@
+//! Loss functions: softmax cross-entropy for classification plus the L1
+//! sparsity penalty on BatchNorm scales from Eq. 1 of the TBNet paper.
+
+use tbnet_tensor::{ops, Tensor, TensorError};
+
+use crate::{BatchNorm2d, NnError, Result};
+
+/// Output of [`softmax_cross_entropy`]: mean loss and the gradient w.r.t. the
+/// logits (already divided by the batch size).
+#[derive(Debug, Clone)]
+pub struct LossOutput {
+    /// Mean cross-entropy over the batch.
+    pub loss: f32,
+    /// Gradient w.r.t. the logits, `[N, C]`.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy with integer targets.
+///
+/// `logits` is `[N, C]`; `targets` holds `N` class indices. Returns the mean
+/// loss and its gradient `softmax(logits) − onehot(target)` scaled by `1/N`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BatchMismatch`] when `targets.len() != N` and
+/// [`NnError::LabelOutOfRange`] for an invalid class index.
+pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<LossOutput> {
+    if logits.rank() != 2 {
+        return Err(NnError::Tensor(TensorError::RankMismatch {
+            expected: 2,
+            got: logits.rank(),
+            op: "softmax_cross_entropy",
+        }));
+    }
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    if targets.len() != n {
+        return Err(NnError::BatchMismatch {
+            lhs: n,
+            rhs: targets.len(),
+            op: "softmax_cross_entropy",
+        });
+    }
+    let probs = ops::softmax_rows(logits)?;
+    let mut loss = 0.0f64;
+    let mut grad = probs.clone();
+    {
+        let gv = grad.as_mut_slice();
+        let pv = probs.as_slice();
+        for (ni, &t) in targets.iter().enumerate() {
+            if t >= c {
+                return Err(NnError::LabelOutOfRange { label: t, classes: c });
+            }
+            let p = pv[ni * c + t].max(1e-12);
+            loss -= (p as f64).ln();
+            gv[ni * c + t] -= 1.0;
+        }
+        let inv_n = 1.0 / n as f32;
+        for g in gv.iter_mut() {
+            *g *= inv_n;
+        }
+    }
+    Ok(LossOutput {
+        loss: (loss / n as f64) as f32,
+        grad,
+    })
+}
+
+/// Adds the subgradient of `λ · Σ |γ|` to a BatchNorm layer's γ gradient and
+/// returns the penalty value — the sparsity term `g(γ)` of Eq. 1.
+///
+/// Call once per training step, after the backward pass and before the
+/// optimizer step.
+pub fn apply_bn_sparsity_penalty(bn: &mut BatchNorm2d, lambda: f32) -> f32 {
+    let mut penalty = 0.0f32;
+    let gamma = bn.gamma_mut();
+    let values: Vec<f32> = gamma.value.as_slice().to_vec();
+    for (g, v) in gamma.grad.as_mut_slice().iter_mut().zip(values) {
+        penalty += v.abs();
+        // Subgradient of |γ|: pick 0 at γ = 0 (f32::signum(0.0) would be 1).
+        if v != 0.0 {
+            *g += lambda * v.signum();
+        }
+    }
+    lambda * penalty
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Layer, Mode};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbnet_tensor::init;
+
+    #[test]
+    fn perfect_prediction_has_low_loss() {
+        let logits = Tensor::from_vec(vec![10.0, -10.0, -10.0, 10.0], &[2, 2]).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        assert!(out.loss < 1e-3);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_c() {
+        let logits = Tensor::zeros(&[4, 10]);
+        let out = softmax_cross_entropy(&logits, &[0, 3, 7, 9]).unwrap();
+        assert!((out.loss - (10.0f32).ln()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn gradient_matches_numerical() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = init::randn(&[3, 4], 1.0, &mut rng);
+        let targets = [1usize, 0, 3];
+        let out = softmax_cross_entropy(&logits, &targets).unwrap();
+        let eps = 1e-2f32;
+        for idx in 0..logits.numel() {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let fp = softmax_cross_entropy(&lp, &targets).unwrap().loss;
+            let fm = softmax_cross_entropy(&lm, &targets).unwrap().loss;
+            let num = (fp - fm) / (2.0 * eps);
+            assert!(
+                (num - out.grad.as_slice()[idx]).abs() < 1e-3,
+                "logit {idx}"
+            );
+        }
+    }
+
+    #[test]
+    fn grad_rows_sum_to_zero() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let logits = init::randn(&[5, 7], 1.0, &mut rng);
+        let out = softmax_cross_entropy(&logits, &[0, 1, 2, 3, 4]).unwrap();
+        for ni in 0..5 {
+            let s: f32 = out.grad.as_slice()[ni * 7..(ni + 1) * 7].iter().sum();
+            assert!(s.abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn validation_errors() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0]),
+            Err(NnError::BatchMismatch { .. })
+        ));
+        assert!(matches!(
+            softmax_cross_entropy(&logits, &[0, 3]),
+            Err(NnError::LabelOutOfRange { .. })
+        ));
+        assert!(softmax_cross_entropy(&Tensor::zeros(&[6]), &[0]).is_err());
+    }
+
+    #[test]
+    fn sparsity_penalty_pushes_toward_zero() {
+        let mut bn = BatchNorm2d::new(3);
+        bn.gamma_mut().value = Tensor::from_slice(&[0.5, -0.5, 0.0]);
+        let penalty = apply_bn_sparsity_penalty(&mut bn, 0.1);
+        assert!((penalty - 0.1).abs() < 1e-6);
+        let grads = bn.gamma().grad.as_slice();
+        assert!((grads[0] - 0.1).abs() < 1e-6);
+        assert!((grads[1] + 0.1).abs() < 1e-6);
+        assert_eq!(grads[2], 0.0);
+    }
+
+    #[test]
+    fn sparsity_penalty_shrinks_gamma_in_training() {
+        // One SGD-like step along the L1 subgradient must shrink |γ|.
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma_mut().value = Tensor::from_slice(&[1.0, -1.0]);
+        apply_bn_sparsity_penalty(&mut bn, 1.0);
+        let lr = 0.1;
+        let g = bn.gamma().grad.clone();
+        for (v, gr) in bn
+            .gamma_mut()
+            .value
+            .as_mut_slice()
+            .iter_mut()
+            .zip(g.as_slice())
+        {
+            *v -= lr * gr;
+        }
+        assert!((bn.gamma().value.as_slice()[0] - 0.9).abs() < 1e-6);
+        assert!((bn.gamma().value.as_slice()[1] + 0.9).abs() < 1e-6);
+        let _ = bn.forward(&Tensor::zeros(&[1, 2, 2, 2]), Mode::Eval);
+    }
+}

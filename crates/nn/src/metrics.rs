@@ -1,0 +1,244 @@
+//! Classification metrics.
+
+use tbnet_tensor::{Tensor, TensorError};
+
+use crate::{NnError, Result};
+
+/// Top-1 accuracy of `logits: [N, C]` against integer `targets`, in `[0, 1]`.
+///
+/// # Errors
+///
+/// Returns [`NnError::BatchMismatch`] when the batch sizes disagree and a
+/// rank error for non-matrix logits.
+pub fn accuracy(logits: &Tensor, targets: &[usize]) -> Result<f32> {
+    if logits.rank() != 2 {
+        return Err(NnError::Tensor(TensorError::RankMismatch {
+            expected: 2,
+            got: logits.rank(),
+            op: "accuracy",
+        }));
+    }
+    let (n, c) = (logits.dim(0), logits.dim(1));
+    if targets.len() != n {
+        return Err(NnError::BatchMismatch {
+            lhs: n,
+            rhs: targets.len(),
+            op: "accuracy",
+        });
+    }
+    if n == 0 {
+        return Ok(0.0);
+    }
+    let lv = logits.as_slice();
+    let mut correct = 0usize;
+    for (ni, &t) in targets.iter().enumerate() {
+        let row = &lv[ni * c..(ni + 1) * c];
+        let mut best = 0usize;
+        for (j, &x) in row.iter().enumerate() {
+            if x > row[best] {
+                best = j;
+            }
+        }
+        if best == t {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / n as f32)
+}
+
+/// A `C × C` confusion matrix: `counts[actual][predicted]`.
+///
+/// Used by the attack analysis to show *how* a crippled stolen model fails
+/// (e.g. collapsing onto one class), not just that it fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<u32>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from logits `[N, C]` and integer targets.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`accuracy`].
+    pub fn from_logits(logits: &Tensor, targets: &[usize]) -> Result<Self> {
+        if logits.rank() != 2 {
+            return Err(NnError::Tensor(TensorError::RankMismatch {
+                expected: 2,
+                got: logits.rank(),
+                op: "confusion_matrix",
+            }));
+        }
+        let (n, c) = (logits.dim(0), logits.dim(1));
+        if targets.len() != n {
+            return Err(NnError::BatchMismatch {
+                lhs: n,
+                rhs: targets.len(),
+                op: "confusion_matrix",
+            });
+        }
+        let mut counts = vec![vec![0u32; c]; c];
+        let lv = logits.as_slice();
+        for (ni, &t) in targets.iter().enumerate() {
+            if t >= c {
+                return Err(NnError::LabelOutOfRange { label: t, classes: c });
+            }
+            let row = &lv[ni * c..(ni + 1) * c];
+            let mut best = 0usize;
+            for (j, &x) in row.iter().enumerate() {
+                if x > row[best] {
+                    best = j;
+                }
+            }
+            counts[t][best] += 1;
+        }
+        Ok(ConfusionMatrix { counts })
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of samples with true class `actual` predicted as `predicted`.
+    pub fn count(&self, actual: usize, predicted: usize) -> u32 {
+        self.counts[actual][predicted]
+    }
+
+    /// Overall accuracy derived from the matrix diagonal.
+    pub fn accuracy(&self) -> f32 {
+        let total: u32 = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u32 = (0..self.classes()).map(|i| self.counts[i][i]).sum();
+        diag as f32 / total as f32
+    }
+
+    /// The class most frequently predicted, with its share of all
+    /// predictions — detects mode collapse in stolen models.
+    pub fn dominant_prediction(&self) -> Option<(usize, f32)> {
+        let c = self.classes();
+        let total: u32 = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return None;
+        }
+        let mut best = 0usize;
+        let mut best_count = 0u32;
+        for p in 0..c {
+            let col: u32 = (0..c).map(|a| self.counts[a][p]).sum();
+            if col > best_count {
+                best_count = col;
+                best = p;
+            }
+        }
+        Some((best, best_count as f32 / total as f32))
+    }
+}
+
+/// Running average helper for accumulating per-batch metrics into an epoch
+/// summary.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningMean {
+    sum: f64,
+    weight: f64,
+}
+
+impl RunningMean {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an observation with the given weight (e.g. batch size).
+    pub fn add(&mut self, value: f32, weight: usize) {
+        self.sum += value as f64 * weight as f64;
+        self.weight += weight as f64;
+    }
+
+    /// The weighted mean so far (0.0 when empty).
+    pub fn mean(&self) -> f32 {
+        if self.weight == 0.0 {
+            0.0
+        } else {
+            (self.sum / self.weight) as f32
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_correct_rows() {
+        let logits = Tensor::from_vec(
+            vec![
+                2.0, 1.0, 0.0, // pred 0
+                0.0, 3.0, 1.0, // pred 1
+                0.0, 1.0, 5.0, // pred 2
+            ],
+            &[3, 3],
+        )
+        .unwrap();
+        assert!((accuracy(&logits, &[0, 1, 1]).unwrap() - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&logits, &[0, 1, 2]).unwrap(), 1.0);
+        assert_eq!(accuracy(&logits, &[1, 0, 0]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(accuracy(&logits, &[0]).is_err());
+        assert!(accuracy(&Tensor::zeros(&[3]), &[0, 1, 2]).is_err());
+    }
+
+    #[test]
+    fn empty_batch_is_zero() {
+        let logits = Tensor::zeros(&[0, 3]);
+        assert_eq!(accuracy(&logits, &[]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts_and_accuracy() {
+        let logits = Tensor::from_vec(
+            vec![
+                2.0, 0.0, // pred 0, true 0 ✓
+                2.0, 0.0, // pred 0, true 1 ✗
+                0.0, 2.0, // pred 1, true 1 ✓
+                2.0, 0.0, // pred 0, true 1 ✗
+            ],
+            &[4, 2],
+        )
+        .unwrap();
+        let cm = ConfusionMatrix::from_logits(&logits, &[0, 1, 1, 1]).unwrap();
+        assert_eq!(cm.classes(), 2);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(1, 0), 2);
+        assert_eq!(cm.count(1, 1), 1);
+        assert!((cm.accuracy() - 0.5).abs() < 1e-6);
+        // Class 0 dominates predictions (3 of 4).
+        let (class, share) = cm.dominant_prediction().unwrap();
+        assert_eq!(class, 0);
+        assert!((share - 0.75).abs() < 1e-6);
+    }
+
+    #[test]
+    fn confusion_matrix_validation() {
+        let logits = Tensor::zeros(&[2, 3]);
+        assert!(ConfusionMatrix::from_logits(&logits, &[0]).is_err());
+        assert!(ConfusionMatrix::from_logits(&logits, &[0, 9]).is_err());
+        let empty = ConfusionMatrix::from_logits(&Tensor::zeros(&[0, 3]), &[]).unwrap();
+        assert_eq!(empty.accuracy(), 0.0);
+        assert!(empty.dominant_prediction().is_none());
+    }
+
+    #[test]
+    fn running_mean_weights_batches() {
+        let mut rm = RunningMean::new();
+        assert_eq!(rm.mean(), 0.0);
+        rm.add(1.0, 10);
+        rm.add(0.0, 30);
+        assert!((rm.mean() - 0.25).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,240 @@
+//! Optimizers and learning-rate schedules.
+//!
+//! The TBNet paper trains with SGD (lr 0.1, momentum 0.9, weight decay 1e-4)
+//! and decays the learning rate ×0.1 every 100 epochs; [`Sgd`] and [`StepLr`]
+//! reproduce exactly that configuration (scaled-down epoch counts use the
+//! same shapes).
+
+use crate::{Layer, NnError, Result};
+
+/// Stochastic gradient descent with momentum and decoupled per-parameter
+/// weight decay (decay is only applied to parameters whose
+/// [`Param::decay`](crate::Param) flag is set — convolution and linear
+/// weights, not BatchNorm scales).
+///
+/// The update matches PyTorch's `torch.optim.SGD`:
+///
+/// ```text
+/// g ← grad + wd·θ          (if decay)
+/// v ← momentum·v + g
+/// θ ← θ − lr·v
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+}
+
+impl Sgd {
+    /// Creates an SGD optimizer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidHyperparameter`] for a non-positive learning
+    /// rate or momentum/decay outside `[0, 1)` / `[0, ∞)`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Result<Self> {
+        if !(lr > 0.0 && lr.is_finite()) {
+            return Err(NnError::InvalidHyperparameter {
+                name: "lr",
+                reason: format!("must be positive and finite, got {lr}"),
+            });
+        }
+        if !(0.0..1.0).contains(&momentum) {
+            return Err(NnError::InvalidHyperparameter {
+                name: "momentum",
+                reason: format!("must be in [0, 1), got {momentum}"),
+            });
+        }
+        if weight_decay < 0.0 {
+            return Err(NnError::InvalidHyperparameter {
+                name: "weight_decay",
+                reason: format!("must be non-negative, got {weight_decay}"),
+            });
+        }
+        Ok(Sgd {
+            lr,
+            momentum,
+            weight_decay,
+        })
+    }
+
+    /// The paper's configuration: lr 0.1, momentum 0.9, weight decay 1e-4.
+    pub fn paper_defaults() -> Self {
+        Sgd {
+            lr: 0.1,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        }
+    }
+
+    /// Current learning rate.
+    pub fn lr(&self) -> f32 {
+        self.lr
+    }
+
+    /// Overrides the learning rate (driven by a schedule).
+    pub fn set_lr(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+
+    /// Applies one update step to every parameter of `layer`.
+    pub fn step(&self, layer: &mut dyn Layer) {
+        let (lr, momentum, wd) = (self.lr, self.momentum, self.weight_decay);
+        layer.visit_params(&mut |p| {
+            let decay = if p.decay { wd } else { 0.0 };
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            let vel = p.velocity.as_mut_slice();
+            for ((th, &g), v) in value.iter_mut().zip(grad).zip(vel.iter_mut()) {
+                let g = g + decay * *th;
+                *v = momentum * *v + g;
+                *th -= lr * *v;
+            }
+        });
+    }
+}
+
+/// Step-decay learning-rate schedule: `lr(e) = base · gamma^(e / step)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepLr {
+    base_lr: f32,
+    gamma: f32,
+    step_size: usize,
+}
+
+impl StepLr {
+    /// Creates a schedule decaying by `gamma` every `step_size` epochs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::InvalidHyperparameter`] for a zero step size.
+    pub fn new(base_lr: f32, gamma: f32, step_size: usize) -> Result<Self> {
+        if step_size == 0 {
+            return Err(NnError::InvalidHyperparameter {
+                name: "step_size",
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(StepLr {
+            base_lr,
+            gamma,
+            step_size,
+        })
+    }
+
+    /// Learning rate for the given 0-based epoch.
+    pub fn lr_at(&self, epoch: usize) -> f32 {
+        self.base_lr * self.gamma.powi((epoch / self.step_size) as i32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Mode, Param};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use tbnet_tensor::Tensor;
+
+    struct OneParam(Param);
+    impl Layer for OneParam {
+        fn forward(&mut self, x: &Tensor, _m: Mode) -> Result<Tensor> {
+            Ok(x.clone())
+        }
+        fn backward(&mut self, g: &Tensor) -> Result<Tensor> {
+            Ok(g.clone())
+        }
+        fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+            f(&mut self.0);
+        }
+        fn name(&self) -> &'static str {
+            "OneParam"
+        }
+    }
+
+    #[test]
+    fn plain_sgd_step() {
+        let mut layer = OneParam(Param::new(Tensor::from_slice(&[1.0]), false));
+        layer.0.grad = Tensor::from_slice(&[0.5]);
+        let sgd = Sgd::new(0.1, 0.0, 0.0).unwrap();
+        sgd.step(&mut layer);
+        assert!((layer.0.value.as_slice()[0] - 0.95).abs() < 1e-6);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut layer = OneParam(Param::new(Tensor::from_slice(&[0.0]), false));
+        let sgd = Sgd::new(1.0, 0.5, 0.0).unwrap();
+        layer.0.grad = Tensor::from_slice(&[1.0]);
+        sgd.step(&mut layer); // v = 1, θ = −1
+        sgd.step(&mut layer); // v = 1.5, θ = −2.5
+        assert!((layer.0.value.as_slice()[0] + 2.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn weight_decay_respects_flag() {
+        let sgd = Sgd::new(0.1, 0.0, 1.0).unwrap();
+        let mut decayed = OneParam(Param::new(Tensor::from_slice(&[1.0]), true));
+        let mut plain = OneParam(Param::new(Tensor::from_slice(&[1.0]), false));
+        sgd.step(&mut decayed);
+        sgd.step(&mut plain);
+        assert!((decayed.0.value.as_slice()[0] - 0.9).abs() < 1e-6);
+        assert!((plain.0.value.as_slice()[0] - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hyperparameter_validation() {
+        assert!(Sgd::new(0.0, 0.9, 0.0).is_err());
+        assert!(Sgd::new(f32::NAN, 0.9, 0.0).is_err());
+        assert!(Sgd::new(0.1, 1.0, 0.0).is_err());
+        assert!(Sgd::new(0.1, -0.1, 0.0).is_err());
+        assert!(Sgd::new(0.1, 0.9, -1.0).is_err());
+        assert!(StepLr::new(0.1, 0.1, 0).is_err());
+    }
+
+    #[test]
+    fn step_lr_schedule() {
+        let sched = StepLr::new(0.1, 0.1, 100).unwrap();
+        assert!((sched.lr_at(0) - 0.1).abs() < 1e-7);
+        assert!((sched.lr_at(99) - 0.1).abs() < 1e-7);
+        assert!((sched.lr_at(100) - 0.01).abs() < 1e-7);
+        assert!((sched.lr_at(250) - 0.001).abs() < 1e-8);
+    }
+
+    #[test]
+    fn sgd_reduces_loss_on_regression_task() {
+        // Fit y = 2x with a linear layer: loss must decrease monotonically-ish.
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut lin = Linear::new(1, 1, &mut rng);
+        let sgd = Sgd::new(0.05, 0.9, 0.0).unwrap();
+        let xs = Tensor::from_vec(vec![-1.0, 0.0, 1.0, 2.0], &[4, 1]).unwrap();
+        let ys = [-2.0f32, 0.0, 2.0, 4.0];
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..100 {
+            lin.zero_grad();
+            let pred = lin.forward(&xs, Mode::Train).unwrap();
+            // MSE loss gradient: 2(pred − y)/N
+            let mut grad = pred.clone();
+            let mut loss = 0.0f32;
+            for (i, g) in grad.as_mut_slice().iter_mut().enumerate() {
+                let d = *g - ys[i];
+                loss += d * d / 4.0;
+                *g = 2.0 * d / 4.0;
+            }
+            lin.backward(&grad).unwrap();
+            sgd.step(&mut lin);
+            first.get_or_insert(loss);
+            last = loss;
+        }
+        assert!(last < first.unwrap() * 0.01, "loss {last} did not decrease");
+        assert!((lin.weight().value.as_slice()[0] - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn paper_defaults_match_paper() {
+        let sgd = Sgd::paper_defaults();
+        assert!((sgd.lr() - 0.1).abs() < 1e-7);
+    }
+}

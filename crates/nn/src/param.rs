@@ -1,0 +1,102 @@
+use serde::{Deserialize, Serialize};
+
+use tbnet_tensor::Tensor;
+
+/// A trainable parameter: value, accumulated gradient and SGD momentum
+/// buffer, plus a flag controlling whether weight decay applies.
+///
+/// BatchNorm scales/offsets conventionally skip weight decay (decay would
+/// fight the L1 sparsity signal TBNet relies on for pruning), so the flag is
+/// per-parameter rather than per-optimizer.
+///
+/// # Example
+///
+/// ```
+/// use tbnet_nn::Param;
+/// use tbnet_tensor::Tensor;
+///
+/// let mut p = Param::new(Tensor::ones(&[3]), true);
+/// p.grad.as_mut_slice()[0] = 0.5;
+/// p.zero_grad();
+/// assert_eq!(p.grad.sum(), 0.0);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+    /// SGD momentum buffer (same shape as `value`).
+    pub velocity: Tensor,
+    /// Whether weight decay (L2) applies to this parameter.
+    pub decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with zeroed gradient and momentum buffers.
+    pub fn new(value: Tensor, decay: bool) -> Self {
+        let grad = Tensor::zeros(value.dims());
+        let velocity = Tensor::zeros(value.dims());
+        Param {
+            value,
+            grad,
+            velocity,
+            decay,
+        }
+    }
+
+    /// Replaces the value and resets gradient/momentum buffers to match the
+    /// (possibly new) shape. Used by the pruning pass, which shrinks
+    /// parameter tensors in place.
+    pub fn set_value(&mut self, value: Tensor) {
+        self.grad = Tensor::zeros(value.dims());
+        self.velocity = Tensor::zeros(value.dims());
+        self.value = value;
+    }
+
+    /// Clears the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_buffers_match_shape() {
+        let p = Param::new(Tensor::ones(&[2, 3]), true);
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert_eq!(p.velocity.dims(), &[2, 3]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert!(p.decay);
+    }
+
+    #[test]
+    fn set_value_resets_buffers() {
+        let mut p = Param::new(Tensor::ones(&[4]), false);
+        p.grad.fill(1.0);
+        p.velocity.fill(2.0);
+        p.set_value(Tensor::zeros(&[2]));
+        assert_eq!(p.value.dims(), &[2]);
+        assert_eq!(p.grad.dims(), &[2]);
+        assert_eq!(p.velocity.dims(), &[2]);
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.velocity.sum(), 0.0);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones(&[3]), true);
+        p.grad.fill(5.0);
+        p.zero_grad();
+        assert_eq!(p.grad.sum(), 0.0);
+        assert_eq!(p.numel(), 3);
+    }
+}

@@ -1,0 +1,158 @@
+use tbnet_tensor::Tensor;
+
+use crate::{Layer, Mode, Param, Result};
+
+/// An ordered chain of layers executed front to back (and back to front for
+/// gradients).
+///
+/// `Sequential` is itself a [`Layer`], so chains nest. The victim models in
+/// `tbnet-models` are plain `Sequential`s; the two-branch substitution model
+/// in `tbnet-core` wires its own graph instead because of the cross-branch
+/// merges.
+pub struct Sequential {
+    layers: Vec<Box<dyn Layer>>,
+}
+
+impl Sequential {
+    /// Creates a chain from boxed layers.
+    pub fn new(layers: Vec<Box<dyn Layer>>) -> Self {
+        Sequential { layers }
+    }
+
+    /// Creates an empty chain; see [`Sequential::push`].
+    pub fn empty() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Appends a layer to the chain.
+    pub fn push(&mut self, layer: Box<dyn Layer>) {
+        self.layers.push(layer);
+    }
+
+    /// Number of layers in the chain.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// `true` if the chain has no layers.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+
+    /// Borrow the layers.
+    pub fn layers(&self) -> &[Box<dyn Layer>] {
+        &self.layers
+    }
+
+    /// Mutably borrow the layers (pruning rewrites them in place).
+    pub fn layers_mut(&mut self) -> &mut [Box<dyn Layer>] {
+        &mut self.layers
+    }
+}
+
+impl std::fmt::Debug for Sequential {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Sequential[")?;
+        for (i, l) in self.layers.iter().enumerate() {
+            if i > 0 {
+                write!(f, " → ")?;
+            }
+            write!(f, "{}", l.name())?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl Layer for Sequential {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        let mut x = input.clone();
+        for layer in &mut self.layers {
+            x = layer.forward(&x, mode)?;
+        }
+        Ok(x)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g)?;
+        }
+        Ok(g)
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        for layer in &mut self.layers {
+            layer.visit_params(f);
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Sequential"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Linear, Relu};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(rng: &mut StdRng) -> Sequential {
+        Sequential::new(vec![
+            Box::new(Linear::new(2, 8, rng)),
+            Box::new(Relu::new()),
+            Box::new(Linear::new(8, 2, rng)),
+        ])
+    }
+
+    #[test]
+    fn forward_chains_layers() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut net = mlp(&mut rng);
+        let y = net.forward(&Tensor::zeros(&[4, 2]), Mode::Eval).unwrap();
+        assert_eq!(y.dims(), &[4, 2]);
+        assert_eq!(net.len(), 3);
+        assert!(!net.is_empty());
+    }
+
+    #[test]
+    fn backward_chains_in_reverse() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut net = mlp(&mut rng);
+        let x = tbnet_tensor::init::randn(&[3, 2], 1.0, &mut rng);
+        let y = net.forward(&x, Mode::Train).unwrap();
+        let gx = net.backward(&Tensor::ones(y.dims())).unwrap();
+        assert_eq!(gx.dims(), x.dims());
+        // Numerical check on one input coordinate.
+        let eps = 1e-2f32;
+        let mut xp = x.clone();
+        xp.as_mut_slice()[0] += eps;
+        let mut xm = x.clone();
+        xm.as_mut_slice()[0] -= eps;
+        let lp = net.forward(&xp, Mode::Eval).unwrap().sum();
+        let lm = net.forward(&xm, Mode::Eval).unwrap().sum();
+        let num = (lp - lm) / (2.0 * eps);
+        assert!((num - gx.as_slice()[0]).abs() < 1e-2);
+    }
+
+    #[test]
+    fn visits_all_params() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut net = mlp(&mut rng);
+        // 2*8 + 8 + 8*2 + 2 = 42
+        assert_eq!(net.param_count(), 42);
+    }
+
+    #[test]
+    fn push_and_debug() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net = Sequential::empty();
+        assert!(net.is_empty());
+        net.push(Box::new(Linear::new(2, 2, &mut rng)));
+        net.push(Box::new(Relu::new()));
+        let dbg = format!("{net:?}");
+        assert!(dbg.contains("Linear"));
+        assert!(dbg.contains("Relu"));
+    }
+}

@@ -1,0 +1,132 @@
+//! Weight-initialization helpers.
+//!
+//! All initializers are deterministic given the caller's RNG, which is how the
+//! experiment harness achieves reproducible victim models across runs.
+
+use rand::Rng;
+
+use crate::Tensor;
+
+/// Fills a new tensor with samples from `N(0, std^2)` using the Box–Muller
+/// transform (no distribution crates needed).
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let t = tbnet_tensor::init::randn(&[4, 4], 0.1, &mut rng);
+/// assert_eq!(t.numel(), 16);
+/// ```
+pub fn randn<R: Rng + ?Sized>(dims: &[usize], std: f32, rng: &mut R) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    let data = t.as_mut_slice();
+    let mut i = 0;
+    while i < data.len() {
+        let (a, b) = gaussian_pair(rng);
+        data[i] = a * std;
+        if i + 1 < data.len() {
+            data[i + 1] = b * std;
+        }
+        i += 2;
+    }
+    t
+}
+
+/// Fills a new tensor with samples from `U(lo, hi)`.
+pub fn uniform<R: Rng + ?Sized>(dims: &[usize], lo: f32, hi: f32, rng: &mut R) -> Tensor {
+    let mut t = Tensor::zeros(dims);
+    for x in t.as_mut_slice() {
+        *x = rng.gen_range(lo..hi);
+    }
+    t
+}
+
+/// Kaiming/He normal initialization for a convolution weight of shape
+/// `[out_c, in_c, kh, kw]` (or a linear weight `[out, in]`): `std =
+/// sqrt(2 / fan_in)`, the standard choice for ReLU networks and the one used
+/// by the paper's PyTorch baseline.
+pub fn kaiming_normal<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Tensor {
+    let fan_in: usize = dims.iter().skip(1).product::<usize>().max(1);
+    let std = (2.0 / fan_in as f32).sqrt();
+    randn(dims, std, rng)
+}
+
+/// Xavier/Glorot uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`. Used for classifier heads.
+pub fn xavier_uniform<R: Rng + ?Sized>(dims: &[usize], rng: &mut R) -> Tensor {
+    let fan_out = dims.first().copied().unwrap_or(1).max(1);
+    let fan_in: usize = dims.iter().skip(1).product::<usize>().max(1);
+    let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+    uniform(dims, -a, a, rng)
+}
+
+fn gaussian_pair<R: Rng + ?Sized>(rng: &mut R) -> (f32, f32) {
+    // Box–Muller; clamp u1 away from zero so ln() stays finite.
+    let u1: f32 = rng.gen_range(f32::EPSILON..1.0);
+    let u2: f32 = rng.gen_range(0.0..1.0);
+    let r = (-2.0 * u1.ln()).sqrt();
+    let theta = 2.0 * std::f32::consts::PI * u2;
+    (r * theta.cos(), r * theta.sin())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let t = randn(&[10_000], 1.0, &mut rng);
+        let mean = t.mean();
+        let var = t.as_slice().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 10_000.0;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.1, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn randn_deterministic_per_seed() {
+        let a = randn(&[16], 1.0, &mut StdRng::seed_from_u64(1));
+        let b = randn(&[16], 1.0, &mut StdRng::seed_from_u64(1));
+        let c = randn(&[16], 1.0, &mut StdRng::seed_from_u64(2));
+        assert_eq!(a.as_slice(), b.as_slice());
+        assert_ne!(a.as_slice(), c.as_slice());
+    }
+
+    #[test]
+    fn uniform_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = uniform(&[1000], -0.5, 0.5, &mut rng);
+        assert!(t.max().unwrap() < 0.5);
+        assert!(t.min().unwrap() >= -0.5);
+    }
+
+    #[test]
+    fn kaiming_std_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let narrow = kaiming_normal(&[8, 2, 3, 3], &mut rng);
+        let wide = kaiming_normal(&[8, 128, 3, 3], &mut rng);
+        let std_of = |t: &Tensor| {
+            let m = t.mean();
+            (t.as_slice().iter().map(|x| (x - m).powi(2)).sum::<f32>() / t.numel() as f32).sqrt()
+        };
+        assert!(std_of(&narrow) > std_of(&wide));
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let t = xavier_uniform(&[10, 10], &mut rng);
+        let a = (6.0f32 / 20.0).sqrt();
+        assert!(t.max().unwrap() <= a);
+        assert!(t.min().unwrap() >= -a);
+    }
+
+    #[test]
+    fn all_finite_outputs() {
+        let mut rng = StdRng::seed_from_u64(6);
+        assert!(randn(&[1001], 2.0, &mut rng).all_finite());
+        assert!(kaiming_normal(&[3, 3, 3, 3], &mut rng).all_finite());
+        assert!(xavier_uniform(&[7, 5], &mut rng).all_finite());
+    }
+}

@@ -1,0 +1,43 @@
+//! Dense `f32` tensor substrate for the TBNet reproduction.
+//!
+//! This crate provides the minimal-but-complete numerical kernel set needed to
+//! train and run the convolutional networks used by the TBNet paper
+//! (DAC 2024): an owned, contiguous, row-major [`Tensor`] type plus forward
+//! *and* backward kernels for matrix multiplication, 2-D convolution
+//! (im2col-based), pooling and reductions.
+//!
+//! The crate is deliberately dependency-light: everything is implemented from
+//! scratch on `Vec<f32>` so that the higher layers (`tbnet-nn`, `tbnet-core`)
+//! control exactly what arithmetic runs where — which is what the TEE cost
+//! model in `tbnet-tee` accounts for.
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), tbnet_tensor::TensorError> {
+//! use tbnet_tensor::Tensor;
+//!
+//! let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2])?;
+//! let b = Tensor::eye(2);
+//! let c = a.matmul(&b)?;
+//! assert_eq!(c.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod shape;
+mod tensor;
+
+pub mod init;
+pub mod ops;
+
+pub use error::TensorError;
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,466 @@
+//! 2-D convolution kernels (im2col formulation), forward and backward.
+//!
+//! Layout conventions follow PyTorch: activations are `[N, C, H, W]`,
+//! convolution weights are `[O, C, KH, KW]`. The backward pass recomputes the
+//! im2col buffer per sample instead of caching it, trading FLOPs for memory —
+//! the same trade a TEE deployment has to make, which keeps the simulated
+//! activation footprints honest.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Gradients produced by [`conv2d_backward`].
+#[derive(Debug, Clone)]
+pub struct Conv2dGrads {
+    /// Gradient with respect to the convolution input, `[N, C, H, W]`.
+    pub grad_input: Tensor,
+    /// Gradient with respect to the weight, `[O, C, KH, KW]`.
+    pub grad_weight: Tensor,
+    /// Gradient with respect to the bias, `[O]`; `None` when the layer has no
+    /// bias (the usual case here, since BatchNorm follows every convolution).
+    pub grad_bias: Option<Tensor>,
+}
+
+/// Computes the output spatial size of a convolution/pooling window.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ZeroSizedParameter`] for a zero kernel/stride and
+/// [`TensorError::InvalidGeometry`] when the kernel does not fit in the padded
+/// input.
+pub fn conv_output_size(input: usize, kernel: usize, stride: usize, pad: usize) -> Result<usize> {
+    if kernel == 0 {
+        return Err(TensorError::ZeroSizedParameter { name: "kernel" });
+    }
+    if stride == 0 {
+        return Err(TensorError::ZeroSizedParameter { name: "stride" });
+    }
+    let padded = input + 2 * pad;
+    if padded < kernel {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!("kernel {kernel} larger than padded input {padded}"),
+        });
+    }
+    Ok((padded - kernel) / stride + 1)
+}
+
+/// Unfolds one `[C, H, W]` sample into an im2col matrix
+/// `[C*KH*KW, OH*OW]` so convolution becomes a single matmul.
+///
+/// `sample` must point at the `n`-th image of a `[N, C, H, W]` tensor buffer.
+///
+/// # Errors
+///
+/// Propagates geometry errors from [`conv_output_size`].
+#[allow(clippy::too_many_arguments)]
+pub fn im2col(
+    sample: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    let mut cols = Tensor::zeros(&[c * kh * kw, oh * ow]);
+    let cv = cols.as_mut_slice();
+    let spatial = oh * ow;
+    for ci in 0..c {
+        let plane = &sample[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let out_row = &mut cv[row * spatial..(row + 1) * spatial];
+                for ohi in 0..oh {
+                    let ih = (ohi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let in_row = &plane[ih as usize * w..(ih as usize + 1) * w];
+                    for owi in 0..ow {
+                        let iw = (owi * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        out_row[ohi * ow + owi] = in_row[iw as usize];
+                    }
+                }
+            }
+        }
+    }
+    Ok(cols)
+}
+
+/// Folds an im2col gradient matrix `[C*KH*KW, OH*OW]` back into a `[C, H, W]`
+/// input-gradient buffer, accumulating overlapping windows.
+///
+/// # Errors
+///
+/// Propagates geometry errors from [`conv_output_size`].
+#[allow(clippy::too_many_arguments)]
+pub fn col2im(
+    cols: &Tensor,
+    out: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<()> {
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    let spatial = oh * ow;
+    let cv = cols.as_slice();
+    if cv.len() != c * kh * kw * spatial {
+        return Err(TensorError::LengthMismatch {
+            expected: c * kh * kw * spatial,
+            got: cv.len(),
+            op: "col2im",
+        });
+    }
+    for ci in 0..c {
+        let plane = &mut out[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let col_row = &cv[row * spatial..(row + 1) * spatial];
+                for ohi in 0..oh {
+                    let ih = (ohi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    for owi in 0..ow {
+                        let iw = (owi * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        plane[ih as usize * w + iw as usize] += col_row[ohi * ow + owi];
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_conv_shapes(input: &Tensor, weight: &Tensor) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op: "conv2d",
+        });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: weight.rank(),
+            op: "conv2d",
+        });
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (o, wc, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    if c != wc {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![o, c, kh, kw],
+            got: weight.dims().to_vec(),
+            op: "conv2d (input channels)",
+        });
+    }
+    Ok((n, c, h, w, o, kh, kw))
+}
+
+/// 2-D convolution forward pass.
+///
+/// * `input`: `[N, C, H, W]`
+/// * `weight`: `[O, C, KH, KW]`
+/// * `bias`: optional `[O]`
+///
+/// Returns `[N, O, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent operands.
+pub fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let (n, c, h, w, o, kh, kw) = check_conv_shapes(input, weight)?;
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    if let Some(b) = bias {
+        if b.dims() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![o],
+                got: b.dims().to_vec(),
+                op: "conv2d (bias)",
+            });
+        }
+    }
+    let w2d = weight.reshape(&[o, c * kh * kw])?;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let in_sample = c * h * w;
+    let out_sample = o * oh * ow;
+    let iv = input.as_slice();
+    for ni in 0..n {
+        let cols = im2col(&iv[ni * in_sample..(ni + 1) * in_sample], c, h, w, kh, kw, stride, pad)?;
+        let prod = super::matmul(&w2d, &cols)?; // [O, OH*OW]
+        let dst = &mut out.as_mut_slice()[ni * out_sample..(ni + 1) * out_sample];
+        dst.copy_from_slice(prod.as_slice());
+        if let Some(b) = bias {
+            let bv = b.as_slice();
+            for (oi, &bval) in bv.iter().enumerate() {
+                for x in &mut dst[oi * oh * ow..(oi + 1) * oh * ow] {
+                    *x += bval;
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// 2-D convolution backward pass.
+///
+/// Recomputes im2col per sample (see module docs). `grad_out` must be
+/// `[N, O, OH, OW]` matching the forward geometry.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent operands.
+pub fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    has_bias: bool,
+) -> Result<Conv2dGrads> {
+    let (n, c, h, w, o, kh, kw) = check_conv_shapes(input, weight)?;
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    let expected = [n, o, oh, ow];
+    if grad_out.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            got: grad_out.dims().to_vec(),
+            op: "conv2d_backward (grad_out)",
+        });
+    }
+    let w2d = weight.reshape(&[o, c * kh * kw])?;
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_w2d = Tensor::zeros(&[o, c * kh * kw]);
+    let mut grad_bias = if has_bias { Some(Tensor::zeros(&[o])) } else { None };
+    let in_sample = c * h * w;
+    let out_sample = o * oh * ow;
+    let spatial = oh * ow;
+    let iv = input.as_slice();
+    let gv = grad_out.as_slice();
+    for ni in 0..n {
+        let cols = im2col(&iv[ni * in_sample..(ni + 1) * in_sample], c, h, w, kh, kw, stride, pad)?;
+        let g_n = Tensor::from_vec(
+            gv[ni * out_sample..(ni + 1) * out_sample].to_vec(),
+            &[o, spatial],
+        )?;
+        // grad_w += g_n @ colsᵀ
+        let gw = super::matmul_transpose_b(&g_n, &cols)?;
+        super::add_assign(&mut grad_w2d, &gw)?;
+        // grad_cols = weightᵀ @ g_n
+        let gcols = super::matmul_transpose_a(&w2d, &g_n)?;
+        let gi = &mut grad_input.as_mut_slice()[ni * in_sample..(ni + 1) * in_sample];
+        col2im(&gcols, gi, c, h, w, kh, kw, stride, pad)?;
+        if let Some(gb) = grad_bias.as_mut() {
+            for (oi, gbv) in gb.as_mut_slice().iter_mut().enumerate().take(o) {
+                let s: f32 = g_n.as_slice()[oi * spatial..(oi + 1) * spatial].iter().sum();
+                *gbv += s;
+            }
+        }
+    }
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight: grad_w2d.reshape(&[o, c, kh, kw])?,
+        grad_bias,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Direct (naive) convolution used as a reference implementation.
+    fn conv_reference(
+        input: &Tensor,
+        weight: &Tensor,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Tensor {
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        let (o, _, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+        let oh = conv_output_size(h, kh, stride, pad).unwrap();
+        let ow = conv_output_size(w, kw, stride, pad).unwrap();
+        let mut out = Tensor::zeros(&[n, o, oh, ow]);
+        for ni in 0..n {
+            for oi in 0..o {
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut acc = bias.map(|b| b.as_slice()[oi]).unwrap_or(0.0);
+                        for ci in 0..c {
+                            for ki in 0..kh {
+                                for kj in 0..kw {
+                                    let ih = (ohi * stride + ki) as isize - pad as isize;
+                                    let iw = (owi * stride + kj) as isize - pad as isize;
+                                    if ih < 0 || iw < 0 || ih >= h as isize || iw >= w as isize {
+                                        continue;
+                                    }
+                                    acc += input.at(&[ni, ci, ih as usize, iw as usize]).unwrap()
+                                        * weight.at(&[oi, ci, ki, kj]).unwrap();
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, oi, ohi, owi]).unwrap() = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn output_size_formula() {
+        assert_eq!(conv_output_size(32, 3, 1, 1).unwrap(), 32);
+        assert_eq!(conv_output_size(32, 3, 2, 1).unwrap(), 16);
+        assert_eq!(conv_output_size(5, 3, 1, 0).unwrap(), 3);
+        assert!(conv_output_size(2, 5, 1, 0).is_err());
+        assert!(conv_output_size(8, 0, 1, 0).is_err());
+        assert!(conv_output_size(8, 3, 0, 1).is_err());
+    }
+
+    #[test]
+    fn forward_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(stride, pad) in &[(1usize, 1usize), (1, 0), (2, 1)] {
+            let input = init::randn(&[2, 3, 6, 6], 1.0, &mut rng);
+            let weight = init::randn(&[4, 3, 3, 3], 0.5, &mut rng);
+            let bias = init::randn(&[4], 0.1, &mut rng);
+            let fast = conv2d_forward(&input, &weight, Some(&bias), stride, pad).unwrap();
+            let slow = conv_reference(&input, &weight, Some(&bias), stride, pad);
+            assert_eq!(fast.dims(), slow.dims());
+            for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
+                assert!((a - b).abs() < 1e-4, "{a} vs {b} (stride {stride} pad {pad})");
+            }
+        }
+    }
+
+    #[test]
+    fn one_by_one_conv_is_channel_mix() {
+        // A 1x1 convolution with identity-like weights should permute channels.
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        // weight[0] selects channel 1; weight[1] selects channel 0.
+        let weight = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2, 1, 1]).unwrap();
+        let out = conv2d_forward(&input, &weight, None, 1, 0).unwrap();
+        assert_eq!(out.as_slice(), &[5.0, 6.0, 7.0, 8.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    /// Numerical-gradient check of the full backward pass.
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let input = init::randn(&[1, 2, 5, 5], 1.0, &mut rng);
+        let weight = init::randn(&[3, 2, 3, 3], 0.5, &mut rng);
+        let bias = init::randn(&[3], 0.1, &mut rng);
+        let stride = 1;
+        let pad = 1;
+
+        // Loss = sum of outputs, so dL/dout = 1 everywhere.
+        let out = conv2d_forward(&input, &weight, Some(&bias), stride, pad).unwrap();
+        let grad_out = Tensor::ones(out.dims());
+        let grads = conv2d_backward(&input, &weight, &grad_out, stride, pad, true).unwrap();
+
+        let eps = 1e-2f32;
+        let loss = |inp: &Tensor, wt: &Tensor, b: &Tensor| {
+            conv2d_forward(inp, wt, Some(b), stride, pad).unwrap().sum()
+        };
+
+        // Check a sample of weight coordinates.
+        for &idx in &[0usize, 7, 20, 35, 53] {
+            let mut wp = weight.clone();
+            wp.as_mut_slice()[idx] += eps;
+            let mut wm = weight.clone();
+            wm.as_mut_slice()[idx] -= eps;
+            let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
+            let ana = grads.grad_weight.as_slice()[idx];
+            assert!((num - ana).abs() < 2e-2, "weight[{idx}]: num {num} vs ana {ana}");
+        }
+        // Check a sample of input coordinates.
+        for &idx in &[0usize, 12, 24, 49] {
+            let mut ip = input.clone();
+            ip.as_mut_slice()[idx] += eps;
+            let mut im = input.clone();
+            im.as_mut_slice()[idx] -= eps;
+            let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
+            let ana = grads.grad_input.as_slice()[idx];
+            assert!((num - ana).abs() < 2e-2, "input[{idx}]: num {num} vs ana {ana}");
+        }
+        // Bias gradient under sum-loss equals #output positions per channel.
+        let per_channel = (out.numel() / out.dim(1)) as f32;
+        for &g in grads.grad_bias.as_ref().unwrap().as_slice() {
+            assert!((g - per_channel).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint() {
+        // <im2col(x), y> == <x, col2im(y)> — the operators must be adjoint,
+        // otherwise conv backward is silently wrong.
+        let mut rng = StdRng::seed_from_u64(31);
+        let (c, h, w, kh, kw, s, p) = (2usize, 5usize, 5usize, 3usize, 3usize, 1usize, 1usize);
+        let x = init::randn(&[c, h, w], 1.0, &mut rng);
+        let cols_shape_rows = c * kh * kw;
+        let oh = conv_output_size(h, kh, s, p).unwrap();
+        let ow = conv_output_size(w, kw, s, p).unwrap();
+        let y = init::randn(&[cols_shape_rows, oh * ow], 1.0, &mut rng);
+
+        let cols = im2col(x.as_slice(), c, h, w, kh, kw, s, p).unwrap();
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+
+        let mut back = vec![0.0f32; c * h * w];
+        col2im(&y, &mut back, c, h, w, kh, kw, s, p).unwrap();
+        let rhs: f32 = back.iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        assert!((lhs - rhs).abs() < 1e-2, "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn shape_validation() {
+        let input = Tensor::zeros(&[1, 3, 8, 8]);
+        let weight = Tensor::zeros(&[4, 2, 3, 3]); // wrong in-channels
+        assert!(conv2d_forward(&input, &weight, None, 1, 1).is_err());
+        let weight = Tensor::zeros(&[4, 3, 3, 3]);
+        let bad_bias = Tensor::zeros(&[5]);
+        assert!(conv2d_forward(&input, &weight, Some(&bad_bias), 1, 1).is_err());
+        let grad_bad = Tensor::zeros(&[1, 4, 9, 9]);
+        assert!(conv2d_backward(&input, &weight, &grad_bad, 1, 1, false).is_err());
+    }
+
+    #[test]
+    fn no_bias_backward_has_no_bias_grad() {
+        let input = Tensor::ones(&[1, 1, 4, 4]);
+        let weight = Tensor::ones(&[1, 1, 3, 3]);
+        let out = conv2d_forward(&input, &weight, None, 1, 1).unwrap();
+        let grads = conv2d_backward(&input, &weight, &Tensor::ones(out.dims()), 1, 1, false).unwrap();
+        assert!(grads.grad_bias.is_none());
+    }
+}

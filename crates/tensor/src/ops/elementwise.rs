@@ -1,0 +1,148 @@
+//! Elementwise tensor arithmetic.
+//!
+//! These functions validate shapes eagerly and return
+//! [`TensorError::ShapeMismatch`] on disagreement; the two-branch merge in
+//! TBNet relies on `add` for the REE→TEE feature-map combination, so shape
+//! bugs there must surface immediately.
+
+use crate::{Result, Tensor};
+#[cfg(test)]
+use crate::TensorError;
+
+/// Elementwise sum `a + b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.expect_same_shape(b, "add")?;
+    let mut out = a.clone();
+    out.as_mut_slice()
+        .iter_mut()
+        .zip(b.as_slice())
+        .for_each(|(x, &y)| *x += y);
+    Ok(out)
+}
+
+/// Elementwise difference `a - b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.expect_same_shape(b, "sub")?;
+    let mut out = a.clone();
+    out.as_mut_slice()
+        .iter_mut()
+        .zip(b.as_slice())
+        .for_each(|(x, &y)| *x -= y);
+    Ok(out)
+}
+
+/// Elementwise (Hadamard) product `a ⊙ b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.expect_same_shape(b, "hadamard")?;
+    let mut out = a.clone();
+    out.as_mut_slice()
+        .iter_mut()
+        .zip(b.as_slice())
+        .for_each(|(x, &y)| *x *= y);
+    Ok(out)
+}
+
+/// In-place accumulation `a += b`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    a.expect_same_shape(b, "add_assign")?;
+    a.as_mut_slice()
+        .iter_mut()
+        .zip(b.as_slice())
+        .for_each(|(x, &y)| *x += y);
+    Ok(())
+}
+
+/// In-place scaled accumulation `a += alpha * b` (the BLAS `axpy`).
+///
+/// # Errors
+///
+/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+pub fn add_scaled(a: &mut Tensor, b: &Tensor, alpha: f32) -> Result<()> {
+    a.expect_same_shape(b, "add_scaled")?;
+    a.as_mut_slice()
+        .iter_mut()
+        .zip(b.as_slice())
+        .for_each(|(x, &y)| *x += alpha * y);
+    Ok(())
+}
+
+/// Returns `alpha * a`.
+pub fn scale(a: &Tensor, alpha: f32) -> Tensor {
+    a.map(|x| alpha * x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(v: &[f32]) -> Tensor {
+        Tensor::from_slice(v)
+    }
+
+    #[test]
+    fn add_sub_mul() {
+        let a = t(&[1.0, 2.0, 3.0]);
+        let b = t(&[4.0, 5.0, 6.0]);
+        assert_eq!(add(&a, &b).unwrap().as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(sub(&b, &a).unwrap().as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(hadamard(&a, &b).unwrap().as_slice(), &[4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn shape_mismatch_rejected() {
+        let a = Tensor::zeros(&[2, 2]);
+        let b = Tensor::zeros(&[4]);
+        assert!(matches!(
+            add(&a, &b),
+            Err(TensorError::ShapeMismatch { op: "add", .. })
+        ));
+        assert!(sub(&a, &b).is_err());
+        assert!(hadamard(&a, &b).is_err());
+        let mut a2 = a.clone();
+        assert!(add_assign(&mut a2, &b).is_err());
+        assert!(add_scaled(&mut a2, &b, 1.0).is_err());
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = t(&[1.0, 1.0]);
+        let b = t(&[2.0, 4.0]);
+        add_scaled(&mut a, &b, 0.5).unwrap();
+        assert_eq!(a.as_slice(), &[2.0, 3.0]);
+        add_assign(&mut a, &b).unwrap();
+        assert_eq!(a.as_slice(), &[4.0, 7.0]);
+    }
+
+    #[test]
+    fn scale_returns_new() {
+        let a = t(&[1.0, -2.0]);
+        assert_eq!(scale(&a, -2.0).as_slice(), &[-2.0, 4.0]);
+        assert_eq!(a.as_slice(), &[1.0, -2.0]);
+    }
+
+    #[test]
+    fn add_is_commutative() {
+        let a = t(&[1.5, 2.5, -3.0]);
+        let b = t(&[0.5, -1.5, 4.0]);
+        assert_eq!(
+            add(&a, &b).unwrap().as_slice(),
+            add(&b, &a).unwrap().as_slice()
+        );
+    }
+}

@@ -1,0 +1,21 @@
+//! Numerical kernels: elementwise arithmetic, matrix multiplication,
+//! im2col-based 2-D convolution (forward and backward), pooling and
+//! axis reductions.
+//!
+//! Every kernel is a free function over [`Tensor`](crate::Tensor)s; the layer
+//! objects in `tbnet-nn` wrap these with parameter/cache management.
+
+mod conv;
+mod elementwise;
+mod matmul;
+mod pool;
+mod reduce;
+
+pub use conv::{col2im, conv2d_backward, conv2d_forward, conv_output_size, im2col, Conv2dGrads};
+pub use elementwise::{add, add_assign, add_scaled, hadamard, scale, sub};
+pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b, transpose2d};
+pub use pool::{
+    avgpool2d_global_backward, avgpool2d_global_forward, maxpool2d_backward, maxpool2d_forward,
+    MaxPoolIndices,
+};
+pub use reduce::{channel_mean_var, channel_sum, softmax_rows, sum_axis0};

@@ -1,0 +1,256 @@
+//! Pooling kernels: 2-D max pooling (with argmax indices for the backward
+//! pass) and global average pooling (used by the ResNet-20 classifier head).
+
+use crate::{Result, Tensor, TensorError};
+
+use super::conv::conv_output_size;
+
+/// Argmax bookkeeping produced by [`maxpool2d_forward`], consumed by
+/// [`maxpool2d_backward`].
+#[derive(Debug, Clone)]
+pub struct MaxPoolIndices {
+    /// For every output element (flattened `[N, C, OH, OW]` order), the flat
+    /// offset of the winning input element within the full input buffer.
+    winners: Vec<usize>,
+    input_dims: Vec<usize>,
+}
+
+impl MaxPoolIndices {
+    /// Dimensions of the pooled input, `[N, C, H, W]`.
+    pub fn input_dims(&self) -> &[usize] {
+        &self.input_dims
+    }
+}
+
+/// Max pooling over `[N, C, H, W]` with a square `k`-window and stride `k`
+/// (non-overlapping, the configuration used by VGG).
+///
+/// Returns the pooled tensor and the winner indices needed for backprop.
+///
+/// # Errors
+///
+/// Returns rank/geometry errors for inconsistent operands.
+pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<(Tensor, MaxPoolIndices)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op: "maxpool2d",
+        });
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let oh = conv_output_size(h, k, k, 0)?;
+    let ow = conv_output_size(w, k, k, 0)?;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut winners = vec![0usize; n * c * oh * ow];
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    let mut oidx = 0usize;
+    for ni in 0..n {
+        for ci in 0..c {
+            let plane_base = (ni * c + ci) * h * w;
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_off = plane_base;
+                    for ki in 0..k {
+                        let ih = ohi * k + ki;
+                        for kj in 0..k {
+                            let iw = owi * k + kj;
+                            let off = plane_base + ih * w + iw;
+                            if iv[off] > best {
+                                best = iv[off];
+                                best_off = off;
+                            }
+                        }
+                    }
+                    ov[oidx] = best;
+                    winners[oidx] = best_off;
+                    oidx += 1;
+                }
+            }
+        }
+    }
+    Ok((
+        out,
+        MaxPoolIndices {
+            winners,
+            input_dims: vec![n, c, h, w],
+        },
+    ))
+}
+
+/// Backward pass of [`maxpool2d_forward`]: routes each output gradient to the
+/// input element that won the max.
+///
+/// # Errors
+///
+/// Returns [`TensorError::LengthMismatch`] if `grad_out` does not match the
+/// recorded pooling geometry.
+pub fn maxpool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Result<Tensor> {
+    if grad_out.numel() != indices.winners.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: indices.winners.len(),
+            got: grad_out.numel(),
+            op: "maxpool2d_backward",
+        });
+    }
+    let mut grad_input = Tensor::zeros(&indices.input_dims);
+    let gi = grad_input.as_mut_slice();
+    for (&win, &g) in indices.winners.iter().zip(grad_out.as_slice()) {
+        gi[win] += g;
+    }
+    Ok(grad_input)
+}
+
+/// Global average pooling: `[N, C, H, W]` → `[N, C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-4-D input.
+pub fn avgpool2d_global_forward(input: &Tensor) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op: "avgpool2d_global",
+        });
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let mut out = Tensor::zeros(&[n, c]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    let area = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * h * w;
+            let s: f32 = iv[base..base + h * w].iter().sum();
+            ov[ni * c + ci] = s / area;
+        }
+    }
+    Ok(out)
+}
+
+/// Backward pass of [`avgpool2d_global_forward`]: spreads each channel
+/// gradient uniformly over the spatial positions.
+///
+/// # Errors
+///
+/// Returns shape errors when `grad_out` is not `[N, C]` matching `input_dims`.
+pub fn avgpool2d_global_backward(grad_out: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input_dims.len(),
+            op: "avgpool2d_global_backward",
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if grad_out.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c],
+            got: grad_out.dims().to_vec(),
+            op: "avgpool2d_global_backward",
+        });
+    }
+    let mut grad_input = Tensor::zeros(input_dims);
+    let gv = grad_out.as_slice();
+    let gi = grad_input.as_mut_slice();
+    let area = (h * w) as f32;
+    for ni in 0..n {
+        for ci in 0..c {
+            let g = gv[ni * c + ci] / area;
+            let base = (ni * c + ci) * h * w;
+            for x in &mut gi[base..base + h * w] {
+                *x = g;
+            }
+        }
+    }
+    Ok(grad_input)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_maxima() {
+        let input = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 5.0, 6.0, //
+                3.0, 4.0, 7.0, 8.0, //
+                9.0, 10.0, 13.0, 14.0, //
+                11.0, 12.0, 15.0, 16.0,
+            ],
+            &[1, 1, 4, 4],
+        )
+        .unwrap();
+        let (out, _) = maxpool2d_forward(&input, 2).unwrap();
+        assert_eq!(out.dims(), &[1, 1, 2, 2]);
+        assert_eq!(out.as_slice(), &[4.0, 8.0, 12.0, 16.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_winner() {
+        let input = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
+        let (_, idx) = maxpool2d_forward(&input, 2).unwrap();
+        let grad = Tensor::from_vec(vec![5.0], &[1, 1, 1, 1]).unwrap();
+        let gi = maxpool2d_backward(&grad, &idx).unwrap();
+        assert_eq!(gi.as_slice(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_validates_length() {
+        let input = Tensor::zeros(&[1, 1, 2, 2]);
+        let (_, idx) = maxpool2d_forward(&input, 2).unwrap();
+        let bad = Tensor::zeros(&[1, 1, 2, 2]);
+        assert!(maxpool2d_backward(&bad, &idx).is_err());
+    }
+
+    #[test]
+    fn maxpool_multichannel_batch() {
+        let input = Tensor::from_vec(
+            (0..16).map(|x| x as f32).collect(),
+            &[2, 2, 2, 2],
+        )
+        .unwrap();
+        let (out, _) = maxpool2d_forward(&input, 2).unwrap();
+        assert_eq!(out.dims(), &[2, 2, 1, 1]);
+        assert_eq!(out.as_slice(), &[3.0, 7.0, 11.0, 15.0]);
+    }
+
+    #[test]
+    fn global_avgpool_forward_backward() {
+        let input = Tensor::from_vec(
+            vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let out = avgpool2d_global_forward(&input).unwrap();
+        assert_eq!(out.dims(), &[1, 2]);
+        assert_eq!(out.as_slice(), &[2.5, 25.0]);
+
+        let grad = Tensor::from_vec(vec![4.0, 8.0], &[1, 2]).unwrap();
+        let gi = avgpool2d_global_backward(&grad, &[1, 2, 2, 2]).unwrap();
+        assert_eq!(gi.as_slice(), &[1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn avgpool_gradient_sum_is_preserved() {
+        // Sum of distributed gradients equals the incoming gradient.
+        let grad = Tensor::from_vec(vec![3.0, -1.5], &[1, 2]).unwrap();
+        let gi = avgpool2d_global_backward(&grad, &[1, 2, 4, 4]).unwrap();
+        let ch0: f32 = gi.as_slice()[..16].iter().sum();
+        let ch1: f32 = gi.as_slice()[16..].iter().sum();
+        assert!((ch0 - 3.0).abs() < 1e-6);
+        assert!((ch1 + 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_validation() {
+        let bad = Tensor::zeros(&[2, 2]);
+        assert!(maxpool2d_forward(&bad, 2).is_err());
+        assert!(avgpool2d_global_forward(&bad).is_err());
+        assert!(avgpool2d_global_backward(&bad, &[1, 2]).is_err());
+    }
+}

@@ -1,0 +1,242 @@
+//! Axis reductions and row-wise softmax.
+//!
+//! `channel_mean_var` / `channel_sum` implement the per-channel statistics
+//! that BatchNorm training needs over `[N, C, H, W]` activations; the
+//! composite-BN pruning criterion in TBNet (Alg. 1) is built on the same
+//! channel layout.
+
+use crate::{Result, Tensor, TensorError};
+
+/// Per-channel mean and (biased) variance of a `[N, C, H, W]` tensor,
+/// reducing over `N`, `H`, `W`. Returns `(mean, var)`, each `[C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-4-D input and
+/// [`TensorError::InvalidGeometry`] when the reduction set is empty.
+pub fn channel_mean_var(input: &Tensor) -> Result<(Tensor, Tensor)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op: "channel_mean_var",
+        });
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let count = n * h * w;
+    if count == 0 {
+        return Err(TensorError::InvalidGeometry {
+            reason: "cannot compute channel statistics over an empty batch".into(),
+        });
+    }
+    let mut mean = Tensor::zeros(&[c]);
+    let mut var = Tensor::zeros(&[c]);
+    let iv = input.as_slice();
+    let plane = h * w;
+    for ci in 0..c {
+        let mut s = 0.0f64;
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            for &x in &iv[base..base + plane] {
+                s += x as f64;
+            }
+        }
+        let m = (s / count as f64) as f32;
+        mean.as_mut_slice()[ci] = m;
+        let mut v = 0.0f64;
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            for &x in &iv[base..base + plane] {
+                let d = x - m;
+                v += (d * d) as f64;
+            }
+        }
+        var.as_mut_slice()[ci] = (v / count as f64) as f32;
+    }
+    Ok((mean, var))
+}
+
+/// Per-channel sum of a `[N, C, H, W]` tensor over `N`, `H`, `W` → `[C]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-4-D input.
+pub fn channel_sum(input: &Tensor) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op: "channel_sum",
+        });
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let mut out = Tensor::zeros(&[c]);
+    let iv = input.as_slice();
+    let plane = h * w;
+    for ci in 0..c {
+        let mut s = 0.0f32;
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            s += iv[base..base + plane].iter().sum::<f32>();
+        }
+        out.as_mut_slice()[ci] = s;
+    }
+    Ok(out)
+}
+
+/// Sum over the leading axis: `[N, D]` → `[D]`.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-2-D input.
+pub fn sum_axis0(input: &Tensor) -> Result<Tensor> {
+    if input.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            got: input.rank(),
+            op: "sum_axis0",
+        });
+    }
+    let (n, d) = (input.dim(0), input.dim(1));
+    let mut out = Tensor::zeros(&[d]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    for ni in 0..n {
+        for (o, &x) in ov.iter_mut().zip(&iv[ni * d..(ni + 1) * d]) {
+            *o += x;
+        }
+    }
+    Ok(out)
+}
+
+/// Numerically-stable row-wise softmax of a `[N, D]` tensor.
+///
+/// # Errors
+///
+/// Returns [`TensorError::RankMismatch`] for non-2-D input.
+pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            got: logits.rank(),
+            op: "softmax_rows",
+        });
+    }
+    let (n, d) = (logits.dim(0), logits.dim(1));
+    let mut out = logits.clone();
+    let ov = out.as_mut_slice();
+    for ni in 0..n {
+        let row = &mut ov[ni * d..(ni + 1) * d];
+        let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn channel_stats_simple() {
+        // Channel 0 is constant 2.0; channel 1 alternates ±1 around 0.
+        let input = Tensor::from_vec(
+            vec![2.0, 2.0, 2.0, 2.0, 1.0, -1.0, 1.0, -1.0],
+            &[1, 2, 2, 2],
+        )
+        .unwrap();
+        let (mean, var) = channel_mean_var(&input).unwrap();
+        assert_eq!(mean.as_slice(), &[2.0, 0.0]);
+        assert_eq!(var.as_slice(), &[0.0, 1.0]);
+    }
+
+    #[test]
+    fn channel_stats_across_batch() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let input = init::randn(&[8, 3, 4, 4], 1.0, &mut rng);
+        let (mean, var) = channel_mean_var(&input).unwrap();
+        // Reference via flat iteration.
+        for ci in 0..3 {
+            let mut vals = Vec::new();
+            for ni in 0..8 {
+                for hi in 0..4 {
+                    for wi in 0..4 {
+                        vals.push(input.at(&[ni, ci, hi, wi]).unwrap());
+                    }
+                }
+            }
+            let m: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let v: f32 = vals.iter().map(|x| (x - m).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!((mean.as_slice()[ci] - m).abs() < 1e-4);
+            assert!((var.as_slice()[ci] - v).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn channel_sum_matches_stats() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let input = init::randn(&[4, 2, 3, 3], 1.0, &mut rng);
+        let sums = channel_sum(&input).unwrap();
+        let (mean, _) = channel_mean_var(&input).unwrap();
+        let count = (4 * 3 * 3) as f32;
+        for ci in 0..2 {
+            assert!((sums.as_slice()[ci] - mean.as_slice()[ci] * count).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn sum_axis0_works() {
+        let m = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]).unwrap();
+        assert_eq!(sum_axis0(&m).unwrap().as_slice(), &[4.0, 6.0]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one_and_order_preserved() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]).unwrap();
+        let p = softmax_rows(&logits).unwrap();
+        for ni in 0..2 {
+            let row = &p.as_slice()[ni * 3..(ni + 1) * 3];
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row[0] < row[1] && row[1] < row[2]);
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = Tensor::from_vec(vec![1000.0, 1001.0, 1002.0], &[1, 3]).unwrap();
+        let b = Tensor::from_vec(vec![0.0, 1.0, 2.0], &[1, 3]).unwrap();
+        let pa = softmax_rows(&a).unwrap();
+        let pb = softmax_rows(&b).unwrap();
+        assert!(pa.all_finite());
+        for (x, y) in pa.as_slice().iter().zip(pb.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn rank_validation() {
+        let bad = Tensor::zeros(&[3]);
+        assert!(channel_mean_var(&bad).is_err());
+        assert!(channel_sum(&bad).is_err());
+        assert!(sum_axis0(&bad).is_err());
+        assert!(softmax_rows(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_batch_rejected() {
+        let empty = Tensor::zeros(&[0, 3, 2, 2]);
+        assert!(channel_mean_var(&empty).is_err());
+    }
+}

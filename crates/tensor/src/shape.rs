@@ -1,0 +1,213 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::TensorError;
+
+/// The shape (dimension sizes) of a [`Tensor`](crate::Tensor).
+///
+/// Shapes are immutable once constructed; tensor-reshaping operations build
+/// new `Shape` values. A zero-dimensional shape (`&[]`) describes a scalar
+/// with one element, matching NumPy/PyTorch semantics.
+///
+/// # Example
+///
+/// ```
+/// use tbnet_tensor::Shape;
+///
+/// let s = Shape::new(&[2, 3, 4]);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.numel(), 24);
+/// assert_eq!(s.dim(1), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from a slice of dimension sizes.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Creates a scalar (rank-0) shape with a single element.
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The total number of elements described by this shape.
+    ///
+    /// A rank-0 shape has one element; any zero-sized dimension yields zero.
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// The dimension sizes as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Row-major (C-order) strides for this shape, in elements.
+    ///
+    /// ```
+    /// use tbnet_tensor::Shape;
+    /// assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+    /// ```
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat row-major offset.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] if `index` has the wrong length
+    /// and [`TensorError::InvalidGeometry`] if any coordinate is out of range.
+    pub fn offset(&self, index: &[usize]) -> Result<usize, TensorError> {
+        if index.len() != self.rank() {
+            return Err(TensorError::RankMismatch {
+                expected: self.rank(),
+                got: index.len(),
+                op: "offset",
+            });
+        }
+        let mut flat = 0usize;
+        let strides = self.strides();
+        for (axis, (&i, &stride)) in index.iter().zip(strides.iter()).enumerate() {
+            if i >= self.0[axis] {
+                return Err(TensorError::InvalidGeometry {
+                    reason: format!(
+                        "index {i} out of range for axis {axis} of size {}",
+                        self.0[axis]
+                    ),
+                });
+            }
+            flat += i * stride;
+        }
+        Ok(flat)
+    }
+
+    /// Returns `true` when both shapes describe the same dimension sizes.
+    pub fn same_as(&self, other: &Shape) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[4, 3, 2]);
+        assert_eq!(s.numel(), 24);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.dims(), &[4, 3, 2]);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert_eq!(s.strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn zero_dim_gives_zero_elements() {
+        assert_eq!(Shape::new(&[3, 0, 2]).numel(), 0);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(&[2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(&[5]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn offset_roundtrip() {
+        let s = Shape::new(&[2, 3, 4]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]).unwrap();
+                    assert!(off < 24);
+                    assert!(seen.insert(off), "offsets must be unique");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn offset_rejects_bad_rank() {
+        let s = Shape::new(&[2, 2]);
+        assert!(matches!(
+            s.offset(&[1]),
+            Err(TensorError::RankMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn offset_rejects_out_of_range() {
+        let s = Shape::new(&[2, 2]);
+        assert!(matches!(
+            s.offset(&[0, 2]),
+            Err(TensorError::InvalidGeometry { .. })
+        ));
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::new(&[2, 3]).to_string(), "(2, 3)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+}

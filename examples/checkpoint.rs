@@ -1,0 +1,64 @@
+//! Checkpointing a TBNet deployment: save the finalized two-branch model and
+//! its deployment plan as JSON, reload them, and verify the restored model
+//! predicts identically.
+//!
+//! ```sh
+//! cargo run --release --example checkpoint
+//! ```
+
+use tbnet_core::deploy::DeploymentPlan;
+use tbnet_core::persist::{load_json, save_json, TwoBranchState};
+use tbnet_core::pipeline::{run_pipeline, PipelineConfig};
+use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_models::vgg;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let data = SyntheticCifar::generate(
+        DatasetKind::Cifar10Like
+            .config()
+            .with_train_per_class(30)
+            .with_test_per_class(10),
+    );
+    let spec = vgg::vgg_tiny(data.train().classes(), 3, (16, 16));
+    println!("training a TBNet deployment to checkpoint…");
+    let mut artifacts = run_pipeline(&spec, &data, &PipelineConfig::smoke())?;
+
+    let dir = std::env::temp_dir().join("tbnet_checkpoint_example");
+    std::fs::create_dir_all(&dir)?;
+
+    // Save the full two-branch model (weights, books, alignment).
+    let model_path = dir.join("tbnet_model.json");
+    save_json(&TwoBranchState::capture(&artifacts.model), &model_path)?;
+    println!("model   → {}", model_path.display());
+
+    // Save the deployment plan (architectures only — what an integrator
+    // needs to provision the TEE).
+    let plan = DeploymentPlan::new(&artifacts.model, artifacts.victim.spec())?;
+    let plan_path = dir.join("deployment_plan.json");
+    save_json(&plan, &plan_path)?;
+    println!("plan    → {}", plan_path.display());
+
+    // Reload and verify bit-equal predictions.
+    let state: TwoBranchState = load_json(&model_path)?;
+    let mut restored = state.restore()?;
+    let batch = data.test().gather(&[0, 1, 2, 3]);
+    let original = artifacts.model.predict(&batch.images)?;
+    let reloaded = restored.predict(&batch.images)?;
+    let max_diff = original
+        .as_slice()
+        .iter()
+        .zip(reloaded.as_slice())
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    println!("restored model max logit difference: {max_diff:.2e}");
+    assert_eq!(original.as_slice(), reloaded.as_slice());
+    println!("checkpoint roundtrip verified: predictions identical.");
+
+    let plan2: DeploymentPlan = load_json(&plan_path)?;
+    println!(
+        "plan roundtrip verified: M_T has {} units, M_R has {} units.",
+        plan2.mt_spec.units.len(),
+        plan2.mr_spec.units.len()
+    );
+    Ok(())
+}

@@ -1,0 +1,7 @@
+//! Workspace root crate: re-exports the TBNet reproduction crates for examples and integration tests.
+pub use tbnet_core as core;
+pub use tbnet_data as data;
+pub use tbnet_models as models;
+pub use tbnet_nn as nn;
+pub use tbnet_tee as tee;
+pub use tbnet_tensor as tensor;

@@ -1,0 +1,122 @@
+//! End-to-end integration: the six-step TBNet pipeline across crates
+//! (data → models → nn → core → tee).
+
+use tbnet_core::attack::direct_use_attack;
+use tbnet_core::deploy::{run_split_inference, DeploymentPlan};
+use tbnet_core::pipeline::{run_pipeline, PipelineConfig};
+use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_models::{resnet, vgg, ModelSpec};
+use tbnet_tee::CostModel;
+
+fn tiny_data(classes: usize) -> SyntheticCifar {
+    SyntheticCifar::generate(
+        DatasetKind::Cifar10Like
+            .config()
+            .with_classes(classes)
+            .with_train_per_class(14)
+            .with_test_per_class(6)
+            .with_size(12, 12)
+            .with_noise_std(1.0),
+    )
+}
+
+fn smoke_cfg() -> PipelineConfig {
+    let mut cfg = PipelineConfig::smoke();
+    cfg.prune.drop_budget = 1.0; // keep pruning iterations deterministic here
+    cfg
+}
+
+fn vgg_spec(classes: usize) -> ModelSpec {
+    vgg::vgg_from_stages("vgg-it", &[(10, 2), (12, 1)], classes, 3, (12, 12))
+}
+
+#[test]
+fn vgg_pipeline_produces_consistent_artifacts() {
+    let data = tiny_data(4);
+    let artifacts = run_pipeline(&vgg_spec(4), &data, &smoke_cfg()).unwrap();
+
+    // Finalized, diverged, and every branch still traces as a valid model.
+    assert!(artifacts.model.is_finalized());
+    assert!(artifacts.mr_spec().trace().is_ok());
+    assert!(artifacts.mt_spec().trace().is_ok());
+    let mr_total: usize = artifacts.mr_spec().units.iter().map(|u| u.out_channels).sum();
+    let mt_total: usize = artifacts.mt_spec().units.iter().map(|u| u.out_channels).sum();
+    assert!(mr_total >= mt_total);
+
+    // Accuracy values live in [0, 1] and training history is populated.
+    assert!((0.0..=1.0).contains(&artifacts.victim_acc));
+    assert!((0.0..=1.0).contains(&artifacts.tbnet_acc));
+    assert!(!artifacts.transfer_history.is_empty());
+}
+
+#[test]
+fn resnet_pipeline_handles_skips_and_groups() {
+    let data = tiny_data(4);
+    let spec = resnet::resnet_from_stages("res-it", &[8, 10], 2, 4, 3, (12, 12));
+    let artifacts = run_pipeline(&spec, &data, &smoke_cfg()).unwrap();
+    // M_T keeps residual structure; M_R lost it.
+    assert!(artifacts
+        .mt_spec()
+        .units
+        .iter()
+        .any(|u| u.skip_from.is_some()));
+    assert!(artifacts
+        .mr_spec()
+        .units
+        .iter()
+        .all(|u| u.skip_from.is_none()));
+    // Residual groups stayed consistent through pruning: spec still validates.
+    assert!(artifacts.mt_spec().trace().is_ok());
+}
+
+#[test]
+fn split_inference_equals_monolithic_after_full_pipeline() {
+    let data = tiny_data(3);
+    let mut artifacts = run_pipeline(&vgg_spec(3), &data, &smoke_cfg()).unwrap();
+    let batch = data.test().gather(&[0, 1, 2, 3, 4]);
+    let expected = artifacts.model.predict(&batch.images).unwrap();
+    let split = run_split_inference(&mut artifacts.model, &batch.images).unwrap();
+    for (a, b) in split.logits.as_slice().iter().zip(expected.as_slice()) {
+        assert!((a - b).abs() < 1e-4);
+    }
+    // Exactly one payload per unit plus the input crossed the channel.
+    assert_eq!(
+        split.channel.messages,
+        artifacts.model.unit_count() as u64 + 1
+    );
+}
+
+#[test]
+fn deployment_plan_prices_finalized_pipeline() {
+    let data = tiny_data(3);
+    let artifacts = run_pipeline(&vgg_spec(3), &data, &smoke_cfg()).unwrap();
+    let plan = DeploymentPlan::new(&artifacts.model, artifacts.victim.spec()).unwrap();
+    let cost = CostModel::raspberry_pi3();
+    let lat = plan.latency(&cost).unwrap();
+    let mem = plan.memory().unwrap();
+    assert!(lat.baseline.total_s > 0.0);
+    assert!(lat.tbnet.total_s > 0.0);
+    assert!(mem.tbnet.weight_bytes <= mem.baseline.weight_bytes);
+}
+
+#[test]
+fn attacker_cannot_beat_tbnet_by_direct_use() {
+    let data = tiny_data(4);
+    let artifacts = run_pipeline(&vgg_spec(4), &data, &smoke_cfg()).unwrap();
+    let attack = direct_use_attack(&artifacts.model, data.test()).unwrap();
+    assert!(
+        attack <= artifacts.tbnet_acc + 0.10,
+        "attack {attack} vs tbnet {}",
+        artifacts.tbnet_acc
+    );
+}
+
+#[test]
+fn pipeline_is_deterministic_given_seeds() {
+    let data = tiny_data(3);
+    let a = run_pipeline(&vgg_spec(3), &data, &smoke_cfg()).unwrap();
+    let b = run_pipeline(&vgg_spec(3), &data, &smoke_cfg()).unwrap();
+    assert_eq!(a.victim_acc, b.victim_acc);
+    assert_eq!(a.tbnet_acc, b.tbnet_acc);
+    assert_eq!(a.prune_history.len(), b.prune_history.len());
+}

@@ -1,0 +1,138 @@
+//! Property-based tests (proptest) on the numerical substrates: the
+//! invariants the TBNet pipeline silently relies on.
+
+use proptest::prelude::*;
+
+use tbnet_core::{gather_channels, scatter_add_channels, ChannelBook};
+use tbnet_tensor::{init, ops, Tensor};
+
+fn small_dims() -> impl Strategy<Value = (usize, usize, usize, usize)> {
+    (1usize..3, 1usize..5, 2usize..6, 2usize..6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Softmax rows always sum to 1 and stay in [0, 1].
+    #[test]
+    fn softmax_is_a_distribution(rows in 1usize..5, cols in 1usize..8, seed in 0u64..1000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let logits = init::randn(&[rows, cols], 3.0, &mut rng);
+        let p = ops::softmax_rows(&logits).unwrap();
+        for r in 0..rows {
+            let row = &p.as_slice()[r * cols..(r + 1) * cols];
+            let s: f32 = row.iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    /// matmul distributes over addition: (A+B)C = AC + BC.
+    #[test]
+    fn matmul_distributes(m in 1usize..5, k in 1usize..5, n in 1usize..5, seed in 0u64..1000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = init::randn(&[m, k], 1.0, &mut rng);
+        let b = init::randn(&[m, k], 1.0, &mut rng);
+        let c = init::randn(&[k, n], 1.0, &mut rng);
+        let lhs = ops::matmul(&ops::add(&a, &b).unwrap(), &c).unwrap();
+        let rhs = ops::add(&ops::matmul(&a, &c).unwrap(), &ops::matmul(&b, &c).unwrap()).unwrap();
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3 + 1e-3 * x.abs());
+        }
+    }
+
+    /// Convolution is linear in its input: conv(x+y) = conv(x) + conv(y).
+    #[test]
+    fn conv_is_linear((n, c, h, w) in small_dims(), seed in 0u64..1000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = init::randn(&[n, c, h, w], 1.0, &mut rng);
+        let y = init::randn(&[n, c, h, w], 1.0, &mut rng);
+        let wt = init::randn(&[3, c, 3, 3], 0.5, &mut rng);
+        let lhs = ops::conv2d_forward(&ops::add(&x, &y).unwrap(), &wt, None, 1, 1).unwrap();
+        let rhs = ops::add(
+            &ops::conv2d_forward(&x, &wt, None, 1, 1).unwrap(),
+            &ops::conv2d_forward(&y, &wt, None, 1, 1).unwrap(),
+        )
+        .unwrap();
+        for (a, b) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3 + 1e-3 * a.abs());
+        }
+    }
+
+    /// im2col and col2im are adjoint: <im2col(x), y> == <x, col2im(y)>.
+    #[test]
+    fn im2col_col2im_adjoint(c in 1usize..4, h in 3usize..7, w in 3usize..7, seed in 0u64..1000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = init::randn(&[c, h, w], 1.0, &mut rng);
+        let oh = ops::conv_output_size(h, 3, 1, 1).unwrap();
+        let ow = ops::conv_output_size(w, 3, 1, 1).unwrap();
+        let y = init::randn(&[c * 9, oh * ow], 1.0, &mut rng);
+        let cols = ops::im2col(x.as_slice(), c, h, w, 3, 3, 1, 1).unwrap();
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0f32; c * h * w];
+        ops::col2im(&y, &mut back, c, h, w, 3, 3, 1, 1).unwrap();
+        let rhs: f32 = back.iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// gather/scatter are adjoint for any valid index set — the property the
+    /// two-branch merge backward pass depends on after rollback.
+    #[test]
+    fn gather_scatter_adjoint(
+        (n, c, h, w) in small_dims(),
+        seed in 0u64..1000,
+        idx_seed in 0u64..1000,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = init::randn(&[n, c, h, w], 1.0, &mut rng);
+        let mut irng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(idx_seed);
+        let k = 1 + (idx_seed as usize % c);
+        let idx: Vec<usize> = (0..k).map(|_| rand::Rng::gen_range(&mut irng, 0..c)).collect();
+        let y = init::randn(&[n, k, h, w], 1.0, &mut rng);
+        let gx = gather_channels(&x, &idx).unwrap();
+        let lhs: f32 = gx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let mut sc = Tensor::zeros(x.dims());
+        scatter_add_channels(&mut sc, &y, &idx).unwrap();
+        let rhs: f32 = sc.as_slice().iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// Channel books: any sequence of masks keeps ids sorted, unique and a
+    /// subset of the previous generation (the rollback-alignment invariant).
+    #[test]
+    fn channel_book_masks_preserve_subset_order(
+        channels in 2usize..12,
+        mask_bits in proptest::collection::vec(any::<bool>(), 2..12),
+    ) {
+        let mut book = ChannelBook::identity(&[channels]);
+        let before = book.unit(0).to_vec();
+        let mut mask = vec![false; channels];
+        for (m, &b) in mask.iter_mut().zip(&mask_bits) {
+            *m = b;
+        }
+        mask[0] = true; // keep at least one channel
+        book.apply_mask(0, &mask).unwrap();
+        let after = book.unit(0);
+        prop_assert!(after.windows(2).all(|p| p[0] < p[1]));
+        prop_assert!(after.iter().all(|id| before.contains(id)));
+        // Alignment into the identity book recovers the ids themselves.
+        let wide = ChannelBook::identity(&[channels]);
+        let maps = book.alignment_into(&wide).unwrap();
+        prop_assert_eq!(&maps[0], after);
+    }
+
+    /// Max pooling never invents values: every output element equals some
+    /// input element, and pooling then backprop conserves gradient mass.
+    #[test]
+    fn maxpool_selects_existing_values((n, c) in (1usize..3, 1usize..4), seed in 0u64..1000) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = init::randn(&[n, c, 4, 4], 1.0, &mut rng);
+        let (y, idx) = ops::maxpool2d_forward(&x, 2).unwrap();
+        for &v in y.as_slice() {
+            prop_assert!(x.as_slice().contains(&v));
+        }
+        let g = Tensor::ones(y.dims());
+        let gi = ops::maxpool2d_backward(&g, &idx).unwrap();
+        prop_assert!((gi.sum() - g.sum()).abs() < 1e-4);
+    }
+}

@@ -1,0 +1,117 @@
+//! Robustness of the pruning machinery under randomized masks and
+//! randomized architectures — failure-injection style tests beyond the
+//! curated unit cases.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tbnet_core::pruning::{apply_masks_to_chain, prune_two_branch_once};
+use tbnet_core::TwoBranchModel;
+use tbnet_models::{vgg, ChainNet};
+use tbnet_nn::{Layer, Mode};
+use tbnet_tensor::Tensor;
+
+fn random_keep_mask(channels: usize, bits: u64) -> Vec<bool> {
+    // Derive a mask from the bits, forcing at least one kept channel.
+    let mut mask: Vec<bool> = (0..channels).map(|i| (bits >> (i % 64)) & 1 == 1).collect();
+    if !mask.iter().any(|&k| k) {
+        mask[0] = true;
+    }
+    mask
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any valid random mask leaves a network that still runs forward with
+    /// consistent shapes — pruning never wedges the model.
+    #[test]
+    fn random_masks_keep_network_runnable(
+        c0 in 2usize..7,
+        c1 in 2usize..7,
+        bits0 in any::<u64>(),
+        bits1 in any::<u64>(),
+    ) {
+        let spec = vgg::vgg_from_stages("p", &[(c0, 1), (c1, 1)], 3, 2, (8, 8));
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let masks = vec![random_keep_mask(c0, bits0), random_keep_mask(c1, bits1)];
+        apply_masks_to_chain(&mut net, &masks).unwrap();
+        let kept0 = masks[0].iter().filter(|&&k| k).count();
+        let kept1 = masks[1].iter().filter(|&&k| k).count();
+        prop_assert_eq!(net.units()[0].out_channels(), kept0);
+        prop_assert_eq!(net.units()[1].in_channels(), kept0);
+        prop_assert_eq!(net.units()[1].out_channels(), kept1);
+        let y = net.forward(&Tensor::zeros(&[2, 2, 8, 8]), Mode::Eval).unwrap();
+        prop_assert_eq!(y.dims(), &[2, 3]);
+        prop_assert!(y.all_finite());
+        // The derived spec still validates after the rewrite.
+        prop_assert!(net.spec().trace().is_ok());
+    }
+
+    /// Two-branch pruning with random masks keeps the branches congruent and
+    /// the books consistent with the live shapes.
+    #[test]
+    fn random_masks_keep_branches_congruent(
+        c0 in 3usize..7,
+        bits in any::<u64>(),
+    ) {
+        let spec = vgg::vgg_from_stages("p", &[(c0, 1)], 3, 2, (8, 8));
+        let mut rng = StdRng::seed_from_u64(8);
+        let victim = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let masks = vec![random_keep_mask(c0, bits)];
+        prune_two_branch_once(&mut tb, &masks).unwrap();
+        prop_assert_eq!(
+            tb.mr().units()[0].out_channels(),
+            tb.mt().units()[0].out_channels()
+        );
+        prop_assert_eq!(tb.mt_book().unit(0).len(), tb.mt().units()[0].out_channels());
+        // Still runs end to end.
+        let y = tb.predict(&Tensor::zeros(&[1, 2, 8, 8])).unwrap();
+        prop_assert_eq!(y.dims(), &[1, 3]);
+    }
+
+    /// Training after pruning produces finite gradients for every parameter
+    /// (no stale optimizer state survives the rewrite).
+    #[test]
+    fn gradients_finite_after_pruning(bits in any::<u64>()) {
+        use tbnet_nn::loss::softmax_cross_entropy;
+        let spec = vgg::vgg_from_stages("p", &[(5, 1), (5, 1)], 3, 2, (8, 8));
+        let mut rng = StdRng::seed_from_u64(9);
+        let victim = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+        let masks = vec![random_keep_mask(5, bits), random_keep_mask(5, bits.rotate_left(13))];
+        prune_two_branch_once(&mut tb, &masks).unwrap();
+        let x = tbnet_tensor::init::randn(&[2, 2, 8, 8], 1.0, &mut rng);
+        tb.zero_grad();
+        let logits = tb.forward(&x, Mode::Train).unwrap();
+        let out = softmax_cross_entropy(&logits, &[0, 1]).unwrap();
+        tb.backward(&out.grad).unwrap();
+        let mut all_finite = true;
+        tb.visit_params(&mut |p| all_finite &= p.grad.all_finite());
+        prop_assert!(all_finite);
+    }
+}
+
+#[test]
+fn repeated_pruning_to_the_floor_is_safe() {
+    // Prune the same model many times; the min-channel floor must stop the
+    // process without errors or empty layers.
+    use tbnet_core::pruning::{build_masks, composite_scores};
+    let spec = vgg::vgg_from_stages("p", &[(8, 1), (8, 1)], 3, 2, (8, 8));
+    let mut rng = StdRng::seed_from_u64(10);
+    let victim = ChainNet::from_spec(&spec, &mut rng).unwrap();
+    let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+    for _ in 0..12 {
+        let scores = composite_scores(&tb).unwrap();
+        let masks = build_masks(&tb, &scores, 0.4, 2).unwrap();
+        prune_two_branch_once(&mut tb, &masks).unwrap();
+    }
+    for u in tb.mt().units() {
+        assert!(u.out_channels() >= 2);
+    }
+    let y = tb.predict(&Tensor::zeros(&[1, 2, 8, 8])).unwrap();
+    assert_eq!(y.dims(), &[1, 3]);
+}

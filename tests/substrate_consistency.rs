@@ -1,0 +1,127 @@
+//! Cross-crate consistency: the architecture descriptors (`ModelSpec`), the
+//! executable networks (`ChainNet`) and the TEE pricing must agree with each
+//! other — a spec that lies to the cost model would silently corrupt every
+//! latency/memory figure.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tbnet_models::{resnet, vgg, ChainNet};
+use tbnet_nn::Layer;
+use tbnet_tee::{
+    simulate_baseline, simulate_partition, simulate_two_branch, CostModel, MemoryReport,
+};
+
+fn zoo() -> Vec<tbnet_models::ModelSpec> {
+    vec![
+        vgg::vgg_tiny(10, 3, (16, 16)),
+        vgg::vgg_tiny(100, 3, (16, 16)),
+        vgg::vgg18(10, 3, (32, 32)),
+        resnet::resnet20_tiny(10, 3, (16, 16)),
+        resnet::resnet20(100, 3, (32, 32)),
+    ]
+}
+
+#[test]
+fn descriptor_param_count_matches_live_networks() {
+    let mut rng = StdRng::seed_from_u64(0);
+    for spec in [
+        vgg::vgg_tiny(10, 3, (16, 16)),
+        resnet::resnet20_tiny(7, 3, (16, 16)),
+    ] {
+        let mut net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        assert_eq!(
+            net.param_count(),
+            spec.param_count().unwrap(),
+            "spec {} disagrees with the live network",
+            spec.name
+        );
+    }
+}
+
+#[test]
+fn every_zoo_spec_traces_and_prices() {
+    let cost = CostModel::raspberry_pi3();
+    for spec in zoo() {
+        assert!(spec.trace().is_ok(), "{} fails trace", spec.name);
+        assert!(spec.forward_macs().unwrap() > 0);
+        assert!(spec.param_count().unwrap() > 0);
+        assert!(spec.peak_activation_elems().unwrap() > 0);
+        let base = simulate_baseline(&spec, &cost).unwrap();
+        assert!(base.total_s > 0.0 && base.total_s.is_finite());
+        let mem = MemoryReport::for_baseline(&spec).unwrap();
+        assert!(mem.total() > 0);
+    }
+}
+
+#[test]
+fn bigger_models_cost_more_everywhere() {
+    let cost = CostModel::raspberry_pi3();
+    let small = vgg::vgg_tiny(10, 3, (16, 16));
+    let large = vgg::vgg18(10, 3, (32, 32));
+    assert!(large.forward_macs().unwrap() > small.forward_macs().unwrap());
+    assert!(large.param_count().unwrap() > small.param_count().unwrap());
+    let lat_s = simulate_baseline(&small, &cost).unwrap();
+    let lat_l = simulate_baseline(&large, &cost).unwrap();
+    assert!(lat_l.total_s > lat_s.total_s);
+    let mem_s = MemoryReport::for_baseline(&small).unwrap();
+    let mem_l = MemoryReport::for_baseline(&large).unwrap();
+    assert!(mem_l.total() > mem_s.total());
+}
+
+#[test]
+fn paper_scale_models_show_paper_scale_latency_shape() {
+    // With the full-size CIFAR models and the Pi-3 profile, the simulated
+    // baseline should land in the paper's order of magnitude (seconds, not
+    // micro- or kilo-seconds), and TBNet with a pruned M_T should win.
+    let cost = CostModel::raspberry_pi3();
+    let vgg18 = vgg::vgg18(10, 3, (32, 32));
+    let base = simulate_baseline(&vgg18, &cost).unwrap();
+    assert!(
+        base.total_s > 0.05 && base.total_s < 60.0,
+        "implausible baseline latency {}",
+        base.total_s
+    );
+    let mut pruned = vgg18.clone();
+    for u in &mut pruned.units {
+        u.out_channels = (u.out_channels * 7 / 10).max(2); // ~30% pruned
+    }
+    let tb = simulate_two_branch(&pruned, &vgg18, &cost).unwrap();
+    assert!(
+        tb.total_s < base.total_s,
+        "tbnet {} vs baseline {}",
+        tb.total_s,
+        base.total_s
+    );
+    let ratio = base.total_s / tb.total_s;
+    assert!(
+        (1.0..3.0).contains(&ratio),
+        "reduction {ratio} outside the plausible band"
+    );
+}
+
+#[test]
+fn partition_split_monotonically_shifts_compute() {
+    let cost = CostModel::raspberry_pi3();
+    let spec = vgg::vgg_tiny(10, 3, (16, 16));
+    let mut last_tee = f64::INFINITY;
+    for split in 0..=spec.units.len() {
+        let r = simulate_partition(&spec, split, &cost).unwrap();
+        assert!(r.tee_compute_s <= last_tee);
+        last_tee = r.tee_compute_s;
+    }
+}
+
+#[test]
+fn memory_reports_decompose_exactly() {
+    for spec in zoo() {
+        let base = MemoryReport::for_baseline(&spec).unwrap();
+        assert_eq!(
+            base.total(),
+            base.weight_bytes + base.activation_bytes + base.merge_buffer_bytes
+        );
+        let branch = MemoryReport::for_secure_branch(&spec).unwrap();
+        assert_eq!(base.weight_bytes, branch.weight_bytes);
+        assert!(branch.merge_buffer_bytes > 0);
+    }
+}
