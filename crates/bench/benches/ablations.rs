@@ -29,7 +29,15 @@ fn bench_ablations(c: &mut Criterion) {
                 .mt()
                 .units()
                 .iter()
-                .map(|u| u.bn().gamma().value.as_slice().iter().map(|g| g.abs()).collect())
+                .map(|u| {
+                    u.bn()
+                        .gamma()
+                        .value
+                        .as_slice()
+                        .iter()
+                        .map(|g| g.abs())
+                        .collect()
+                })
                 .collect();
             build_masks(&tb, &scores, 0.1, 2).unwrap()
         })

@@ -1,0 +1,40 @@
+//! Naive-vs-Parallel backend comparison on paper-scale kernel shapes.
+//!
+//! `cargo bench -p tbnet-bench --bench backend`. The machine-readable
+//! version of this comparison is `cargo run --release -p tbnet-bench --bin
+//! backend`, which writes `BENCH_backend.json`.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use tbnet_tensor::{init, BackendKind};
+
+fn bench_backend(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+    let a = init::randn(&[256, 256], 1.0, &mut rng);
+    let b = init::randn(&[256, 256], 1.0, &mut rng);
+    let x = init::randn(&[8, 64, 32, 32], 1.0, &mut rng);
+    let w = init::randn(&[64, 64, 3, 3], 0.1, &mut rng);
+    let grad = init::randn(&[8, 64, 32, 32], 1.0, &mut rng);
+
+    let mut g = c.benchmark_group("backend");
+    g.sample_size(10);
+    for kind in [BackendKind::Naive, BackendKind::Parallel] {
+        let imp = kind.imp();
+        g.bench_with_input(BenchmarkId::new("matmul 256^3", kind), &kind, |bench, _| {
+            bench.iter(|| imp.matmul(&a, &b).unwrap())
+        });
+        g.bench_with_input(
+            BenchmarkId::new("conv2d fwd 8x64x32x32", kind),
+            &kind,
+            |bench, _| bench.iter(|| imp.conv2d_forward(&x, &w, None, 1, 1).unwrap()),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("conv2d bwd 8x64x32x32", kind),
+            &kind,
+            |bench, _| bench.iter(|| imp.conv2d_backward(&x, &w, &grad, 1, 1, false).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_backend);
+criterion_main!(benches);

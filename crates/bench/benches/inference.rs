@@ -40,8 +40,7 @@ fn bench_inference(c: &mut Criterion) {
         b.iter(|| {
             tb.zero_grad();
             let logits = tb.forward(&batch, Mode::Train).unwrap();
-            let out =
-                tbnet_nn::loss::softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
+            let out = tbnet_nn::loss::softmax_cross_entropy(&logits, &[0, 1, 2, 3]).unwrap();
             tb.backward(&out.grad).unwrap();
         })
     });

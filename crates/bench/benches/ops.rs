@@ -23,7 +23,9 @@ fn bench_ops(c: &mut Criterion) {
 
     let a = init::randn(&[128, 128], 1.0, &mut rng);
     let bm = init::randn(&[128, 128], 1.0, &mut rng);
-    g.bench_function("matmul 128x128", |b| b.iter(|| ops::matmul(&a, &bm).unwrap()));
+    g.bench_function("matmul 128x128", |b| {
+        b.iter(|| ops::matmul(&a, &bm).unwrap())
+    });
 
     g.bench_function("channel_mean_var 8x16x16x16", |b| {
         b.iter(|| ops::channel_mean_var(&input).unwrap())

@@ -67,17 +67,33 @@ fn ablation_scoring(scale: &Scale, data: &SyntheticCifar) {
     let mut composite = base.clone();
     let s = composite_scores(&composite).expect("scores");
     let acc = prune_once_with(&mut composite, s, data, scale);
-    t.row(&["composite |γ_R|+|γ_T| (paper)".into(), pct(acc), total_channels(&composite).to_string()]);
+    t.row(&[
+        "composite |γ_R|+|γ_T| (paper)".into(),
+        pct(acc),
+        total_channels(&composite).to_string(),
+    ]);
 
     let mut single = base.clone();
     let s: Vec<Vec<f32>> = single
         .mt()
         .units()
         .iter()
-        .map(|u| u.bn().gamma().value.as_slice().iter().map(|g| g.abs()).collect())
+        .map(|u| {
+            u.bn()
+                .gamma()
+                .value
+                .as_slice()
+                .iter()
+                .map(|g| g.abs())
+                .collect()
+        })
         .collect();
     let acc = prune_once_with(&mut single, s, data, scale);
-    t.row(&["single branch |γ_T| only".into(), pct(acc), total_channels(&single).to_string()]);
+    t.row(&[
+        "single branch |γ_T| only".into(),
+        pct(acc),
+        total_channels(&single).to_string(),
+    ]);
     println!("{}", t.render());
 }
 
@@ -94,7 +110,11 @@ fn ablation_rollback(scale: &Scale, data: &SyntheticCifar) {
     let snap2 = (tb.mr().clone(), tb.mr_book().clone());
 
     let mut t = TextTable::new(&[
-        "rollback depth", "TBNet %", "attack %", "M_R channels", "M_T channels",
+        "rollback depth",
+        "TBNet %",
+        "attack %",
+        "M_R channels",
+        "M_T channels",
     ]);
     for (depth, (mr, book)) in [(0usize, snap2), (1, snap1), (2, snap0)] {
         let mut variant = tb.clone();

@@ -9,7 +9,10 @@ use tbnet_data::DatasetKind;
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("scale: {} (set TBNET_SCALE=quick for a fast run)", scale.name);
+    eprintln!(
+        "scale: {} (set TBNET_SCALE=quick for a fast run)",
+        scale.name
+    );
     let scenarios: Vec<_> = GRID
         .iter()
         .map(|&(d, m)| {
@@ -23,7 +26,6 @@ fn main() {
     println!("{}", report_table3(&scenarios));
     println!("{}", report_fig2(&scenarios, &scale));
     println!("{}", report_fig3(&scenarios));
-    let (transfer_model, _) =
-        run_transfer_only(ModelKind::Vgg18, DatasetKind::Cifar10Like, &scale);
+    let (transfer_model, _) = run_transfer_only(ModelKind::Vgg18, DatasetKind::Cifar10Like, &scale);
     println!("{}", report_fig4(&transfer_model));
 }

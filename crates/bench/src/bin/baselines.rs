@@ -49,8 +49,7 @@ fn main() {
 
     // --- DarkneTZ-style partition: protect the second half of the layers. ---
     let split = n_units / 2;
-    let partition =
-        LayerPartition::new(s.artifacts.victim.clone(), split).expect("partition");
+    let partition = LayerPartition::new(s.artifacts.victim.clone(), split).expect("partition");
     let p_mem = partition.memory().expect("memory");
     let p_lat = partition.latency(&cost).expect("latency");
     let sub = substitute_model_attack(

@@ -5,6 +5,9 @@ use tbnet_bench::reports::report_fig3;
 fn main() {
     let scale = Scale::from_env();
     eprintln!("scale: {}", scale.name);
-    let scenarios: Vec<_> = GRID.iter().map(|&(d, m)| run_scenario(m, d, &scale)).collect();
+    let scenarios: Vec<_> = GRID
+        .iter()
+        .map(|&(d, m)| run_scenario(m, d, &scale))
+        .collect();
     println!("{}", report_fig3(&scenarios));
 }

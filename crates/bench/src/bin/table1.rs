@@ -4,7 +4,10 @@ use tbnet_bench::reports::{report_table1, scenario_summary};
 
 fn main() {
     let scale = Scale::from_env();
-    eprintln!("scale: {} (set TBNET_SCALE=quick for a fast run)", scale.name);
+    eprintln!(
+        "scale: {} (set TBNET_SCALE=quick for a fast run)",
+        scale.name
+    );
     let scenarios: Vec<_> = GRID
         .iter()
         .map(|&(d, m)| {

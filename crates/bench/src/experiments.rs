@@ -1,8 +1,8 @@
 //! Shared experiment definitions: model/dataset grid, scale presets and the
 //! scenario runner every table/figure binary builds on.
 
-use tbnet_core::pipeline::{run_pipeline, PipelineConfig, TbnetArtifacts};
 use tbnet_core::attack::direct_use_attack;
+use tbnet_core::pipeline::{run_pipeline, PipelineConfig, TbnetArtifacts};
 use tbnet_data::{DatasetKind, SyntheticCifar};
 use tbnet_models::ModelSpec;
 
@@ -162,13 +162,11 @@ pub fn run_scenario(model: ModelKind, dataset: DatasetKind, scale: &Scale) -> Sc
     let spec = model.spec(data.train().classes());
     let mut cfg = scale.pipeline_config();
     cfg.victim.lr = model.victim_lr();
-    cfg.victim.epochs =
-        ((cfg.victim.epochs as f32 * model.epoch_factor()).round() as usize).max(1);
+    cfg.victim.epochs = ((cfg.victim.epochs as f32 * model.epoch_factor()).round() as usize).max(1);
     cfg.transfer.lr = model.victim_lr();
     cfg.transfer.epochs =
         ((cfg.transfer.epochs as f32 * model.epoch_factor()).round() as usize).max(1);
-    let artifacts =
-        run_pipeline(&spec, &data, &cfg).expect("pipeline failed (see stage in error)");
+    let artifacts = run_pipeline(&spec, &data, &cfg).expect("pipeline failed (see stage in error)");
     let attack_acc =
         direct_use_attack(&artifacts.model, data.test()).expect("direct-use attack failed");
     Scenario {

@@ -16,10 +16,26 @@ use crate::table::TextTable;
 
 /// Paper reference numbers for Table 1 (victim, TBNet, attack, gap in %).
 pub const PAPER_TABLE1: [(DatasetKind, ModelKind, [f32; 4]); 4] = [
-    (DatasetKind::Cifar10Like, ModelKind::Vgg18, [91.29, 90.72, 69.80, 20.92]),
-    (DatasetKind::Cifar10Like, ModelKind::ResNet20, [92.27, 91.68, 10.00, 81.68]),
-    (DatasetKind::Cifar100Like, ModelKind::Vgg18, [67.41, 68.37, 42.64, 25.73]),
-    (DatasetKind::Cifar100Like, ModelKind::ResNet20, [71.03, 69.49, 20.29, 48.54]),
+    (
+        DatasetKind::Cifar10Like,
+        ModelKind::Vgg18,
+        [91.29, 90.72, 69.80, 20.92],
+    ),
+    (
+        DatasetKind::Cifar10Like,
+        ModelKind::ResNet20,
+        [92.27, 91.68, 10.00, 81.68],
+    ),
+    (
+        DatasetKind::Cifar100Like,
+        ModelKind::Vgg18,
+        [67.41, 68.37, 42.64, 25.73],
+    ),
+    (
+        DatasetKind::Cifar100Like,
+        ModelKind::ResNet20,
+        [71.03, 69.49, 20.29, 48.54],
+    ),
 ];
 
 fn paper_table1_row(dataset: DatasetKind, model: ModelKind) -> Option<[f32; 4]> {
@@ -32,7 +48,12 @@ fn paper_table1_row(dataset: DatasetKind, model: ModelKind) -> Option<[f32; 4]> 
 /// Table 1 — accuracy of TBNet and protection against direct model usage.
 pub fn report_table1(scenarios: &[Scenario]) -> String {
     let mut t = TextTable::new(&[
-        "Dataset", "DNN", "Victim %", "TBNet %", "Attack %", "Gap %",
+        "Dataset",
+        "DNN",
+        "Victim %",
+        "TBNet %",
+        "Attack %",
+        "Gap %",
         "paper: victim/tbnet/attack/gap",
     ]);
     for s in scenarios {
@@ -59,13 +80,20 @@ pub fn report_table1(scenarios: &[Scenario]) -> String {
 /// Table 2 — best-possible `M_T`-only (retrained on all data) vs TBNet.
 pub fn report_table2(scenarios: &[Scenario], scale: &Scale) -> String {
     let mut t = TextTable::new(&[
-        "DNN", "TBNet %", "M_T alone %", "Drop %", "paper: tbnet/mt/drop",
+        "DNN",
+        "TBNet %",
+        "M_T alone %",
+        "Drop %",
+        "paper: tbnet/mt/drop",
     ]);
     let paper = [
         (ModelKind::Vgg18, "91.29/87.57/3.72"),
         (ModelKind::ResNet20, "92.27/89.41/2.86"),
     ];
-    for s in scenarios.iter().filter(|s| s.dataset == DatasetKind::Cifar10Like) {
+    for s in scenarios
+        .iter()
+        .filter(|s| s.dataset == DatasetKind::Cifar10Like)
+    {
         let mt_alone = retrain_secure_branch_alone(
             &s.artifacts.model,
             s.data.train(),
@@ -96,13 +124,20 @@ pub fn report_table2(scenarios: &[Scenario], scale: &Scale) -> String {
 pub fn report_table3(scenarios: &[Scenario]) -> String {
     let cost = CostModel::raspberry_pi3();
     let mut t = TextTable::new(&[
-        "DNN", "Baseline (s)", "TBNet (s)", "Reduction", "paper: base/tbnet/red",
+        "DNN",
+        "Baseline (s)",
+        "TBNet (s)",
+        "Reduction",
+        "paper: base/tbnet/red",
     ]);
     let paper = [
         (ModelKind::Vgg18, "2.3983/1.9589/1.22x"),
         (ModelKind::ResNet20, "3.7425/3.2667/1.15x"),
     ];
-    for s in scenarios.iter().filter(|s| s.dataset == DatasetKind::Cifar10Like) {
+    for s in scenarios
+        .iter()
+        .filter(|s| s.dataset == DatasetKind::Cifar10Like)
+    {
         let plan = DeploymentPlan::new(&s.artifacts.model, s.artifacts.victim.spec())
             .expect("deployment plan");
         let lat = plan.latency(&cost).expect("latency simulation");
@@ -129,10 +164,7 @@ pub fn report_table3(scenarios: &[Scenario]) -> String {
 /// availability (VGG18, both datasets).
 pub fn report_fig2(scenarios: &[Scenario], scale: &Scale) -> String {
     let mut out = String::from("Fig. 2 — fine-tuning attack on M_R (VGG18)\n");
-    for s in scenarios
-        .iter()
-        .filter(|s| s.model == ModelKind::Vgg18)
-    {
+    for s in scenarios.iter().filter(|s| s.model == ModelKind::Vgg18) {
         let mut t = TextTable::new(&["Data fraction", "Samples", "Attacker %", "TBNet %"]);
         for &frac in &scale.fractions {
             let o = fine_tune_attack(
@@ -162,7 +194,12 @@ pub fn report_fig2(scenarios: &[Scenario], scale: &Scale) -> String {
 /// Fig. 3 — secure-memory usage: baseline vs TBNet for all four combos.
 pub fn report_fig3(scenarios: &[Scenario]) -> String {
     let mut t = TextTable::new(&[
-        "Dataset", "DNN", "Baseline (KiB)", "TBNet (KiB)", "Reduction", "paper red.",
+        "Dataset",
+        "DNN",
+        "Baseline (KiB)",
+        "TBNet (KiB)",
+        "Reduction",
+        "paper red.",
     ]);
     let paper = [
         (DatasetKind::Cifar10Like, ModelKind::Vgg18, "2.45x"),
@@ -223,9 +260,7 @@ pub fn run_transfer_only(
 /// transfer.
 pub fn report_fig4(model: &TwoBranchModel) -> String {
     let report = bn_weight_report(model, 10);
-    let mut out = String::from(
-        "Fig. 4 — BN weight (γ) distribution after knowledge transfer\n",
-    );
+    let mut out = String::from("Fig. 4 — BN weight (γ) distribution after knowledge transfer\n");
     out.push_str(&format!(
         "M_R: n={} mean={:.4} median={:.4} frac|γ|<0.1={:.2}\n",
         report.mr.count, report.mr.mean, report.mr.median, report.mr.frac_small

@@ -88,8 +88,7 @@ impl GammaSummary {
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
         let mean = sorted.iter().sum::<f32>() / sorted.len() as f32;
         let median = sorted[sorted.len() / 2];
-        let frac_small =
-            sorted.iter().filter(|&&v| v < 0.1).count() as f32 / sorted.len() as f32;
+        let frac_small = sorted.iter().filter(|&&v| v < 0.1).count() as f32 / sorted.len() as f32;
         GammaSummary {
             count: sorted.len(),
             mean,

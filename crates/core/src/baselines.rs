@@ -167,11 +167,7 @@ pub fn substitute_model_attack(
         }
         start = end;
     }
-    let query_set = ImageDataset::new(
-        subset.images().clone(),
-        pseudo_labels,
-        inputs.classes(),
-    )?;
+    let query_set = ImageDataset::new(subset.images().clone(), pseudo_labels, inputs.classes())?;
 
     // Reconstruction phase: exposed layers verbatim, fresh tail + head.
     let mut substitute = partition.victim.clone();

@@ -161,7 +161,11 @@ pub fn scatter_add_channels(dst: &mut Tensor, src: &Tensor, idx: &[usize]) -> Re
     if dst.rank() != 4 || src.rank() != 4 {
         return Err(CoreError::Tensor(TensorError::RankMismatch {
             expected: 4,
-            got: if dst.rank() != 4 { dst.rank() } else { src.rank() },
+            got: if dst.rank() != 4 {
+                dst.rank()
+            } else {
+                src.rank()
+            },
             op: "scatter_add_channels",
         }));
     }
@@ -221,7 +225,8 @@ mod tests {
         let mut narrow = ChannelBook::identity(&[5]);
         let mut wide = ChannelBook::identity(&[5]);
         // wide keeps {0,2,3,4}; narrow keeps {2,4}.
-        wide.apply_mask(0, &[true, false, true, true, true]).unwrap();
+        wide.apply_mask(0, &[true, false, true, true, true])
+            .unwrap();
         narrow
             .apply_mask(0, &[false, false, true, false, true])
             .unwrap();
@@ -250,11 +255,7 @@ mod tests {
 
     #[test]
     fn gather_selects_channels() {
-        let t = Tensor::from_vec(
-            (0..12).map(|x| x as f32).collect(),
-            &[1, 3, 2, 2],
-        )
-        .unwrap();
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), &[1, 3, 2, 2]).unwrap();
         let g = gather_channels(&t, &[2, 0]).unwrap();
         assert_eq!(g.dims(), &[1, 2, 2, 2]);
         assert_eq!(g.as_slice(), &[8.0, 9.0, 10.0, 11.0, 0.0, 1.0, 2.0, 3.0]);
@@ -269,10 +270,20 @@ mod tests {
         let y = tbnet_tensor::init::randn(&[2, 2, 3, 3], 1.0, &mut rng);
         // <gather(x), y> == <x, scatter(y)>
         let gx = gather_channels(&x, &idx).unwrap();
-        let lhs: f32 = gx.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = gx
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         let mut sc = Tensor::zeros(x.dims());
         scatter_add_channels(&mut sc, &y, &idx).unwrap();
-        let rhs: f32 = sc.as_slice().iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = sc
+            .as_slice()
+            .iter()
+            .zip(x.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
         assert!((lhs - rhs).abs() < 1e-3);
     }
 

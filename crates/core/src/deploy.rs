@@ -175,7 +175,10 @@ pub fn run_split_inference(model: &mut TwoBranchModel, images: &Tensor) -> Resul
     })?;
     let mut merged_outs: Vec<Tensor> = Vec::with_capacity(n);
     for i in 0..n {
-        let skip = mt.units()[i].spec().skip_from.map(|j| merged_outs[j].clone());
+        let skip = mt.units()[i]
+            .spec()
+            .skip_from
+            .map(|j| merged_outs[j].clone());
         let t_out = mt.units_mut()[i].forward(&m, skip.as_ref(), Mode::Eval)?;
         let r_out = rx.recv().ok_or_else(|| CoreError::BranchMismatch {
             reason: format!("channel underflow at unit {i}"),

@@ -121,7 +121,9 @@ mod tests {
         assert!(Error::source(&e).is_some());
         let e = CoreError::from(TeeError::UnknownHandle { id: 3 });
         assert!(Error::source(&e).is_some());
-        let e = CoreError::BranchMismatch { reason: "units".into() };
+        let e = CoreError::BranchMismatch {
+            reason: "units".into(),
+        };
         assert!(e.to_string().contains("units"));
         assert!(Error::source(&e).is_none());
     }

@@ -117,7 +117,9 @@ impl ChainNetState {
                 ),
             }));
         }
-        net.head_mut().linear_mut().set_weight(self.head_weight.clone());
+        net.head_mut()
+            .linear_mut()
+            .set_weight(self.head_weight.clone());
         net.head_mut()
             .linear_mut()
             .bias_mut()

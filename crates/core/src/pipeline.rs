@@ -32,7 +32,11 @@ pub struct PipelineConfig {
 
 impl PipelineConfig {
     /// Experiment-scale defaults mirroring the paper's hyper-parameters.
-    pub fn paper_scaled(victim_epochs: usize, transfer_epochs: usize, finetune_epochs: usize) -> Self {
+    pub fn paper_scaled(
+        victim_epochs: usize,
+        transfer_epochs: usize,
+        finetune_epochs: usize,
+    ) -> Self {
         PipelineConfig {
             victim: TrainConfig::paper_scaled(victim_epochs),
             transfer: TransferConfig::paper_scaled(transfer_epochs),
@@ -104,7 +108,13 @@ pub fn run_pipeline(
     let transfer_history = train_two_branch(&mut model, data.train(), &cfg.transfer)?;
 
     // Steps ③–⑤ — iterative two-branch pruning (Alg. 1).
-    let outcome = iterative_prune(&mut model, data.train(), data.test(), victim_acc, &cfg.prune)?;
+    let outcome = iterative_prune(
+        &mut model,
+        data.train(),
+        data.test(),
+        victim_acc,
+        &cfg.prune,
+    )?;
 
     // Step ⑥ — rollback finalization: M_R reverts one iteration.
     model.finalize_with_rollback(outcome.rollback_mr, outcome.rollback_mr_book)?;

@@ -204,7 +204,9 @@ pub fn build_masks(
         if kept < floor {
             let mut order: Vec<usize> = (0..gs.len()).collect();
             order.sort_by(|&a, &b| {
-                gs[b].partial_cmp(&gs[a]).unwrap_or(std::cmp::Ordering::Equal)
+                gs[b]
+                    .partial_cmp(&gs[a])
+                    .unwrap_or(std::cmp::Ordering::Equal)
             });
             mask = vec![false; gs.len()];
             for &i in order.iter().take(floor) {

@@ -128,19 +128,13 @@ pub fn train_victim(
 ///
 /// Returns shape errors when the dataset geometry disagrees with the model.
 pub fn evaluate(net: &mut ChainNet, data: &ImageDataset) -> Result<f32> {
-    let mut correct = RunningMean::new();
     let chunk = 64usize;
-    let n = data.len();
-    let mut start = 0;
-    while start < n {
-        let end = (start + chunk).min(n);
-        let idx: Vec<usize> = (start..end).collect();
+    crate::parallel::parallel_eval(&*net, data.len(), chunk, |worker, range| {
+        let idx: Vec<usize> = range.collect();
         let batch = data.gather(&idx);
-        let logits = net.forward(&batch.images, Mode::Eval)?;
-        correct.add(accuracy(&logits, &batch.labels)?, batch.len());
-        start = end;
-    }
-    Ok(correct.mean())
+        let logits = worker.forward(&batch.images, Mode::Eval)?;
+        Ok((accuracy(&logits, &batch.labels)?, batch.len()))
+    })
 }
 
 #[cfg(test)]

@@ -175,18 +175,13 @@ fn step_both(sgd: &Sgd, model: &mut TwoBranchModel) {
 ///
 /// Returns shape errors when the dataset disagrees with the model geometry.
 pub fn evaluate_two_branch(model: &mut TwoBranchModel, data: &ImageDataset) -> Result<f32> {
-    let mut correct = RunningMean::new();
     let chunk = 64usize;
-    let mut start = 0;
-    while start < data.len() {
-        let end = (start + chunk).min(data.len());
-        let idx: Vec<usize> = (start..end).collect();
+    crate::parallel::parallel_eval(&*model, data.len(), chunk, |worker, range| {
+        let idx: Vec<usize> = range.collect();
         let batch = data.gather(&idx);
-        let logits = model.predict(&batch.images)?;
-        correct.add(accuracy(&logits, &batch.labels)?, batch.len());
-        start = end;
-    }
-    Ok(correct.mean())
+        let logits = worker.predict(&batch.images)?;
+        Ok((accuracy(&logits, &batch.labels)?, batch.len()))
+    })
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@ use rand::Rng;
 
 use tbnet_models::ChainNet;
 use tbnet_nn::{Layer, Mode, Param};
-use tbnet_tensor::{ops, Tensor};
+use tbnet_tensor::{backend, BackendKind, Tensor};
 
 use crate::channels::{gather_channels, scatter_add_channels, ChannelBook};
 use crate::{CoreError, Result};
@@ -37,6 +37,7 @@ pub struct TwoBranchModel {
     /// to scatter merge gradients back).
     r_dims: Vec<Vec<usize>>,
     finalized: bool,
+    backend: BackendKind,
 }
 
 impl TwoBranchModel {
@@ -60,6 +61,7 @@ impl TwoBranchModel {
         let channels: Vec<usize> = spec.units.iter().map(|u| u.out_channels).collect();
         let n = channels.len();
         Ok(TwoBranchModel {
+            backend: backend::global_kind(),
             mr,
             mt,
             mr_book: ChannelBook::identity(&channels),
@@ -138,6 +140,7 @@ impl TwoBranchModel {
             }
         }
         Ok(TwoBranchModel {
+            backend: backend::global_kind(),
             mr,
             mt,
             mr_book,
@@ -146,6 +149,14 @@ impl TwoBranchModel {
             r_dims: vec![Vec::new(); n],
             finalized,
         })
+    }
+
+    /// Re-pins both branches (and the merge arithmetic) to a compute
+    /// backend.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
+        self.mr.set_backend(kind);
+        self.mt.set_backend(kind);
     }
 
     /// The unsecured branch `M_R` (attacker-visible in deployment).
@@ -285,9 +296,13 @@ impl TwoBranchModel {
                 None => r_out.clone(),
                 Some(idx) => gather_channels(&r_out, idx)?,
             };
-            let merged = ops::add(&t_out, &r_sel).map_err(|e| CoreError::BranchMismatch {
-                reason: format!("merge at unit {i} failed: {e}"),
-            })?;
+            let merged =
+                self.backend
+                    .imp()
+                    .add(&t_out, &r_sel)
+                    .map_err(|e| CoreError::BranchMismatch {
+                        reason: format!("merge at unit {i} failed: {e}"),
+                    })?;
             merged_outs.push(merged.clone());
             r = r_out;
             m = merged;
@@ -323,7 +338,7 @@ impl TwoBranchModel {
             // The merge `m_i = t_i + select(r_i)` routes the gradient to both
             // branches.
             match &self.align[i] {
-                None => accumulate(&mut gr[i], g_merged.clone())?,
+                None => accumulate(&mut gr[i], g_merged.clone(), self.backend)?,
                 Some(idx) => {
                     if self.r_dims[i].is_empty() {
                         return Err(CoreError::Nn(tbnet_nn::NnError::MissingForwardCache {
@@ -332,22 +347,22 @@ impl TwoBranchModel {
                     }
                     let mut z = Tensor::zeros(&self.r_dims[i]);
                     scatter_add_channels(&mut z, &g_merged, idx)?;
-                    accumulate(&mut gr[i], z)?;
+                    accumulate(&mut gr[i], z, self.backend)?;
                 }
             }
             let ug = self.mt.units_mut()[i].backward(&g_merged)?;
             if let (Some(j), Some(gs)) = (self.mt.units()[i].spec().skip_from, ug.grad_skip) {
-                accumulate(&mut gm[j], gs)?;
+                accumulate(&mut gm[j], gs, self.backend)?;
             }
             if i > 0 {
-                accumulate(&mut gm[i - 1], ug.grad_input)?;
+                accumulate(&mut gm[i - 1], ug.grad_input, self.backend)?;
             }
             let g_r = gr[i]
                 .take()
                 .expect("every M_R output feeds the merge, so a gradient exists");
             let rg = self.mr.units_mut()[i].backward(&g_r)?;
             if i > 0 {
-                accumulate(&mut gr[i - 1], rg.grad_input)?;
+                accumulate(&mut gr[i - 1], rg.grad_input, self.backend)?;
             }
         }
         Ok(())
@@ -378,10 +393,10 @@ impl TwoBranchModel {
     }
 }
 
-fn accumulate(slot: &mut Option<Tensor>, grad: Tensor) -> Result<()> {
+fn accumulate(slot: &mut Option<Tensor>, grad: Tensor, kind: BackendKind) -> Result<()> {
     match slot {
         Some(existing) => {
-            ops::add_assign(existing, &grad)?;
+            kind.imp().add_assign(existing, &grad)?;
         }
         None => *slot = Some(grad),
     }
@@ -469,13 +484,29 @@ mod tests {
                 };
                 let mut plus = tb.clone();
                 {
-                    let net = if branch == "mt" { plus.mt_mut() } else { plus.mr_mut() };
-                    net.units_mut()[0].conv_mut().weight_mut().value.as_mut_slice()[idx] += eps;
+                    let net = if branch == "mt" {
+                        plus.mt_mut()
+                    } else {
+                        plus.mr_mut()
+                    };
+                    net.units_mut()[0]
+                        .conv_mut()
+                        .weight_mut()
+                        .value
+                        .as_mut_slice()[idx] += eps;
                 }
                 let mut minus = tb.clone();
                 {
-                    let net = if branch == "mt" { minus.mt_mut() } else { minus.mr_mut() };
-                    net.units_mut()[0].conv_mut().weight_mut().value.as_mut_slice()[idx] -= eps;
+                    let net = if branch == "mt" {
+                        minus.mt_mut()
+                    } else {
+                        minus.mr_mut()
+                    };
+                    net.units_mut()[0]
+                        .conv_mut()
+                        .weight_mut()
+                        .value
+                        .as_mut_slice()[idx] -= eps;
                 }
                 let num = (loss_with(&mut plus, &x) - loss_with(&mut minus, &x)) / (2.0 * eps);
                 assert!(

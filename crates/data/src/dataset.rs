@@ -261,7 +261,7 @@ mod tests {
         let total: usize = batches.iter().map(Batch::len).sum();
         assert_eq!(total, 20);
         assert_eq!(batches.len(), 3); // 7 + 7 + 6
-        // Labels stay consistent with pixel encoding after shuffling.
+                                      // Labels stay consistent with pixel encoding after shuffling.
         for b in &batches {
             for (i, &l) in b.labels.iter().enumerate() {
                 assert_eq!(b.images.as_slice()[i * 12] as usize, l);

@@ -11,7 +11,7 @@ use rand::Rng;
 use tbnet_nn::{
     BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Mode, Param, Relu,
 };
-use tbnet_tensor::{ops, Tensor};
+use tbnet_tensor::{backend, BackendKind, Tensor};
 
 use crate::{HeadSpec, ModelError, ModelSpec, Result, UnitSpec};
 
@@ -35,6 +35,7 @@ pub struct Unit {
     relu: Relu,
     pool: Option<MaxPool2d>,
     had_skip: bool,
+    backend: BackendKind,
 }
 
 impl Unit {
@@ -57,6 +58,7 @@ impl Unit {
             relu: Relu::new(),
             pool,
             had_skip: false,
+            backend: backend::global_kind(),
         }
     }
 
@@ -107,6 +109,18 @@ impl Unit {
         self.spec.skip_from = from;
     }
 
+    /// Re-pins the unit's layers (and its skip-merge arithmetic) to a
+    /// compute backend.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
+        self.conv.set_backend(kind);
+        self.bn.set_backend(kind);
+        self.relu.set_backend(kind);
+        if let Some(p) = self.pool.as_mut() {
+            p.set_backend(kind);
+        }
+    }
+
     /// Runs the unit: `pool(relu(bn(conv(x)) + skip))`.
     ///
     /// # Errors
@@ -116,10 +130,12 @@ impl Unit {
     pub fn forward(&mut self, input: &Tensor, skip: Option<&Tensor>, mode: Mode) -> Result<Tensor> {
         let mut pre = self.bn.forward(&self.conv.forward(input, mode)?, mode)?;
         if let Some(s) = skip {
-            ops::add_assign(&mut pre, s).map_err(|e| ModelError::SkipShapeMismatch {
-                unit: usize::MAX,
-                from: usize::MAX,
-                reason: e.to_string(),
+            self.backend.imp().add_assign(&mut pre, s).map_err(|e| {
+                ModelError::SkipShapeMismatch {
+                    unit: usize::MAX,
+                    from: usize::MAX,
+                    reason: e.to_string(),
+                }
             })?;
         }
         self.had_skip = skip.is_some();
@@ -188,6 +204,20 @@ pub enum Head {
 }
 
 impl Head {
+    /// Re-pins the head's layers to a compute backend.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        match self {
+            Head::FlattenLinear { flatten, linear } => {
+                flatten.set_backend(kind);
+                linear.set_backend(kind);
+            }
+            Head::GapLinear { gap, linear } => {
+                gap.set_backend(kind);
+                linear.set_backend(kind);
+            }
+        }
+    }
+
     /// Builds a head of the given kind.
     pub fn new<R: Rng + ?Sized>(
         kind: HeadSpec,
@@ -276,6 +306,7 @@ pub struct ChainNet {
     head_kind: HeadSpec,
     units: Vec<Unit>,
     head: Head,
+    backend: BackendKind,
 }
 
 impl ChainNet {
@@ -293,6 +324,7 @@ impl ChainNet {
         }
         let head = Head::new(spec.head, spec.head_in_features()?, spec.classes, rng);
         Ok(ChainNet {
+            backend: backend::global_kind(),
             name: spec.name.clone(),
             in_channels: spec.in_channels,
             input_hw: spec.input_hw,
@@ -333,6 +365,16 @@ impl ChainNet {
         &mut self.head
     }
 
+    /// Re-pins every layer in the network (and the gradient-merge
+    /// arithmetic) to a compute backend.
+    pub fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
+        for unit in &mut self.units {
+            unit.set_backend(kind);
+        }
+        self.head.set_backend(kind);
+    }
+
     /// Reconstructs the current [`ModelSpec`] from the live layer shapes, so
     /// a pruned network reports its *actual* architecture.
     pub fn spec(&self) -> ModelSpec {
@@ -364,8 +406,7 @@ impl ChainNet {
 
 impl Layer for ChainNet {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> tbnet_nn::Result<Tensor> {
-        self.forward_impl(input, mode)
-            .map_err(model_to_nn_error)
+        self.forward_impl(input, mode).map_err(model_to_nn_error)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> tbnet_nn::Result<Tensor> {
@@ -381,6 +422,10 @@ impl Layer for ChainNet {
 
     fn name(&self) -> &'static str {
         "ChainNet"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        ChainNet::set_backend(self, kind);
     }
 }
 
@@ -419,10 +464,10 @@ impl ChainNet {
                 .expect("every unit output feeds the chain, so a gradient must exist");
             let ug = self.units[i].backward(&g)?;
             if let (Some(j), Some(gs)) = (self.units[i].spec.skip_from, ug.grad_skip) {
-                accumulate(&mut gouts[j], gs)?;
+                accumulate(&mut gouts[j], gs, self.backend)?;
             }
             if i > 0 {
-                accumulate(&mut gouts[i - 1], ug.grad_input)?;
+                accumulate(&mut gouts[i - 1], ug.grad_input, self.backend)?;
             } else {
                 grad_input = Some(ug.grad_input);
             }
@@ -431,10 +476,10 @@ impl ChainNet {
     }
 }
 
-fn accumulate(slot: &mut Option<Tensor>, grad: Tensor) -> Result<()> {
+fn accumulate(slot: &mut Option<Tensor>, grad: Tensor, kind: BackendKind) -> Result<()> {
     match slot {
         Some(existing) => {
-            ops::add_assign(existing, &grad)?;
+            kind.imp().add_assign(existing, &grad)?;
         }
         None => *slot = Some(grad),
     }
@@ -481,7 +526,9 @@ mod tests {
     fn forward_shapes() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut net = ChainNet::from_spec(&vgg_like_spec(), &mut rng).unwrap();
-        let y = net.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 4]);
         assert_eq!(net.name(), "mini");
         assert_eq!(net.classes(), 4);
@@ -492,7 +539,9 @@ mod tests {
     fn residual_forward_shapes() {
         let mut rng = StdRng::seed_from_u64(1);
         let mut net = ChainNet::from_spec(&residual_spec(), &mut rng).unwrap();
-        let y = net.forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval).unwrap();
+        let y = net
+            .forward(&Tensor::zeros(&[2, 3, 8, 8]), Mode::Eval)
+            .unwrap();
         assert_eq!(y.dims(), &[2, 4]);
     }
 
@@ -633,8 +682,7 @@ mod tests {
             for y in 0..6 {
                 for x in 0..6 {
                     let bright = if label == 0 { y < 3 } else { y >= 3 };
-                    *images.at_mut(&[i, 0, y, x]).unwrap() =
-                        if bright { 1.0 } else { -1.0 };
+                    *images.at_mut(&[i, 0, y, x]).unwrap() = if bright { 1.0 } else { -1.0 };
                 }
             }
         }

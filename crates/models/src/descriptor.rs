@@ -146,7 +146,9 @@ impl ModelSpec {
             if let Some(p) = u.pool_after {
                 if p == 0 || conv_h < p || conv_w < p {
                     return Err(ModelError::InvalidSpec {
-                        reason: format!("unit {i}: pool window {p} does not fit in {conv_h}×{conv_w}"),
+                        reason: format!(
+                            "unit {i}: pool window {p} does not fit in {conv_h}×{conv_w}"
+                        ),
                     });
                 }
                 out_hw = (conv_h / p, conv_w / p);
@@ -174,7 +176,11 @@ impl ModelSpec {
                     return Err(ModelError::SkipShapeMismatch {
                         unit: i,
                         from,
-                        reason: format!("spatial mismatch: {:?} vs {:?}", src.out_hw, (conv_h, conv_w)),
+                        reason: format!(
+                            "spatial mismatch: {:?} vs {:?}",
+                            src.out_hw,
+                            (conv_h, conv_w)
+                        ),
                     });
                 }
                 if self.units[from].group != u.group {
@@ -239,9 +245,7 @@ impl ModelSpec {
         let mut macs = 0u64;
         for (u, t) in self.units.iter().zip(&traces) {
             let per_pos = (t.in_channels * u.kernel * u.kernel) as u64;
-            macs += per_pos
-                * u.out_channels as u64
-                * (t.conv_hw.0 * t.conv_hw.1) as u64;
+            macs += per_pos * u.out_channels as u64 * (t.conv_hw.0 * t.conv_hw.1) as u64;
         }
         macs += (self.head_in_features()? * self.classes) as u64;
         Ok(macs)
@@ -300,9 +304,7 @@ impl ModelSpec {
             .iter()
             .map(|u| {
                 let mut u = u.clone();
-                u.skip_from = u
-                    .skip_from
-                    .and_then(|from| from.checked_sub(split));
+                u.skip_from = u.skip_from.and_then(|from| from.checked_sub(split));
                 u
             })
             .collect();
@@ -415,11 +417,17 @@ mod tests {
         // Channel mismatch rejected.
         let mut bad = spec.clone();
         bad.units[1].out_channels = 16;
-        assert!(matches!(bad.trace(), Err(ModelError::SkipShapeMismatch { .. })));
+        assert!(matches!(
+            bad.trace(),
+            Err(ModelError::SkipShapeMismatch { .. })
+        ));
         // Group mismatch rejected.
         let mut bad = spec.clone();
         bad.units[1].group = 7;
-        assert!(matches!(bad.trace(), Err(ModelError::SkipShapeMismatch { .. })));
+        assert!(matches!(
+            bad.trace(),
+            Err(ModelError::SkipShapeMismatch { .. })
+        ));
         // Forward reference rejected.
         let mut bad = spec;
         bad.units[0].skip_from = Some(1);

@@ -35,7 +35,10 @@ impl fmt::Display for ModelError {
             ModelError::Tensor(e) => write!(f, "tensor failure: {e}"),
             ModelError::InvalidSpec { reason } => write!(f, "invalid model spec: {reason}"),
             ModelError::SkipShapeMismatch { unit, from, reason } => {
-                write!(f, "skip into unit {unit} from unit {from} is inconsistent: {reason}")
+                write!(
+                    f,
+                    "skip into unit {unit} from unit {from} is inconsistent: {reason}"
+                )
             }
         }
     }
@@ -72,7 +75,9 @@ mod tests {
         let e = ModelError::from(NnError::MissingForwardCache { layer: "Conv2d" });
         assert!(e.to_string().contains("Conv2d"));
         assert!(Error::source(&e).is_some());
-        let e2 = ModelError::InvalidSpec { reason: "empty".into() };
+        let e2 = ModelError::InvalidSpec {
+            reason: "empty".into(),
+        };
         assert!(e2.to_string().contains("empty"));
         assert!(Error::source(&e2).is_none());
     }

@@ -97,7 +97,14 @@ pub fn resnet20(classes: usize, in_channels: usize, input_hw: (usize, usize)) ->
 /// widths 8/16/32). Same topology — 19 convolutions, identity skips, GAP
 /// head — at a quarter of the width.
 pub fn resnet20_tiny(classes: usize, in_channels: usize, input_hw: (usize, usize)) -> ModelSpec {
-    resnet_from_stages("ResNet20-t", &[8, 16, 32], 3, classes, in_channels, input_hw)
+    resnet_from_stages(
+        "ResNet20-t",
+        &[8, 16, 32],
+        3,
+        classes,
+        in_channels,
+        input_hw,
+    )
 }
 
 #[cfg(test)]

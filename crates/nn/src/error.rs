@@ -44,7 +44,10 @@ impl fmt::Display for NnError {
         match self {
             NnError::Tensor(e) => write!(f, "tensor kernel failure: {e}"),
             NnError::MissingForwardCache { layer } => {
-                write!(f, "backward called on `{layer}` without a cached forward pass")
+                write!(
+                    f,
+                    "backward called on `{layer}` without a cached forward pass"
+                )
             }
             NnError::LabelOutOfRange { label, classes } => {
                 write!(f, "label {label} out of range for {classes} classes")
@@ -96,11 +99,18 @@ mod tests {
         assert!(NnError::MissingForwardCache { layer: "conv" }
             .to_string()
             .contains("conv"));
-        assert!(NnError::LabelOutOfRange { label: 12, classes: 10 }
-            .to_string()
-            .contains("12"));
-        assert!(NnError::BatchMismatch { lhs: 4, rhs: 8, op: "loss" }
-            .to_string()
-            .contains("loss"));
+        assert!(NnError::LabelOutOfRange {
+            label: 12,
+            classes: 10
+        }
+        .to_string()
+        .contains("12"));
+        assert!(NnError::BatchMismatch {
+            lhs: 4,
+            rhs: 8,
+            op: "loss"
+        }
+        .to_string()
+        .contains("loss"));
     }
 }

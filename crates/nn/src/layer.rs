@@ -1,5 +1,5 @@
 use crate::{Param, Result};
-use tbnet_tensor::Tensor;
+use tbnet_tensor::{BackendKind, Tensor};
 
 /// Whether a forward pass is part of training (batch statistics, caches for
 /// backprop) or inference (running statistics, no caches required).
@@ -51,6 +51,13 @@ pub trait Layer: Send {
 
     /// Human-readable layer name for diagnostics.
     fn name(&self) -> &'static str;
+
+    /// Re-pins this layer (and any children) to a compute backend. Layers
+    /// without kernels ignore it; containers propagate it. New layers start
+    /// on [`tbnet_tensor::backend::global_kind`].
+    fn set_backend(&mut self, kind: BackendKind) {
+        let _ = kind;
+    }
 
     /// Clears gradients of all owned parameters.
     fn zero_grad(&mut self) {

@@ -1,4 +1,4 @@
-use tbnet_tensor::{ops, Tensor, TensorError};
+use tbnet_tensor::{backend, BackendKind, Tensor, TensorError};
 
 use crate::{Layer, Mode, NnError, Param, Result};
 
@@ -19,6 +19,7 @@ pub struct BatchNorm2d {
     eps: f32,
     momentum: f32,
     cache: Option<BnCache>,
+    backend: BackendKind,
 }
 
 #[derive(Debug, Clone)]
@@ -39,6 +40,7 @@ impl BatchNorm2d {
             eps: 1e-5,
             momentum: 0.1,
             cache: None,
+            backend: backend::global_kind(),
         }
     }
 
@@ -91,7 +93,11 @@ impl BatchNorm2d {
         running_var: Tensor,
     ) -> Result<()> {
         let n = gamma.numel();
-        for (t, name) in [(&beta, "beta"), (&running_mean, "running_mean"), (&running_var, "running_var")] {
+        for (t, name) in [
+            (&beta, "beta"),
+            (&running_mean, "running_mean"),
+            (&running_var, "running_var"),
+        ] {
             if t.numel() != n {
                 return Err(NnError::Tensor(TensorError::ShapeMismatch {
                     expected: vec![n],
@@ -130,10 +136,9 @@ impl Layer for BatchNorm2d {
                 op: "BatchNorm2d (channels)",
             }));
         }
-        let (n, h, w) = (input.dim(0), input.dim(2), input.dim(3));
-        let plane = h * w;
+        let imp = self.backend.imp();
         let (mean, var) = if mode.is_train() {
-            let (m, v) = ops::channel_mean_var(input)?;
+            let (m, v) = imp.channel_mean_var(input)?;
             // Update running statistics.
             for ci in 0..c {
                 let rm = &mut self.running_mean.as_mut_slice()[ci];
@@ -151,103 +156,43 @@ impl Layer for BatchNorm2d {
             inv_std.as_mut_slice()[ci] = 1.0 / (var.as_slice()[ci] + self.eps).sqrt();
         }
 
-        let mut x_hat = input.clone();
-        {
-            let xv = x_hat.as_mut_slice();
-            for ni in 0..n {
-                for ci in 0..c {
-                    let m = mean.as_slice()[ci];
-                    let is = inv_std.as_slice()[ci];
-                    let base = (ni * c + ci) * plane;
-                    for x in &mut xv[base..base + plane] {
-                        *x = (*x - m) * is;
-                    }
-                }
-            }
-        }
-
-        let mut out = x_hat.clone();
-        {
-            let ov = out.as_mut_slice();
-            let g = self.gamma.value.as_slice();
-            let b = self.beta.value.as_slice();
-            for ni in 0..n {
-                for ci in 0..c {
-                    let base = (ni * c + ci) * plane;
-                    for x in &mut ov[base..base + plane] {
-                        *x = g[ci] * *x + b[ci];
-                    }
-                }
-            }
-        }
+        let x_hat = imp.bn_normalize(input, &mean, &inv_std)?;
+        let out = imp.channel_affine(&x_hat, &self.gamma.value, &self.beta.value)?;
 
         self.cache = mode.is_train().then_some(BnCache { x_hat, inv_std });
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let cache = self
-            .cache
-            .as_ref()
-            .ok_or(NnError::MissingForwardCache { layer: "BatchNorm2d" })?;
-        grad_out.expect_same_shape(&cache.x_hat, "BatchNorm2d backward").map_err(NnError::Tensor)?;
-        let (n, c, h, w) = (
-            grad_out.dim(0),
-            grad_out.dim(1),
-            grad_out.dim(2),
-            grad_out.dim(3),
-        );
-        let plane = h * w;
-        let count = (n * plane) as f32;
+        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "BatchNorm2d",
+        })?;
+        grad_out
+            .expect_same_shape(&cache.x_hat, "BatchNorm2d backward")
+            .map_err(NnError::Tensor)?;
+        let c = grad_out.dim(1);
+        let imp = self.backend.imp();
 
         // Per-channel reductions: Σ dy and Σ dy·x̂.
-        let mut sum_dy = vec![0.0f32; c];
-        let mut sum_dy_xhat = vec![0.0f32; c];
-        {
-            let gv = grad_out.as_slice();
-            let xv = cache.x_hat.as_slice();
-            for ni in 0..n {
-                for ci in 0..c {
-                    let base = (ni * c + ci) * plane;
-                    let mut s = 0.0f32;
-                    let mut sx = 0.0f32;
-                    for off in base..base + plane {
-                        s += gv[off];
-                        sx += gv[off] * xv[off];
-                    }
-                    sum_dy[ci] += s;
-                    sum_dy_xhat[ci] += sx;
-                }
-            }
-        }
+        let (sum_dy, sum_dy_xhat) = imp.bn_backward_reduce(grad_out, &cache.x_hat)?;
 
         // Parameter gradients.
         for ci in 0..c {
-            self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat[ci];
-            self.beta.grad.as_mut_slice()[ci] += sum_dy[ci];
+            self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat.as_slice()[ci];
+            self.beta.grad.as_mut_slice()[ci] += sum_dy.as_slice()[ci];
         }
 
         // Input gradient:
         // dx = γ·inv_std · (dy − mean(dy) − x̂·mean(dy·x̂))
-        let mut grad_in = grad_out.clone();
-        {
-            let gi = grad_in.as_mut_slice();
-            let xv = cache.x_hat.as_slice();
-            let g = self.gamma.value.as_slice();
-            let is = cache.inv_std.as_slice();
-            for ni in 0..n {
-                for ci in 0..c {
-                    let mean_dy = sum_dy[ci] / count;
-                    let mean_dy_xhat = sum_dy_xhat[ci] / count;
-                    let scale = g[ci] * is[ci];
-                    let base = (ni * c + ci) * plane;
-                    for off in base..base + plane {
-                        gi[off] = scale * (gi[off] - mean_dy - xv[off] * mean_dy_xhat);
-                    }
-                }
-            }
-        }
-        Ok(grad_in)
+        imp.bn_input_grad(
+            grad_out,
+            &cache.x_hat,
+            &self.gamma.value,
+            &cache.inv_std,
+            &sum_dy,
+            &sum_dy_xhat,
+        )
+        .map_err(NnError::Tensor)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -258,6 +203,10 @@ impl Layer for BatchNorm2d {
     fn name(&self) -> &'static str {
         "BatchNorm2d"
     }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
+    }
 }
 
 #[cfg(test)]
@@ -265,7 +214,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use tbnet_tensor::init;
+    use tbnet_tensor::{init, ops};
 
     #[test]
     fn train_forward_normalizes() {
@@ -358,7 +307,10 @@ mod tests {
             // Fresh BN each time so running stats do not drift into the check.
             let num = (loss_of(&mut make_bn(), &xp) - loss_of(&mut make_bn(), &xm)) / (2.0 * eps);
             let ana = gx.as_slice()[idx];
-            assert!((num - ana).abs() < 3e-2, "idx {idx}: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 3e-2,
+                "idx {idx}: num {num} vs ana {ana}"
+            );
         }
 
         // γ gradient check.
@@ -376,7 +328,9 @@ mod tests {
     #[test]
     fn channel_count_validated() {
         let mut bn = BatchNorm2d::new(3);
-        assert!(bn.forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train).is_err());
+        assert!(bn
+            .forward(&Tensor::zeros(&[1, 2, 4, 4]), Mode::Train)
+            .is_err());
         assert!(bn.forward(&Tensor::zeros(&[2, 4]), Mode::Train).is_err());
     }
 

@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use tbnet_tensor::{init, ops, Tensor};
+use tbnet_tensor::{backend, init, BackendKind, Tensor};
 
 use crate::{Layer, Mode, NnError, Param, Result};
 
@@ -33,6 +33,7 @@ pub struct Conv2d {
     stride: usize,
     pad: usize,
     cache_input: Option<Tensor>,
+    backend: BackendKind,
 }
 
 impl Conv2d {
@@ -52,6 +53,7 @@ impl Conv2d {
             stride,
             pad,
             cache_input: None,
+            backend: backend::global_kind(),
         }
     }
 
@@ -120,7 +122,7 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = ops::conv2d_forward(
+        let out = self.backend.imp().conv2d_forward(
             input,
             &self.weight.value,
             self.bias.as_ref().map(|b| &b.value),
@@ -136,7 +138,8 @@ impl Layer for Conv2d {
             .cache_input
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "Conv2d" })?;
-        let grads = ops::conv2d_backward(
+        let imp = self.backend.imp();
+        let grads = imp.conv2d_backward(
             input,
             &self.weight.value,
             grad_out,
@@ -144,9 +147,9 @@ impl Layer for Conv2d {
             self.pad,
             self.bias.is_some(),
         )?;
-        ops::add_assign(&mut self.weight.grad, &grads.grad_weight)?;
+        imp.add_assign(&mut self.weight.grad, &grads.grad_weight)?;
         if let (Some(b), Some(gb)) = (self.bias.as_mut(), grads.grad_bias) {
-            ops::add_assign(&mut b.grad, &gb)?;
+            imp.add_assign(&mut b.grad, &gb)?;
         }
         Ok(grads.grad_input)
     }
@@ -160,6 +163,10 @@ impl Layer for Conv2d {
 
     fn name(&self) -> &'static str {
         "Conv2d"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
     }
 }
 
@@ -196,7 +203,8 @@ mod tests {
     fn eval_mode_does_not_cache() {
         let mut rng = StdRng::seed_from_u64(0);
         let mut conv = Conv2d::new(1, 1, 3, 1, 1, &mut rng);
-        conv.forward(&Tensor::zeros(&[1, 1, 4, 4]), Mode::Eval).unwrap();
+        conv.forward(&Tensor::zeros(&[1, 1, 4, 4]), Mode::Eval)
+            .unwrap();
         assert!(conv.backward(&Tensor::zeros(&[1, 1, 4, 4])).is_err());
     }
 

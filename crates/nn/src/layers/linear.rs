@@ -1,6 +1,6 @@
 use rand::Rng;
 
-use tbnet_tensor::{init, ops, Tensor, TensorError};
+use tbnet_tensor::{backend, init, BackendKind, Tensor, TensorError};
 
 use crate::{Layer, Mode, NnError, Param, Result};
 
@@ -14,15 +14,20 @@ pub struct Linear {
     weight: Param,
     bias: Param,
     cache_input: Option<Tensor>,
+    backend: BackendKind,
 }
 
 impl Linear {
     /// Creates a linear layer with Xavier-uniform weights and zero bias.
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
         Linear {
-            weight: Param::new(init::xavier_uniform(&[out_features, in_features], rng), true),
+            weight: Param::new(
+                init::xavier_uniform(&[out_features, in_features], rng),
+                true,
+            ),
             bias: Param::new(Tensor::zeros(&[out_features]), false),
             cache_input: None,
+            backend: backend::global_kind(),
         }
     }
 
@@ -81,18 +86,10 @@ impl Layer for Linear {
                 op: "Linear",
             }));
         }
-        // y = x @ Wᵀ
-        let mut out = ops::matmul_transpose_b(input, &self.weight.value)?;
-        let (n, o) = (out.dim(0), out.dim(1));
-        {
-            let ov = out.as_mut_slice();
-            let bv = self.bias.value.as_slice();
-            for ni in 0..n {
-                for (x, &b) in ov[ni * o..(ni + 1) * o].iter_mut().zip(bv) {
-                    *x += b;
-                }
-            }
-        }
+        // y = x @ Wᵀ + b
+        let imp = self.backend.imp();
+        let mut out = imp.matmul_transpose_b(input, &self.weight.value)?;
+        imp.add_bias_rows(&mut out, &self.bias.value)?;
         self.cache_input = mode.is_train().then(|| input.clone());
         Ok(out)
     }
@@ -103,11 +100,12 @@ impl Layer for Linear {
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "Linear" })?;
         // dW = dyᵀ @ x ; dx = dy @ W ; db = Σ_N dy
-        let gw = ops::matmul_transpose_a(grad_out, input)?;
-        ops::add_assign(&mut self.weight.grad, &gw)?;
-        let gb = ops::sum_axis0(grad_out)?;
-        ops::add_assign(&mut self.bias.grad, &gb)?;
-        Ok(ops::matmul(grad_out, &self.weight.value)?)
+        let imp = self.backend.imp();
+        let gw = imp.matmul_transpose_a(grad_out, input)?;
+        imp.add_assign(&mut self.weight.grad, &gw)?;
+        let gb = imp.sum_axis0(grad_out)?;
+        imp.add_assign(&mut self.bias.grad, &gb)?;
+        Ok(imp.matmul(grad_out, &self.weight.value)?)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -117,6 +115,10 @@ impl Layer for Linear {
 
     fn name(&self) -> &'static str {
         "Linear"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
     }
 }
 

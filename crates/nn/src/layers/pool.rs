@@ -1,4 +1,4 @@
-use tbnet_tensor::{ops, Tensor};
+use tbnet_tensor::{backend, ops, BackendKind, Tensor};
 
 use crate::{Layer, Mode, NnError, Param, Result};
 
@@ -7,12 +7,17 @@ use crate::{Layer, Mode, NnError, Param, Result};
 pub struct MaxPool2d {
     k: usize,
     indices: Option<ops::MaxPoolIndices>,
+    backend: BackendKind,
 }
 
 impl MaxPool2d {
     /// Creates a max-pool layer with window and stride `k`.
     pub fn new(k: usize) -> Self {
-        MaxPool2d { k, indices: None }
+        MaxPool2d {
+            k,
+            indices: None,
+            backend: backend::global_kind(),
+        }
     }
 
     /// Pooling window size.
@@ -23,7 +28,7 @@ impl MaxPool2d {
 
 impl Layer for MaxPool2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let (out, idx) = ops::maxpool2d_forward(input, self.k)?;
+        let (out, idx) = self.backend.imp().maxpool2d_forward(input, self.k)?;
         self.indices = mode.is_train().then_some(idx);
         Ok(out)
     }
@@ -33,7 +38,7 @@ impl Layer for MaxPool2d {
             .indices
             .as_ref()
             .ok_or(NnError::MissingForwardCache { layer: "MaxPool2d" })?;
-        Ok(ops::maxpool2d_backward(grad_out, idx)?)
+        Ok(self.backend.imp().maxpool2d_backward(grad_out, idx)?)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
@@ -41,24 +46,38 @@ impl Layer for MaxPool2d {
     fn name(&self) -> &'static str {
         "MaxPool2d"
     }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
+    }
 }
 
 /// Global average pooling, `[N, C, H, W]` → `[N, C]` (ResNet classifier head).
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct GlobalAvgPool {
     input_dims: Option<Vec<usize>>,
+    backend: BackendKind,
 }
 
 impl GlobalAvgPool {
     /// Creates a global average-pool layer.
     pub fn new() -> Self {
-        GlobalAvgPool { input_dims: None }
+        GlobalAvgPool {
+            input_dims: None,
+            backend: backend::global_kind(),
+        }
+    }
+}
+
+impl Default for GlobalAvgPool {
+    fn default() -> Self {
+        GlobalAvgPool::new()
     }
 }
 
 impl Layer for GlobalAvgPool {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = ops::avgpool2d_global_forward(input)?;
+        let out = self.backend.imp().avgpool2d_global_forward(input)?;
         self.input_dims = mode.is_train().then(|| input.dims().to_vec());
         Ok(out)
     }
@@ -67,14 +86,23 @@ impl Layer for GlobalAvgPool {
         let dims = self
             .input_dims
             .as_ref()
-            .ok_or(NnError::MissingForwardCache { layer: "GlobalAvgPool" })?;
-        Ok(ops::avgpool2d_global_backward(grad_out, dims)?)
+            .ok_or(NnError::MissingForwardCache {
+                layer: "GlobalAvgPool",
+            })?;
+        Ok(self
+            .backend
+            .imp()
+            .avgpool2d_global_backward(grad_out, dims)?)
     }
 
     fn visit_params(&mut self, _f: &mut dyn FnMut(&mut Param)) {}
 
     fn name(&self) -> &'static str {
         "GlobalAvgPool"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
     }
 }
 
@@ -89,7 +117,9 @@ mod tests {
         let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[1, 1, 2, 2]).unwrap();
         let y = pool.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.as_slice(), &[4.0]);
-        let g = pool.backward(&Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap()).unwrap();
+        let g = pool
+            .backward(&Tensor::from_vec(vec![2.0], &[1, 1, 1, 1]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[0.0, 0.0, 0.0, 2.0]);
     }
 
@@ -99,7 +129,9 @@ mod tests {
         let x = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0], &[1, 1, 2, 2]).unwrap();
         let y = gap.forward(&x, Mode::Train).unwrap();
         assert_eq!(y.as_slice(), &[5.0]);
-        let g = gap.backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap()).unwrap();
+        let g = gap
+            .backward(&Tensor::from_vec(vec![4.0], &[1, 1]).unwrap())
+            .unwrap();
         assert_eq!(g.as_slice(), &[1.0, 1.0, 1.0, 1.0]);
     }
 
@@ -114,7 +146,8 @@ mod tests {
     #[test]
     fn eval_mode_skips_cache() {
         let mut pool = MaxPool2d::new(2);
-        pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval).unwrap();
+        pool.forward(&Tensor::zeros(&[1, 1, 2, 2]), Mode::Eval)
+            .unwrap();
         assert!(pool.backward(&Tensor::zeros(&[1, 1, 1, 1])).is_err());
     }
 }

@@ -1,25 +1,35 @@
-use tbnet_tensor::Tensor;
+use tbnet_tensor::{backend, BackendKind, Tensor};
 
 use crate::{Layer, Mode, NnError, Param, Result};
 
 /// Rectified linear unit, `y = max(x, 0)`, applied elementwise.
 ///
 /// Stateless apart from the backward mask; works on tensors of any rank.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub struct Relu {
     mask: Option<Vec<bool>>,
+    backend: BackendKind,
 }
 
 impl Relu {
     /// Creates a ReLU layer.
     pub fn new() -> Self {
-        Relu { mask: None }
+        Relu {
+            mask: None,
+            backend: backend::global_kind(),
+        }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Relu::new()
     }
 }
 
 impl Layer for Relu {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = input.map(|x| x.max(0.0));
+        let out = self.backend.imp().unary(input, &|x| x.max(0.0));
         self.mask = mode
             .is_train()
             .then(|| input.as_slice().iter().map(|&x| x > 0.0).collect());
@@ -52,6 +62,10 @@ impl Layer for Relu {
     fn name(&self) -> &'static str {
         "Relu"
     }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        self.backend = kind;
+    }
 }
 
 #[cfg(test)]
@@ -71,7 +85,9 @@ mod tests {
         let mut relu = Relu::new();
         let x = Tensor::from_slice(&[-1.0, 3.0, 0.0, 2.0]);
         relu.forward(&x, Mode::Train).unwrap();
-        let g = relu.backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0])).unwrap();
+        let g = relu
+            .backward(&Tensor::from_slice(&[1.0, 1.0, 1.0, 1.0]))
+            .unwrap();
         assert_eq!(g.as_slice(), &[0.0, 1.0, 0.0, 1.0]);
     }
 

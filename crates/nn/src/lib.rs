@@ -15,6 +15,19 @@
 //!   learning-rate schedule the paper uses;
 //! * [`metrics`] — classification accuracy.
 //!
+//! # Compute backends
+//!
+//! Every layer dispatches its kernels through a
+//! [`tbnet_tensor::Backend`]: new layers start on the process-wide default
+//! (see `tbnet_tensor::backend::global_kind`), and
+//! [`Layer::set_backend`] re-pins a layer — containers like [`Sequential`]
+//! propagate the choice to their children. Pinning a model to
+//! `BackendKind::Naive` reproduces the single-threaded reference
+//! arithmetic; `BackendKind::Parallel` runs the blocked/threaded kernels.
+//!
+//! (An earlier draft kept a stray `src/README.md` beside the sources; its
+//! contents are folded into these module docs.)
+//!
 //! # Example
 //!
 //! ```

@@ -48,7 +48,10 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<LossO
         let pv = probs.as_slice();
         for (ni, &t) in targets.iter().enumerate() {
             if t >= c {
-                return Err(NnError::LabelOutOfRange { label: t, classes: c });
+                return Err(NnError::LabelOutOfRange {
+                    label: t,
+                    classes: c,
+                });
             }
             let p = pv[ni * c + t].max(1e-12);
             loss -= (p as f64).ln();
@@ -121,10 +124,7 @@ mod tests {
             let fp = softmax_cross_entropy(&lp, &targets).unwrap().loss;
             let fm = softmax_cross_entropy(&lm, &targets).unwrap().loss;
             let num = (fp - fm) / (2.0 * eps);
-            assert!(
-                (num - out.grad.as_slice()[idx]).abs() < 1e-3,
-                "logit {idx}"
-            );
+            assert!((num - out.grad.as_slice()[idx]).abs() < 1e-3, "logit {idx}");
         }
     }
 

@@ -81,7 +81,10 @@ impl ConfusionMatrix {
         let lv = logits.as_slice();
         for (ni, &t) in targets.iter().enumerate() {
             if t >= c {
-                return Err(NnError::LabelOutOfRange { label: t, classes: c });
+                return Err(NnError::LabelOutOfRange {
+                    label: t,
+                    classes: c,
+                });
             }
             let row = &lv[ni * c..(ni + 1) * c];
             let mut best = 0usize;

@@ -1,4 +1,4 @@
-use tbnet_tensor::Tensor;
+use tbnet_tensor::{BackendKind, Tensor};
 
 use crate::{Layer, Mode, Param, Result};
 
@@ -88,6 +88,12 @@ impl Layer for Sequential {
 
     fn name(&self) -> &'static str {
         "Sequential"
+    }
+
+    fn set_backend(&mut self, kind: BackendKind) {
+        for layer in &mut self.layers {
+            layer.set_backend(kind);
+        }
     }
 }
 

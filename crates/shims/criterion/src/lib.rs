@@ -1,0 +1,224 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Provides the API subset the workspace's benches use — `Criterion`,
+//! `BenchmarkGroup`, `Bencher::iter`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — measuring wall-clock time
+//! with warmup and reporting min/median/mean per benchmark.
+//!
+//! When invoked with `--test` (as `cargo test` does for `harness = false`
+//! bench targets), every benchmark body runs exactly once so the suite
+//! doubles as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Collected timing for one benchmark.
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Benchmark label (group/function).
+    pub name: String,
+    /// Per-iteration wall-clock times, sorted ascending.
+    pub times: Vec<Duration>,
+}
+
+impl Sample {
+    /// Median per-iteration time.
+    pub fn median(&self) -> Duration {
+        self.times[self.times.len() / 2]
+    }
+
+    /// Mean per-iteration time.
+    pub fn mean(&self) -> Duration {
+        self.times.iter().sum::<Duration>() / self.times.len().max(1) as u32
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    /// Mirrors real criterion's CLI hookup; the shim only detects `--test`.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: None,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let sample_size = self.sample_size;
+        run_one(name, sample_size, self.test_mode, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Overrides the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(2));
+        self
+    }
+
+    fn effective_samples(&self) -> usize {
+        self.sample_size.unwrap_or(self.criterion.sample_size)
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let label = format!("{}/{}", self.name, name);
+        let samples = self.effective_samples();
+        run_one(&label, samples, self.criterion.test_mode, &mut f);
+        self
+    }
+
+    /// Runs one parameterized benchmark within the group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        let samples = self.effective_samples();
+        run_one(&label, samples, self.criterion.test_mode, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (reporting happens per-benchmark; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier for a parameterized benchmark.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+/// Passed to the benchmark closure; `iter` does the timing.
+pub struct Bencher {
+    samples: usize,
+    test_mode: bool,
+    result: Option<Sample>,
+    label: String,
+}
+
+impl Bencher {
+    /// Times `f`, running warmup plus `sample_size` measured iterations
+    /// (exactly one un-timed iteration in `--test` mode).
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warmup: let caches/allocators settle, bounded for slow bodies.
+        let warmup_deadline = Instant::now() + Duration::from_millis(200);
+        for _ in 0..3 {
+            black_box(f());
+            if Instant::now() > warmup_deadline {
+                break;
+            }
+        }
+        let mut times = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.result = Some(Sample {
+            name: self.label.clone(),
+            times,
+        });
+    }
+}
+
+fn run_one(label: &str, samples: usize, test_mode: bool, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        samples,
+        test_mode,
+        result: None,
+        label: label.to_string(),
+    };
+    f(&mut bencher);
+    if test_mode {
+        println!("bench {label}: ok (test mode)");
+    } else if let Some(sample) = bencher.result {
+        println!(
+            "bench {label}: median {} | mean {} | min {} ({} samples)",
+            fmt_duration(sample.median()),
+            fmt_duration(sample.mean()),
+            fmt_duration(sample.times[0]),
+            sample.times.len(),
+        );
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

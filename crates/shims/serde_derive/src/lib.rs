@@ -1,0 +1,333 @@
+//! Hand-rolled `#[derive(Serialize, Deserialize)]` for the offline serde
+//! shim.
+//!
+//! Written against `proc_macro` alone (no `syn`/`quote`, which are
+//! unavailable without a registry). Supports the shapes this workspace
+//! derives on: non-generic structs with named fields and enums whose
+//! variants are all unit variants. Anything else produces a compile error
+//! naming the limitation rather than silently misbehaving.
+//!
+//! Field types never need to be parsed: the generated code calls trait
+//! methods (`to_value` / `from_value`) and lets type inference resolve the
+//! implementation from the struct definition itself.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Tuple { name: String, arity: usize },
+    Enum { name: String, variants: Vec<String> },
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Splits a brace-group body on top-level commas, tracking `<...>` nesting so
+/// generic arguments like `HashMap<String, f32>` stay in one chunk.
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut chunks = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    let mut prev_dash = false;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                // A `>` closing a generic, unless it terminates a `->`.
+                '>' if !prev_dash => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(std::mem::take(&mut current));
+                    prev_dash = false;
+                    continue;
+                }
+                _ => {}
+            }
+            prev_dash = p.as_char() == '-';
+        } else {
+            prev_dash = false;
+        }
+        current.push(t.clone());
+    }
+    if !current.is_empty() {
+        chunks.push(current);
+    }
+    chunks
+}
+
+/// Strips leading `#[...]` attributes and a `pub` / `pub(...)` prefix,
+/// returning the first identifier that follows (a field or variant name).
+fn leading_ident(chunk: &[TokenTree]) -> Option<(String, usize)> {
+    let mut i = 0;
+    while i < chunk.len() {
+        match &chunk[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // '#' plus the bracket group
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = chunk.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => return Some((id.to_string(), i)),
+            _ => return None,
+        }
+    }
+    None
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip outer attributes (doc comments survive into derive input).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            _ => break,
+        }
+    }
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive does not support generics (type {name})"
+            ));
+        }
+    }
+    let body = loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                if kind != "struct" {
+                    return Err(format!("unexpected parenthesized body in {kind} {name}"));
+                }
+                let body_tokens: Vec<TokenTree> = g.stream().into_iter().collect();
+                let arity = split_top_commas(&body_tokens)
+                    .iter()
+                    .filter(|c| !c.is_empty())
+                    .count();
+                return Ok(Shape::Tuple { name, arity });
+            }
+            Some(_) => i += 1,
+            None => return Err(format!("no braced body found for type {name}")),
+        }
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+    let chunks = split_top_commas(&body_tokens);
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            for chunk in &chunks {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let (ident, at) = leading_ident(chunk)
+                    .ok_or_else(|| format!("unparseable field in struct {name}"))?;
+                match chunk.get(at + 1) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => fields.push(ident),
+                    _ => {
+                        return Err(format!(
+                            "struct {name}: field `{ident}` is not `name: Type` shaped"
+                        ))
+                    }
+                }
+            }
+            Ok(Shape::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            for chunk in &chunks {
+                if chunk.is_empty() {
+                    continue;
+                }
+                let (ident, at) = leading_ident(chunk)
+                    .ok_or_else(|| format!("unparseable variant in enum {name}"))?;
+                if chunk.len() > at + 1 {
+                    return Err(format!(
+                        "serde shim derive supports only unit enum variants \
+                         (enum {name}, variant {ident})"
+                    ));
+                }
+                variants.push(ident);
+            }
+            Ok(Shape::Enum { name, variants })
+        }
+        other => Err(format!("expected struct or enum, found `{other}`")),
+    }
+}
+
+/// Derives the shim's value-tree `Serialize` for named-field structs and
+/// unit-variant enums.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "pairs.push(({f:?}.to_string(), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         let mut pairs: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                         {pushes}\n\
+                         ::serde::Value::Obj(pairs)\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            // Newtypes serialize transparently; wider tuples as arrays.
+            if arity == 1 {
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             ::serde::Serialize::to_value(&self.0)\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: String = (0..arity)
+                    .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                    .collect();
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             ::serde::Value::Arr(vec![{items}])\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => {v:?},"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derives the shim's value-tree `Deserialize` for named-field structs and
+/// unit-variant enums.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(v.field({f:?}))\
+                         .map_err(|e| ::serde::DeError(\
+                             format!(\"{name}.{f}: {{}}\", e.0)))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Tuple { name, arity } => {
+            if arity == 1 {
+                format!(
+                    "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                         fn from_value(v: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             Ok({name}(::serde::Deserialize::from_value(v)?))\n\
+                         }}\n\
+                     }}"
+                )
+            } else {
+                let items: String = (0..arity)
+                    .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?,"))
+                    .collect();
+                format!(
+                    "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                         fn from_value(v: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             match v {{\n\
+                                 ::serde::Value::Arr(items) if items.len() == {arity} => \
+                                     Ok({name}({items})),\n\
+                                 _ => Err(::serde::DeError(\
+                                     \"expected {arity}-element array for {name}\"\
+                                     .to_string())),\n\
+                             }}\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {arms}\n\
+                                 other => Err(::serde::DeError(format!(\
+                                     \"unknown {name} variant {{other:?}}\"))),\n\
+                             }},\n\
+                             _ => Err(::serde::DeError(\
+                                 \"expected string for enum {name}\".to_string())),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}

@@ -150,7 +150,9 @@ mod tests {
         c.tee_macs_per_s = 0.0;
         assert!(matches!(
             c.validate(),
-            Err(TeeError::InvalidCostModel { field: "tee_macs_per_s" })
+            Err(TeeError::InvalidCostModel {
+                field: "tee_macs_per_s"
+            })
         ));
         let mut c = CostModel::raspberry_pi3();
         c.channel_bytes_per_s = f64::NAN;

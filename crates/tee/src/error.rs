@@ -32,7 +32,10 @@ impl fmt::Display for TeeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TeeError::Model(e) => write!(f, "model error: {e}"),
-            TeeError::SecureMemoryExhausted { requested, available } => write!(
+            TeeError::SecureMemoryExhausted {
+                requested,
+                available,
+            } => write!(
                 f,
                 "secure memory exhausted: requested {requested} bytes, {available} available"
             ),

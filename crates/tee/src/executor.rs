@@ -50,7 +50,8 @@ fn unit_costs(spec: &ModelSpec) -> Result<(Vec<u64>, Vec<usize>, u64)> {
         macs.push(m);
         out_elems.push(t.out_channels * t.out_hw.0 * t.out_hw.1);
     }
-    let head_macs = (spec.head_in_features().map_err(crate::TeeError::Model)? * spec.classes) as u64;
+    let head_macs =
+        (spec.head_in_features().map_err(crate::TeeError::Model)? * spec.classes) as u64;
     Ok((macs, out_elems, head_macs))
 }
 
@@ -63,8 +64,7 @@ fn unit_costs(spec: &ModelSpec) -> Result<(Vec<u64>, Vec<usize>, u64)> {
 pub fn simulate_baseline(spec: &ModelSpec, cost: &CostModel) -> Result<LatencyReport> {
     cost.validate()?;
     let (macs, _, head_macs) = unit_costs(spec)?;
-    let input_bytes =
-        spec.in_channels * spec.input_hw.0 * spec.input_hw.1 * BYTES_PER_ELEM;
+    let input_bytes = spec.in_channels * spec.input_hw.0 * spec.input_hw.1 * BYTES_PER_ELEM;
     let transfer_s = cost.transfer_s(input_bytes);
     let tee_compute_s = cost.tee_compute_s(macs.iter().sum::<u64>() + head_macs);
     let switch_s = cost.world_switch_s;
@@ -97,13 +97,15 @@ pub fn simulate_two_branch(
 ) -> Result<LatencyReport> {
     cost.validate()?;
     if mt_spec.units.len() != mr_spec.units.len() {
-        return Err(crate::TeeError::Model(tbnet_models::ModelError::InvalidSpec {
-            reason: format!(
-                "branch unit counts disagree: M_T has {}, M_R has {}",
-                mt_spec.units.len(),
-                mr_spec.units.len()
-            ),
-        }));
+        return Err(crate::TeeError::Model(
+            tbnet_models::ModelError::InvalidSpec {
+                reason: format!(
+                    "branch unit counts disagree: M_T has {}, M_R has {}",
+                    mt_spec.units.len(),
+                    mr_spec.units.len()
+                ),
+            },
+        ));
     }
     let (mt_macs, mt_out_elems, mt_head_macs) = unit_costs(mt_spec)?;
     let (mr_macs, mr_out_elems, _) = unit_costs(mr_spec)?;
@@ -180,9 +182,11 @@ pub fn simulate_partition(
     cost.validate()?;
     let (macs, out_elems, head_macs) = unit_costs(spec)?;
     if split > macs.len() {
-        return Err(crate::TeeError::Model(tbnet_models::ModelError::InvalidSpec {
-            reason: format!("partition split {split} exceeds {} units", macs.len()),
-        }));
+        return Err(crate::TeeError::Model(
+            tbnet_models::ModelError::InvalidSpec {
+                reason: format!("partition split {split} exceeds {} units", macs.len()),
+            },
+        ));
     }
     let ree_macs: u64 = macs[..split].iter().sum();
     let tee_macs: u64 = macs[split..].iter().sum::<u64>() + head_macs;

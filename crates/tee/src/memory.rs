@@ -148,7 +148,10 @@ mod tests {
         assert_eq!(l.available(), 40);
         assert!(matches!(
             l.allocate(50),
-            Err(TeeError::SecureMemoryExhausted { requested: 50, available: 40 })
+            Err(TeeError::SecureMemoryExhausted {
+                requested: 50,
+                available: 40
+            })
         ));
         // Failed allocation leaves state unchanged.
         assert_eq!(l.used(), 60);
@@ -185,7 +188,10 @@ mod tests {
         let spec = resnet::resnet20_tiny(10, 3, (16, 16));
         let r = MemoryReport::for_secure_branch(&spec).unwrap();
         assert!(r.merge_buffer_bytes > 0);
-        assert_eq!(r.total(), r.weight_bytes + r.activation_bytes + r.merge_buffer_bytes);
+        assert_eq!(
+            r.total(),
+            r.weight_bytes + r.activation_bytes + r.merge_buffer_bytes
+        );
     }
 
     #[test]

@@ -32,9 +32,12 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod backend;
 pub mod init;
 pub mod ops;
+pub mod par;
 
+pub use backend::{Backend, BackendKind, Naive, Parallel};
 pub use error::TensorError;
 pub use shape::Shape;
 pub use tensor::Tensor;

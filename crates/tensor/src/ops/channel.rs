@@ -1,0 +1,260 @@
+//! Per-channel affine/normalization kernels for BatchNorm-shaped work over
+//! `[N, C, H, W]` activations.
+//!
+//! These exist so `tbnet-nn`'s BatchNorm can route its four hot loops
+//! (normalize, affine, backward reductions, input gradient) through the
+//! compute backend instead of hand-rolled inline loops. The naive forms
+//! reproduce the original loop structure exactly — same arithmetic, same
+//! accumulation order — so backends stay bit-comparable.
+
+use crate::{Result, Tensor, TensorError};
+
+pub(crate) fn check_nchw(input: &Tensor, op: &'static str) -> Result<(usize, usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op,
+        });
+    }
+    Ok((input.dim(0), input.dim(1), input.dim(2), input.dim(3)))
+}
+
+pub(crate) fn check_channel_vec(v: &Tensor, c: usize, op: &'static str) -> Result<()> {
+    if v.dims() != [c] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c],
+            got: v.dims().to_vec(),
+            op,
+        });
+    }
+    Ok(())
+}
+
+/// Channel-wise normalization `(x - mean[c]) * inv_std[c]` over `[N, C, H, W]`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors when `input` is not 4-D or the statistics are
+/// not `[C]`.
+pub fn bn_normalize(input: &Tensor, mean: &Tensor, inv_std: &Tensor) -> Result<Tensor> {
+    crate::backend::global().bn_normalize(input, mean, inv_std)
+}
+
+pub(crate) fn bn_normalize_naive(
+    input: &Tensor,
+    mean: &Tensor,
+    inv_std: &Tensor,
+) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "bn_normalize")?;
+    check_channel_vec(mean, c, "bn_normalize (mean)")?;
+    check_channel_vec(inv_std, c, "bn_normalize (inv_std)")?;
+    let plane = h * w;
+    let mut out = input.clone();
+    let xv = out.as_mut_slice();
+    let mv = mean.as_slice();
+    let sv = inv_std.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let m = mv[ci];
+            let is = sv[ci];
+            let base = (ni * c + ci) * plane;
+            for x in &mut xv[base..base + plane] {
+                *x = (*x - m) * is;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Channel-wise affine `scale[c] * x + shift[c]` over `[N, C, H, W]`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors when `input` is not 4-D or the coefficients are
+/// not `[C]`.
+pub fn channel_affine(input: &Tensor, scale: &Tensor, shift: &Tensor) -> Result<Tensor> {
+    crate::backend::global().channel_affine(input, scale, shift)
+}
+
+pub(crate) fn channel_affine_naive(
+    input: &Tensor,
+    scale: &Tensor,
+    shift: &Tensor,
+) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "channel_affine")?;
+    check_channel_vec(scale, c, "channel_affine (scale)")?;
+    check_channel_vec(shift, c, "channel_affine (shift)")?;
+    let plane = h * w;
+    let mut out = input.clone();
+    let ov = out.as_mut_slice();
+    let g = scale.as_slice();
+    let b = shift.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let base = (ni * c + ci) * plane;
+            for x in &mut ov[base..base + plane] {
+                *x = g[ci] * *x + b[ci];
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// BatchNorm backward reductions: per-channel `Σ dy` and `Σ dy·x̂` over
+/// `[N, C, H, W]`, each returned as a `[C]` tensor.
+///
+/// # Errors
+///
+/// Returns rank/shape errors when the operands disagree.
+pub fn bn_backward_reduce(grad_out: &Tensor, x_hat: &Tensor) -> Result<(Tensor, Tensor)> {
+    crate::backend::global().bn_backward_reduce(grad_out, x_hat)
+}
+
+pub(crate) fn bn_backward_reduce_naive(
+    grad_out: &Tensor,
+    x_hat: &Tensor,
+) -> Result<(Tensor, Tensor)> {
+    let (n, c, h, w) = check_nchw(grad_out, "bn_backward_reduce")?;
+    grad_out.expect_same_shape(x_hat, "bn_backward_reduce")?;
+    let plane = h * w;
+    let mut sum_dy = Tensor::zeros(&[c]);
+    let mut sum_dy_xhat = Tensor::zeros(&[c]);
+    let gv = grad_out.as_slice();
+    let xv = x_hat.as_slice();
+    let dv = sum_dy.as_mut_slice();
+    let dxv = sum_dy_xhat.as_mut_slice();
+    for ci in 0..c {
+        for ni in 0..n {
+            let base = (ni * c + ci) * plane;
+            let mut s = 0.0f32;
+            let mut sx = 0.0f32;
+            for off in base..base + plane {
+                s += gv[off];
+                sx += gv[off] * xv[off];
+            }
+            dv[ci] += s;
+            dxv[ci] += sx;
+        }
+    }
+    Ok((sum_dy, sum_dy_xhat))
+}
+
+/// BatchNorm input gradient:
+/// `dx = γ[c]·inv_std[c] · (dy − mean(dy) − x̂·mean(dy·x̂))`, where the means
+/// divide the per-channel sums by `N·H·W`.
+///
+/// # Errors
+///
+/// Returns rank/shape errors when the operands disagree.
+pub fn bn_input_grad(
+    grad_out: &Tensor,
+    x_hat: &Tensor,
+    gamma: &Tensor,
+    inv_std: &Tensor,
+    sum_dy: &Tensor,
+    sum_dy_xhat: &Tensor,
+) -> Result<Tensor> {
+    crate::backend::global().bn_input_grad(grad_out, x_hat, gamma, inv_std, sum_dy, sum_dy_xhat)
+}
+
+pub(crate) fn bn_input_grad_naive(
+    grad_out: &Tensor,
+    x_hat: &Tensor,
+    gamma: &Tensor,
+    inv_std: &Tensor,
+    sum_dy: &Tensor,
+    sum_dy_xhat: &Tensor,
+) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(grad_out, "bn_input_grad")?;
+    grad_out.expect_same_shape(x_hat, "bn_input_grad")?;
+    check_channel_vec(gamma, c, "bn_input_grad (gamma)")?;
+    check_channel_vec(inv_std, c, "bn_input_grad (inv_std)")?;
+    check_channel_vec(sum_dy, c, "bn_input_grad (sum_dy)")?;
+    check_channel_vec(sum_dy_xhat, c, "bn_input_grad (sum_dy_xhat)")?;
+    let plane = h * w;
+    let count = (n * plane) as f32;
+    let mut grad_in = grad_out.clone();
+    let gi = grad_in.as_mut_slice();
+    let xv = x_hat.as_slice();
+    let g = gamma.as_slice();
+    let is = inv_std.as_slice();
+    let dv = sum_dy.as_slice();
+    let dxv = sum_dy_xhat.as_slice();
+    for ni in 0..n {
+        for ci in 0..c {
+            let mean_dy = dv[ci] / count;
+            let mean_dy_xhat = dxv[ci] / count;
+            let scale = g[ci] * is[ci];
+            let base = (ni * c + ci) * plane;
+            for off in base..base + plane {
+                gi[off] = scale * (gi[off] - mean_dy - xv[off] * mean_dy_xhat);
+            }
+        }
+    }
+    Ok(grad_in)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn normalize_then_affine_is_batchnorm() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let x = init::randn(&[4, 3, 5, 5], 2.0, &mut rng);
+        let (mean, var) = crate::ops::channel_mean_var(&x).unwrap();
+        let inv_std = var.map(|v| 1.0 / (v + 1e-5).sqrt());
+        let x_hat = bn_normalize(&x, &mean, &inv_std).unwrap();
+        let (m2, v2) = crate::ops::channel_mean_var(&x_hat).unwrap();
+        for ci in 0..3 {
+            assert!(m2.as_slice()[ci].abs() < 1e-4);
+            assert!((v2.as_slice()[ci] - 1.0).abs() < 1e-2);
+        }
+        let gamma = Tensor::from_slice(&[2.0, 0.5, 1.0]);
+        let beta = Tensor::from_slice(&[1.0, -1.0, 0.0]);
+        let y = channel_affine(&x_hat, &gamma, &beta).unwrap();
+        let (m3, _) = crate::ops::channel_mean_var(&y).unwrap();
+        assert!((m3.as_slice()[0] - 1.0).abs() < 1e-3);
+        assert!((m3.as_slice()[1] + 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn backward_reduce_matches_direct_sums() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = init::randn(&[3, 2, 4, 4], 1.0, &mut rng);
+        let xh = init::randn(&[3, 2, 4, 4], 1.0, &mut rng);
+        let (sd, sdx) = bn_backward_reduce(&g, &xh).unwrap();
+        for ci in 0..2 {
+            let mut s = 0.0f64;
+            let mut sx = 0.0f64;
+            for ni in 0..3 {
+                for hi in 0..4 {
+                    for wi in 0..4 {
+                        let gv = g.at(&[ni, ci, hi, wi]).unwrap() as f64;
+                        let xv = xh.at(&[ni, ci, hi, wi]).unwrap() as f64;
+                        s += gv;
+                        sx += gv * xv;
+                    }
+                }
+            }
+            assert!((sd.as_slice()[ci] as f64 - s).abs() < 1e-3);
+            assert!((sdx.as_slice()[ci] as f64 - sx).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn shape_validation() {
+        let bad = Tensor::zeros(&[3]);
+        let x = Tensor::zeros(&[1, 2, 2, 2]);
+        let c2 = Tensor::zeros(&[2]);
+        assert!(bn_normalize(&bad, &c2, &c2).is_err());
+        assert!(bn_normalize(&x, &bad, &c2).is_err());
+        assert!(channel_affine(&x, &c2, &bad).is_err());
+        assert!(bn_backward_reduce(&x, &Tensor::zeros(&[1, 2, 2, 3])).is_err());
+        assert!(bn_input_grad(&x, &x, &bad, &c2, &c2, &c2).is_err());
+    }
+}

@@ -147,7 +147,10 @@ pub fn col2im(
     Ok(())
 }
 
-fn check_conv_shapes(input: &Tensor, weight: &Tensor) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
+pub(crate) fn check_conv_shapes(
+    input: &Tensor,
+    weight: &Tensor,
+) -> Result<(usize, usize, usize, usize, usize, usize, usize)> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -192,6 +195,16 @@ pub fn conv2d_forward(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
+    crate::backend::global().conv2d_forward(input, weight, bias, stride, pad)
+}
+
+pub(crate) fn conv2d_forward_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
     let (n, c, h, w, o, kh, kw) = check_conv_shapes(input, weight)?;
     let oh = conv_output_size(h, kh, stride, pad)?;
     let ow = conv_output_size(w, kw, stride, pad)?;
@@ -210,8 +223,17 @@ pub fn conv2d_forward(
     let out_sample = o * oh * ow;
     let iv = input.as_slice();
     for ni in 0..n {
-        let cols = im2col(&iv[ni * in_sample..(ni + 1) * in_sample], c, h, w, kh, kw, stride, pad)?;
-        let prod = super::matmul(&w2d, &cols)?; // [O, OH*OW]
+        let cols = im2col(
+            &iv[ni * in_sample..(ni + 1) * in_sample],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            pad,
+        )?;
+        let prod = super::matmul::matmul_naive(&w2d, &cols)?; // [O, OH*OW]
         let dst = &mut out.as_mut_slice()[ni * out_sample..(ni + 1) * out_sample];
         dst.copy_from_slice(prod.as_slice());
         if let Some(b) = bias {
@@ -242,6 +264,17 @@ pub fn conv2d_backward(
     pad: usize,
     has_bias: bool,
 ) -> Result<Conv2dGrads> {
+    crate::backend::global().conv2d_backward(input, weight, grad_out, stride, pad, has_bias)
+}
+
+pub(crate) fn conv2d_backward_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    has_bias: bool,
+) -> Result<Conv2dGrads> {
     let (n, c, h, w, o, kh, kw) = check_conv_shapes(input, weight)?;
     let oh = conv_output_size(h, kh, stride, pad)?;
     let ow = conv_output_size(w, kw, stride, pad)?;
@@ -256,28 +289,43 @@ pub fn conv2d_backward(
     let w2d = weight.reshape(&[o, c * kh * kw])?;
     let mut grad_input = Tensor::zeros(&[n, c, h, w]);
     let mut grad_w2d = Tensor::zeros(&[o, c * kh * kw]);
-    let mut grad_bias = if has_bias { Some(Tensor::zeros(&[o])) } else { None };
+    let mut grad_bias = if has_bias {
+        Some(Tensor::zeros(&[o]))
+    } else {
+        None
+    };
     let in_sample = c * h * w;
     let out_sample = o * oh * ow;
     let spatial = oh * ow;
     let iv = input.as_slice();
     let gv = grad_out.as_slice();
     for ni in 0..n {
-        let cols = im2col(&iv[ni * in_sample..(ni + 1) * in_sample], c, h, w, kh, kw, stride, pad)?;
+        let cols = im2col(
+            &iv[ni * in_sample..(ni + 1) * in_sample],
+            c,
+            h,
+            w,
+            kh,
+            kw,
+            stride,
+            pad,
+        )?;
         let g_n = Tensor::from_vec(
             gv[ni * out_sample..(ni + 1) * out_sample].to_vec(),
             &[o, spatial],
         )?;
         // grad_w += g_n @ colsᵀ
-        let gw = super::matmul_transpose_b(&g_n, &cols)?;
-        super::add_assign(&mut grad_w2d, &gw)?;
+        let gw = super::matmul::matmul_transpose_b_naive(&g_n, &cols)?;
+        super::elementwise::add_assign_naive(&mut grad_w2d, &gw)?;
         // grad_cols = weightᵀ @ g_n
-        let gcols = super::matmul_transpose_a(&w2d, &g_n)?;
+        let gcols = super::matmul::matmul_transpose_a_naive(&w2d, &g_n)?;
         let gi = &mut grad_input.as_mut_slice()[ni * in_sample..(ni + 1) * in_sample];
         col2im(&gcols, gi, c, h, w, kh, kw, stride, pad)?;
         if let Some(gb) = grad_bias.as_mut() {
             for (oi, gbv) in gb.as_mut_slice().iter_mut().enumerate().take(o) {
-                let s: f32 = g_n.as_slice()[oi * spatial..(oi + 1) * spatial].iter().sum();
+                let s: f32 = g_n.as_slice()[oi * spatial..(oi + 1) * spatial]
+                    .iter()
+                    .sum();
                 *gbv += s;
             }
         }
@@ -356,7 +404,10 @@ mod tests {
             let slow = conv_reference(&input, &weight, Some(&bias), stride, pad);
             assert_eq!(fast.dims(), slow.dims());
             for (a, b) in fast.as_slice().iter().zip(slow.as_slice()) {
-                assert!((a - b).abs() < 1e-4, "{a} vs {b} (stride {stride} pad {pad})");
+                assert!(
+                    (a - b).abs() < 1e-4,
+                    "{a} vs {b} (stride {stride} pad {pad})"
+                );
             }
         }
     }
@@ -364,11 +415,8 @@ mod tests {
     #[test]
     fn one_by_one_conv_is_channel_mix() {
         // A 1x1 convolution with identity-like weights should permute channels.
-        let input = Tensor::from_vec(
-            vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0],
-            &[1, 2, 2, 2],
-        )
-        .unwrap();
+        let input =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[1, 2, 2, 2]).unwrap();
         // weight[0] selects channel 1; weight[1] selects channel 0.
         let weight = Tensor::from_vec(vec![0.0, 1.0, 1.0, 0.0], &[2, 2, 1, 1]).unwrap();
         let out = conv2d_forward(&input, &weight, None, 1, 0).unwrap();
@@ -403,7 +451,10 @@ mod tests {
             wm.as_mut_slice()[idx] -= eps;
             let num = (loss(&input, &wp, &bias) - loss(&input, &wm, &bias)) / (2.0 * eps);
             let ana = grads.grad_weight.as_slice()[idx];
-            assert!((num - ana).abs() < 2e-2, "weight[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "weight[{idx}]: num {num} vs ana {ana}"
+            );
         }
         // Check a sample of input coordinates.
         for &idx in &[0usize, 12, 24, 49] {
@@ -413,7 +464,10 @@ mod tests {
             im.as_mut_slice()[idx] -= eps;
             let num = (loss(&ip, &weight, &bias) - loss(&im, &weight, &bias)) / (2.0 * eps);
             let ana = grads.grad_input.as_slice()[idx];
-            assert!((num - ana).abs() < 2e-2, "input[{idx}]: num {num} vs ana {ana}");
+            assert!(
+                (num - ana).abs() < 2e-2,
+                "input[{idx}]: num {num} vs ana {ana}"
+            );
         }
         // Bias gradient under sum-loss equals #output positions per channel.
         let per_channel = (out.numel() / out.dim(1)) as f32;
@@ -435,7 +489,12 @@ mod tests {
         let y = init::randn(&[cols_shape_rows, oh * ow], 1.0, &mut rng);
 
         let cols = im2col(x.as_slice(), c, h, w, kh, kw, s, p).unwrap();
-        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let lhs: f32 = cols
+            .as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
 
         let mut back = vec![0.0f32; c * h * w];
         col2im(&y, &mut back, c, h, w, kh, kw, s, p).unwrap();
@@ -460,7 +519,8 @@ mod tests {
         let input = Tensor::ones(&[1, 1, 4, 4]);
         let weight = Tensor::ones(&[1, 1, 3, 3]);
         let out = conv2d_forward(&input, &weight, None, 1, 1).unwrap();
-        let grads = conv2d_backward(&input, &weight, &Tensor::ones(out.dims()), 1, 1, false).unwrap();
+        let grads =
+            conv2d_backward(&input, &weight, &Tensor::ones(out.dims()), 1, 1, false).unwrap();
         assert!(grads.grad_bias.is_none());
     }
 }

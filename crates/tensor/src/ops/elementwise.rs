@@ -5,9 +5,9 @@
 //! TBNet relies on `add` for the REE→TEE feature-map combination, so shape
 //! bugs there must surface immediately.
 
-use crate::{Result, Tensor};
 #[cfg(test)]
 use crate::TensorError;
+use crate::{Result, Tensor};
 
 /// Elementwise sum `a + b`.
 ///
@@ -15,6 +15,10 @@ use crate::TensorError;
 ///
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    crate::backend::global().add(a, b)
+}
+
+pub(crate) fn add_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     a.expect_same_shape(b, "add")?;
     let mut out = a.clone();
     out.as_mut_slice()
@@ -30,6 +34,10 @@ pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    crate::backend::global().sub(a, b)
+}
+
+pub(crate) fn sub_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     a.expect_same_shape(b, "sub")?;
     let mut out = a.clone();
     out.as_mut_slice()
@@ -45,6 +53,10 @@ pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    crate::backend::global().hadamard(a, b)
+}
+
+pub(crate) fn hadamard_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     a.expect_same_shape(b, "hadamard")?;
     let mut out = a.clone();
     out.as_mut_slice()
@@ -60,6 +72,10 @@ pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    crate::backend::global().add_assign(a, b)
+}
+
+pub(crate) fn add_assign_naive(a: &mut Tensor, b: &Tensor) -> Result<()> {
     a.expect_same_shape(b, "add_assign")?;
     a.as_mut_slice()
         .iter_mut()
@@ -74,6 +90,10 @@ pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
 ///
 /// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
 pub fn add_scaled(a: &mut Tensor, b: &Tensor, alpha: f32) -> Result<()> {
+    crate::backend::global().add_scaled(a, b, alpha)
+}
+
+pub(crate) fn add_scaled_naive(a: &mut Tensor, b: &Tensor, alpha: f32) -> Result<()> {
     a.expect_same_shape(b, "add_scaled")?;
     a.as_mut_slice()
         .iter_mut()
@@ -84,7 +104,63 @@ pub fn add_scaled(a: &mut Tensor, b: &Tensor, alpha: f32) -> Result<()> {
 
 /// Returns `alpha * a`.
 pub fn scale(a: &Tensor, alpha: f32) -> Tensor {
+    crate::backend::global().scale(a, alpha)
+}
+
+pub(crate) fn scale_naive(a: &Tensor, alpha: f32) -> Tensor {
     a.map(|x| alpha * x)
+}
+
+/// Applies `f` to every element through the active backend (parallel for
+/// large tensors on the `Parallel` backend).
+pub fn unary(a: &Tensor, f: &(dyn Fn(f32) -> f32 + Sync)) -> Tensor {
+    crate::backend::global().unary(a, f)
+}
+
+pub(crate) fn unary_naive(a: &Tensor, f: &(dyn Fn(f32) -> f32 + Sync)) -> Tensor {
+    a.map(f)
+}
+
+/// Adds `bias` (`[D]`) to every row of `out` (`[N, D]`) in place — the
+/// fully-connected bias broadcast.
+///
+/// # Errors
+///
+/// Returns rank/shape errors when the operands disagree.
+pub fn add_bias_rows(out: &mut Tensor, bias: &Tensor) -> Result<()> {
+    crate::backend::global().add_bias_rows(out, bias)
+}
+
+pub(crate) fn check_bias_rows(out: &Tensor, bias: &Tensor) -> Result<(usize, usize)> {
+    use crate::TensorError;
+    if out.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            got: out.rank(),
+            op: "add_bias_rows",
+        });
+    }
+    let (n, d) = (out.dim(0), out.dim(1));
+    if bias.dims() != [d] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![d],
+            got: bias.dims().to_vec(),
+            op: "add_bias_rows",
+        });
+    }
+    Ok((n, d))
+}
+
+pub(crate) fn add_bias_rows_naive(out: &mut Tensor, bias: &Tensor) -> Result<()> {
+    let (n, d) = check_bias_rows(out, bias)?;
+    let ov = out.as_mut_slice();
+    let bv = bias.as_slice();
+    for ni in 0..n {
+        for (x, &b) in ov[ni * d..(ni + 1) * d].iter_mut().zip(bv) {
+            *x += b;
+        }
+    }
+    Ok(())
 }
 
 #[cfg(test)]

@@ -7,7 +7,7 @@
 
 use crate::{Result, Tensor, TensorError};
 
-fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
+pub(crate) fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
     if t.rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,
@@ -25,6 +25,10 @@ fn check_rank2(t: &Tensor, op: &'static str) -> Result<(usize, usize)> {
 /// Returns [`TensorError::RankMismatch`] if either operand is not rank-2 and
 /// [`TensorError::MatmulDimMismatch`] if the inner dimensions disagree.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    crate::backend::global().matmul(a, b)
+}
+
+pub(crate) fn matmul_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = check_rank2(a, "matmul")?;
     let (k2, n) = check_rank2(b, "matmul")?;
     if k != k2 {
@@ -59,6 +63,10 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// Same conditions as [`matmul`], with the inner dimension being `a`'s rows.
 pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    crate::backend::global().matmul_transpose_a(a, b)
+}
+
+pub(crate) fn matmul_transpose_a_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (k, m) = check_rank2(a, "matmul_transpose_a")?;
     let (k2, n) = check_rank2(b, "matmul_transpose_a")?;
     if k != k2 {
@@ -94,6 +102,10 @@ pub fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 /// Same conditions as [`matmul`], with the inner dimension being `b`'s
 /// columns.
 pub fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    crate::backend::global().matmul_transpose_b(a, b)
+}
+
+pub(crate) fn matmul_transpose_b_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (m, k) = check_rank2(a, "matmul_transpose_b")?;
     let (n, k2) = check_rank2(b, "matmul_transpose_b")?;
     if k != k2 {

@@ -5,14 +5,17 @@
 //! Every kernel is a free function over [`Tensor`](crate::Tensor)s; the layer
 //! objects in `tbnet-nn` wrap these with parameter/cache management.
 
-mod conv;
-mod elementwise;
-mod matmul;
-mod pool;
-mod reduce;
+pub(crate) mod channel;
+pub(crate) mod conv;
+pub(crate) mod elementwise;
+pub(crate) mod matmul;
+pub(crate) mod parallel;
+pub(crate) mod pool;
+pub(crate) mod reduce;
 
+pub use channel::{bn_backward_reduce, bn_input_grad, bn_normalize, channel_affine};
 pub use conv::{col2im, conv2d_backward, conv2d_forward, conv_output_size, im2col, Conv2dGrads};
-pub use elementwise::{add, add_assign, add_scaled, hadamard, scale, sub};
+pub use elementwise::{add, add_assign, add_bias_rows, add_scaled, hadamard, scale, sub, unary};
 pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b, transpose2d};
 pub use pool::{
     avgpool2d_global_backward, avgpool2d_global_forward, maxpool2d_backward, maxpool2d_forward,

@@ -1,0 +1,1131 @@
+//! Parallel kernel implementations backing [`crate::backend::Parallel`].
+//!
+//! Design rules, in priority order:
+//!
+//! 1. **Determinism.** Work is split into contiguous chunks in index order
+//!    and cross-chunk reductions fold partials in chunk order, so a fixed
+//!    thread count always produces the same bits. Most kernels here are
+//!    additionally *bit-identical* to the naive reference because each output
+//!    element's accumulation order is preserved (row-parallel matmul,
+//!    per-sample conv forward, per-channel reductions). The only exceptions
+//!    are conv-backward's weight/bias accumulators, which fold per-chunk
+//!    partials and therefore agree with naive only to rounding.
+//! 2. **Cache blocking.** Matmul kernels block over `k` so panels of `b`
+//!    stay resident while a chunk of output rows is computed.
+//! 3. **Spawn amortization.** Scoped threads cost tens of microseconds, so
+//!    every kernel computes a per-chunk work floor and falls back to the
+//!    naive path (or fewer chunks) when the tensor is too small.
+
+use crate::ops::channel::{check_channel_vec, check_nchw};
+use crate::ops::conv::{check_conv_shapes, col2im, conv_output_size, im2col, Conv2dGrads};
+use crate::ops::elementwise::check_bias_rows;
+use crate::ops::matmul::check_rank2;
+use crate::ops::pool::MaxPoolIndices;
+use crate::par;
+use crate::{Result, Tensor, TensorError};
+
+/// Minimum flops a matmul must present before threads are spawned.
+const MIN_PAR_FLOPS: usize = 1 << 20;
+
+/// Minimum elements for parallel elementwise/unary traversals.
+const MIN_PAR_ELEMS: usize = 1 << 16;
+
+/// Per-chunk element floor for elementwise traversals.
+const CHUNK_ELEMS: usize = 1 << 15;
+
+fn row_chunk(m: usize, work_per_row: usize) -> usize {
+    let min_rows = MIN_PAR_FLOPS
+        .div_ceil(work_per_row.max(1))
+        .clamp(1, m.max(1));
+    m.div_ceil(par::max_threads()).max(min_rows)
+}
+
+fn elem_chunk(len: usize) -> usize {
+    len.div_ceil(par::max_threads()).max(CHUNK_ELEMS)
+}
+
+// ---------------------------------------------------------------------------
+// Blocked row kernels over raw slices (shared by matmul and conv).
+// ---------------------------------------------------------------------------
+
+/// `k`-panel depth: the `KB x n` slice of `b` walked during one row-block
+/// sweep stays cache-resident.
+const KB: usize = 64;
+
+/// Accumulates four consecutive `k`-steps into `o_row` with one load/store
+/// of each output element. The adds stay in naive order
+/// (`(((o + a0*b0) + a1*b1) + a2*b2) + a3*b3`), so the result is
+/// bit-identical to four sequential scalar passes while the output element
+/// stays in a register.
+#[inline]
+fn axpy4(o_row: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
+    let n = o_row.len();
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    for j in 0..n {
+        o_row[j] = (((o_row[j] + a[0] * b0[j]) + a[1] * b1[j]) + a[2] * b2[j]) + a[3] * b3[j];
+    }
+}
+
+#[inline]
+fn axpy1(o_row: &mut [f32], a: f32, b_row: &[f32]) {
+    for (o, &b) in o_row.iter_mut().zip(b_row) {
+        *o += a * b;
+    }
+}
+
+/// Four-row / four-`k` register-blocked update: each loaded `b` panel value
+/// feeds four output rows, and each output element takes its four adds in
+/// naive `k`-order (bit-identical to the scalar reference).
+#[allow(clippy::too_many_arguments)]
+#[inline]
+fn axpy4x4(
+    o0: &mut [f32],
+    o1: &mut [f32],
+    o2: &mut [f32],
+    o3: &mut [f32],
+    a: &[[f32; 4]; 4],
+    b0: &[f32],
+    b1: &[f32],
+    b2: &[f32],
+    b3: &[f32],
+) {
+    let n = o0.len();
+    let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
+    let (o1, o2, o3) = (&mut o1[..n], &mut o2[..n], &mut o3[..n]);
+    for j in 0..n {
+        let (x0, x1, x2, x3) = (b0[j], b1[j], b2[j], b3[j]);
+        o0[j] = (((o0[j] + a[0][0] * x0) + a[0][1] * x1) + a[0][2] * x2) + a[0][3] * x3;
+        o1[j] = (((o1[j] + a[1][0] * x0) + a[1][1] * x1) + a[1][2] * x2) + a[1][3] * x3;
+        o2[j] = (((o2[j] + a[2][0] * x0) + a[2][1] * x1) + a[2][2] * x2) + a[2][3] * x3;
+        o3[j] = (((o3[j] + a[3][0] * x0) + a[3][1] * x1) + a[3][2] * x2) + a[3][3] * x3;
+    }
+}
+
+/// `out[row0..row0+rows] += a[row0..] @ b` with `a: [m, k]`, `b: [k, n]`.
+/// `out_rows` is the chunk's slice, `rows * n` long. `a_at(i, kk)` abstracts
+/// the `a` element layout so the plain and transposed-`a` kernels share one
+/// register-blocked body.
+fn kernel_rows_with(
+    a_at: impl Fn(usize, usize) -> f32,
+    bv: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    for kb in (0..k).step_by(KB) {
+        let kend = (kb + KB).min(k);
+        let mut i = 0;
+        // 8-row blocks: two 4-row tiles share each streamed b panel pass.
+        while i + 8 <= rows {
+            let (top, bottom) = out_rows[i * n..].split_at_mut(4 * n);
+            let (r0, rest) = top.split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, r3) = rest.split_at_mut(n);
+            let (r4, rest) = bottom.split_at_mut(n);
+            let (r5, rest) = rest.split_at_mut(n);
+            let (r6, rest) = rest.split_at_mut(n);
+            let r7 = &mut rest[..n];
+            let mut kk = kb;
+            while kk + 4 <= kend {
+                let mut a_hi = [[0.0f32; 4]; 4];
+                let mut a_lo = [[0.0f32; 4]; 4];
+                for r in 0..4 {
+                    for u in 0..4 {
+                        a_hi[r][u] = a_at(row0 + i + r, kk + u);
+                        a_lo[r][u] = a_at(row0 + i + 4 + r, kk + u);
+                    }
+                }
+                let b0 = &bv[kk * n..(kk + 1) * n];
+                let b1 = &bv[(kk + 1) * n..(kk + 2) * n];
+                let b2 = &bv[(kk + 2) * n..(kk + 3) * n];
+                let b3 = &bv[(kk + 3) * n..(kk + 4) * n];
+                axpy4x4(r0, r1, r2, r3, &a_hi, b0, b1, b2, b3);
+                axpy4x4(r4, r5, r6, r7, &a_lo, b0, b1, b2, b3);
+                kk += 4;
+            }
+            while kk < kend {
+                let b_row = &bv[kk * n..(kk + 1) * n];
+                axpy1(r0, a_at(row0 + i, kk), b_row);
+                axpy1(r1, a_at(row0 + i + 1, kk), b_row);
+                axpy1(r2, a_at(row0 + i + 2, kk), b_row);
+                axpy1(r3, a_at(row0 + i + 3, kk), b_row);
+                axpy1(r4, a_at(row0 + i + 4, kk), b_row);
+                axpy1(r5, a_at(row0 + i + 5, kk), b_row);
+                axpy1(r6, a_at(row0 + i + 6, kk), b_row);
+                axpy1(r7, a_at(row0 + i + 7, kk), b_row);
+                kk += 1;
+            }
+            i += 8;
+        }
+        // 4-row blocks: split the chunk into four disjoint row slices.
+        while i + 4 <= rows {
+            let (r0, rest) = out_rows[i * n..].split_at_mut(n);
+            let (r1, rest) = rest.split_at_mut(n);
+            let (r2, rest) = rest.split_at_mut(n);
+            let r3 = &mut rest[..n];
+            let mut kk = kb;
+            while kk + 4 <= kend {
+                let mut a = [[0.0f32; 4]; 4];
+                for (r, a_row) in a.iter_mut().enumerate() {
+                    for (u, a_val) in a_row.iter_mut().enumerate() {
+                        *a_val = a_at(row0 + i + r, kk + u);
+                    }
+                }
+                axpy4x4(
+                    r0,
+                    r1,
+                    r2,
+                    r3,
+                    &a,
+                    &bv[kk * n..(kk + 1) * n],
+                    &bv[(kk + 1) * n..(kk + 2) * n],
+                    &bv[(kk + 2) * n..(kk + 3) * n],
+                    &bv[(kk + 3) * n..(kk + 4) * n],
+                );
+                kk += 4;
+            }
+            while kk < kend {
+                let b_row = &bv[kk * n..(kk + 1) * n];
+                axpy1(r0, a_at(row0 + i, kk), b_row);
+                axpy1(r1, a_at(row0 + i + 1, kk), b_row);
+                axpy1(r2, a_at(row0 + i + 2, kk), b_row);
+                axpy1(r3, a_at(row0 + i + 3, kk), b_row);
+                kk += 1;
+            }
+            i += 4;
+        }
+        // Remainder rows: 4-way k unroll, one row at a time.
+        while i < rows {
+            let o_row = &mut out_rows[i * n..(i + 1) * n];
+            let mut kk = kb;
+            while kk + 4 <= kend {
+                axpy4(
+                    o_row,
+                    [
+                        a_at(row0 + i, kk),
+                        a_at(row0 + i, kk + 1),
+                        a_at(row0 + i, kk + 2),
+                        a_at(row0 + i, kk + 3),
+                    ],
+                    &bv[kk * n..(kk + 1) * n],
+                    &bv[(kk + 1) * n..(kk + 2) * n],
+                    &bv[(kk + 2) * n..(kk + 3) * n],
+                    &bv[(kk + 3) * n..(kk + 4) * n],
+                );
+                kk += 4;
+            }
+            while kk < kend {
+                axpy1(o_row, a_at(row0 + i, kk), &bv[kk * n..(kk + 1) * n]);
+                kk += 1;
+            }
+            i += 1;
+        }
+    }
+}
+
+fn kernel_rows(
+    av: &[f32],
+    bv: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    kernel_rows_with(|i, kk| av[i * k + kk], bv, out_rows, row0, rows, k, n);
+}
+
+/// `out[row0..row0+rows] += a^T[row0..] @ b` with `a: [k, m]`, `b: [k, n]`.
+#[allow(clippy::too_many_arguments)]
+fn kernel_rows_ta(
+    av: &[f32],
+    bv: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    m: usize,
+    n: usize,
+) {
+    kernel_rows_with(|i, kk| av[kk * m + i], bv, out_rows, row0, rows, k, n);
+}
+
+/// Materializes `a^T` (`[k, m]` -> `[m, k]`) so transposed products can run
+/// the contiguous-row kernel instead of taking a strided load per `k` step.
+/// Worth it whenever the `O(k*m)` copy is small next to the `O(m*k*n)`
+/// product — callers gate on that.
+fn transpose_into(av: &[f32], k: usize, m: usize) -> Vec<f32> {
+    let mut at = vec![0.0f32; k * m];
+    for kk in 0..k {
+        let row = &av[kk * m..(kk + 1) * m];
+        for (i, &v) in row.iter().enumerate() {
+            at[i * k + kk] = v;
+        }
+    }
+    at
+}
+
+/// `out[row0..row0+rows] += a[row0..] @ b^T` with `a: [m, k]`, `b: [n, k]`.
+///
+/// Each output row is one linear stream over `b` (hardware-prefetch
+/// friendly). Dot products use four independent accumulator lanes (folded
+/// `(l0+l1)+(l2+l3)` at the end), which reorders the floating-point sum
+/// relative to the naive kernel -- agreement is to rounding, not bits.
+fn kernel_rows_tb(
+    av: &[f32],
+    bv: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+) {
+    let chunks = k / 4 * 4;
+    for i in 0..rows {
+        let a_row = &av[(row0 + i) * k..(row0 + i + 1) * k];
+        let o_row = &mut out_rows[i * n..(i + 1) * n];
+        for (j, o) in o_row.iter_mut().enumerate() {
+            let b_row = &bv[j * k..(j + 1) * k];
+            let mut lanes = [0.0f32; 4];
+            let mut kk = 0;
+            while kk < chunks {
+                lanes[0] += a_row[kk] * b_row[kk];
+                lanes[1] += a_row[kk + 1] * b_row[kk + 1];
+                lanes[2] += a_row[kk + 2] * b_row[kk + 2];
+                lanes[3] += a_row[kk + 3] * b_row[kk + 3];
+                kk += 4;
+            }
+            let mut acc = (lanes[0] + lanes[1]) + (lanes[2] + lanes[3]);
+            while kk < k {
+                acc += a_row[kk] * b_row[kk];
+                kk += 1;
+            }
+            *o += acc;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Matmul
+// ---------------------------------------------------------------------------
+
+pub(crate) fn matmul(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2(a, "matmul")?;
+    let (k2, n) = check_rank2(b, "matmul")?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let rows_per = row_chunk(m, 2 * k * n);
+    par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
+        let row0 = ci * rows_per;
+        kernel_rows(av, bv, chunk, row0, chunk.len() / n.max(1), k, n);
+    });
+    Ok(out)
+}
+
+pub(crate) fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (k, m) = check_rank2(a, "matmul_transpose_a")?;
+    let (k2, n) = check_rank2(b, "matmul_transpose_a")?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let rows_per = row_chunk(m, 2 * k * n);
+    // With a sizable product, pay O(k*m) once to turn every a-load
+    // contiguous; tiny products keep the strided kernel.
+    if 2 * m * n * k >= MIN_PAR_FLOPS {
+        let at = transpose_into(av, k, m);
+        par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
+            let row0 = ci * rows_per;
+            kernel_rows(&at, bv, chunk, row0, chunk.len() / n.max(1), k, n);
+        });
+    } else {
+        par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
+            let row0 = ci * rows_per;
+            kernel_rows_ta(av, bv, chunk, row0, chunk.len() / n.max(1), k, m, n);
+        });
+    }
+    Ok(out)
+}
+
+pub(crate) fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (m, k) = check_rank2(a, "matmul_transpose_b")?;
+    let (n, k2) = check_rank2(b, "matmul_transpose_b")?;
+    if k != k2 {
+        return Err(TensorError::MatmulDimMismatch {
+            lhs_cols: k,
+            rhs_rows: k2,
+        });
+    }
+    let mut out = Tensor::zeros(&[m, n]);
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    let rows_per = row_chunk(m, 2 * k * n);
+    // The dot-product kernel cannot vectorize its float reduction, so with a
+    // sizable product it pays to materialize b^T once and run the fast
+    // streaming kernel instead.
+    if 2 * m * n * k >= MIN_PAR_FLOPS {
+        let bt = transpose_into(bv, n, k);
+        par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
+            let row0 = ci * rows_per;
+            kernel_rows(av, &bt, chunk, row0, chunk.len() / n.max(1), k, n);
+        });
+    } else {
+        par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
+            let row0 = ci * rows_per;
+            kernel_rows_tb(av, bv, chunk, row0, chunk.len() / n.max(1), k, n);
+        });
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// Convolution (im2col, sample-parallel)
+// ---------------------------------------------------------------------------
+
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let (n, c, h, w, o, kh, kw) = check_conv_shapes(input, weight)?;
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    if let Some(b) = bias {
+        if b.dims() != [o] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![o],
+                got: b.dims().to_vec(),
+                op: "conv2d (bias)",
+            });
+        }
+    }
+    // Tiny convolutions (prune/attack loops run many) are not worth
+    // threads or the transposed-product bookkeeping.
+    if 2 * n * o * oh * ow * c * kh * kw < MIN_PAR_FLOPS {
+        return crate::ops::conv::conv2d_forward_naive(input, weight, bias, stride, pad);
+    }
+    let w2d = weight.reshape(&[o, c * kh * kw])?;
+    let mut out = Tensor::zeros(&[n, o, oh, ow]);
+    let in_sample = c * h * w;
+    let out_sample = o * oh * ow;
+    let spatial = oh * ow;
+    let ckk = c * kh * kw;
+    let iv = input.as_slice();
+    let wv = w2d.as_slice();
+    let bias_v = bias.map(Tensor::as_slice);
+    let samples_per = n.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(
+        out.as_mut_slice(),
+        samples_per * out_sample.max(1),
+        |ci, chunk| {
+            let first = ci * samples_per;
+            for (local, dst) in chunk.chunks_mut(out_sample.max(1)).enumerate() {
+                let ni = first + local;
+                let cols = im2col(
+                    &iv[ni * in_sample..(ni + 1) * in_sample],
+                    c,
+                    h,
+                    w,
+                    kh,
+                    kw,
+                    stride,
+                    pad,
+                )
+                .expect("conv geometry validated before dispatch");
+                // dst is zero-initialized, so accumulating the blocked kernel
+                // into it equals the naive matmul-then-copy.
+                kernel_rows(wv, cols.as_slice(), dst, 0, o, ckk, spatial);
+                if let Some(bv) = bias_v {
+                    for (oi, &bval) in bv.iter().enumerate() {
+                        for x in &mut dst[oi * spatial..(oi + 1) * spatial] {
+                            *x += bval;
+                        }
+                    }
+                }
+            }
+        },
+    );
+    Ok(out)
+}
+
+pub(crate) fn conv2d_backward(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    has_bias: bool,
+) -> Result<Conv2dGrads> {
+    let (n, c, h, w, o, kh, kw) = check_conv_shapes(input, weight)?;
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    let expected = [n, o, oh, ow];
+    if grad_out.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            got: grad_out.dims().to_vec(),
+            op: "conv2d_backward (grad_out)",
+        });
+    }
+    // Same work floor as the forward pass (backward does ~2x the flops).
+    if 2 * n * o * oh * ow * c * kh * kw < MIN_PAR_FLOPS {
+        return crate::ops::conv::conv2d_backward_naive(
+            input, weight, grad_out, stride, pad, has_bias,
+        );
+    }
+    let w2d = weight.reshape(&[o, c * kh * kw])?;
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let in_sample = c * h * w;
+    let out_sample = o * oh * ow;
+    let spatial = oh * ow;
+    let ckk = c * kh * kw;
+    let iv = input.as_slice();
+    let gv = grad_out.as_slice();
+    // One O(o*ckk) transpose of the weight makes the per-sample
+    // `grad_cols = weight^T @ g_n` products run on contiguous rows.
+    let wt = transpose_into(w2d.as_slice(), o, ckk);
+    let wtv = wt.as_slice();
+    let samples_per = n.div_ceil(par::max_threads()).max(1);
+
+    // Each chunk owns its samples' grad_input slice and accumulates local
+    // weight/bias partials; partials fold in chunk order below.
+    let worker = |ci: usize, gi_chunk: &mut [f32]| -> (Vec<f32>, Vec<f32>) {
+        let first = ci * samples_per;
+        let mut gw_local = vec![0.0f32; o * ckk];
+        let mut gb_local = vec![0.0f32; if has_bias { o } else { 0 }];
+        for (local, gi) in gi_chunk.chunks_mut(in_sample.max(1)).enumerate() {
+            let ni = first + local;
+            let cols = im2col(
+                &iv[ni * in_sample..(ni + 1) * in_sample],
+                c,
+                h,
+                w,
+                kh,
+                kw,
+                stride,
+                pad,
+            )
+            .expect("conv geometry validated before dispatch");
+            let g_n = &gv[ni * out_sample..(ni + 1) * out_sample];
+            // grad_w += g_n @ colsᵀ, computed transposed
+            // (gwᵀ += cols @ g_nᵀ) so the product streams rows
+            // instead of running unvectorizable dot reductions;
+            // transposing g_n is O(o·spatial), tiny next to the
+            // O(o·ckk·spatial) product.
+            let g_nt = transpose_into(g_n, o, spatial);
+            kernel_rows(cols.as_slice(), &g_nt, &mut gw_local, 0, ckk, spatial, o);
+            // grad_cols = weightᵀ @ g_n (weight pre-transposed)
+            let mut gcols = Tensor::zeros(&[ckk, spatial]);
+            kernel_rows(wtv, g_n, gcols.as_mut_slice(), 0, ckk, o, spatial);
+            col2im(&gcols, gi, c, h, w, kh, kw, stride, pad)
+                .expect("conv geometry validated before dispatch");
+            for (oi, gb) in gb_local.iter_mut().enumerate() {
+                let s: f32 = g_n[oi * spatial..(oi + 1) * spatial].iter().sum();
+                *gb += s;
+            }
+        }
+        (gw_local, gb_local)
+    };
+    // Single chunk → run inline; no point paying a scoped-thread spawn.
+    let partials: Vec<(Vec<f32>, Vec<f32>)> = if samples_per >= n {
+        vec![worker(0, grad_input.as_mut_slice())]
+    } else {
+        std::thread::scope(|s| {
+            let handles: Vec<_> = grad_input
+                .as_mut_slice()
+                .chunks_mut(samples_per * in_sample.max(1))
+                .enumerate()
+                .map(|(ci, gi_chunk)| {
+                    let worker = &worker;
+                    s.spawn(move || worker(ci, gi_chunk))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+    };
+
+    // Chunk partials hold gwᵀ; fold in chunk order, then transpose once.
+    let mut gwt = vec![0.0f32; ckk * o];
+    let mut grad_bias = if has_bias {
+        Some(Tensor::zeros(&[o]))
+    } else {
+        None
+    };
+    for (gw_local, gb_local) in &partials {
+        for (x, y) in gwt.iter_mut().zip(gw_local) {
+            *x += y;
+        }
+        if let Some(gb) = grad_bias.as_mut() {
+            for (x, y) in gb.as_mut_slice().iter_mut().zip(gb_local) {
+                *x += y;
+            }
+        }
+    }
+    let grad_w2d = Tensor::from_vec(transpose_into(&gwt, ckk, o), &[o, ckk])?;
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight: grad_w2d.reshape(&[o, c, kh, kw])?,
+        grad_bias,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+fn zip_mut(a: &mut Tensor, b: &Tensor, f: impl Fn(&mut f32, f32) + Sync) {
+    let len = a.numel();
+    let bv = b.as_slice();
+    if len < MIN_PAR_ELEMS {
+        for (x, &y) in a.as_mut_slice().iter_mut().zip(bv) {
+            f(x, y);
+        }
+        return;
+    }
+    let chunk = elem_chunk(len);
+    par::for_each_chunk_mut(a.as_mut_slice(), chunk, |ci, ca| {
+        let off = ci * chunk;
+        let end = off + ca.len();
+        for (x, &y) in ca.iter_mut().zip(&bv[off..end]) {
+            f(x, y);
+        }
+    });
+}
+
+pub(crate) fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.expect_same_shape(b, "add")?;
+    let mut out = a.clone();
+    zip_mut(&mut out, b, |x, y| *x += y);
+    Ok(out)
+}
+
+pub(crate) fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.expect_same_shape(b, "sub")?;
+    let mut out = a.clone();
+    zip_mut(&mut out, b, |x, y| *x -= y);
+    Ok(out)
+}
+
+pub(crate) fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    a.expect_same_shape(b, "hadamard")?;
+    let mut out = a.clone();
+    zip_mut(&mut out, b, |x, y| *x *= y);
+    Ok(out)
+}
+
+pub(crate) fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
+    a.expect_same_shape(b, "add_assign")?;
+    zip_mut(a, b, |x, y| *x += y);
+    Ok(())
+}
+
+pub(crate) fn add_scaled(a: &mut Tensor, b: &Tensor, alpha: f32) -> Result<()> {
+    a.expect_same_shape(b, "add_scaled")?;
+    zip_mut(a, b, |x, y| *x += alpha * y);
+    Ok(())
+}
+
+pub(crate) fn scale(a: &Tensor, alpha: f32) -> Tensor {
+    unary(a, &|x| alpha * x)
+}
+
+pub(crate) fn unary(a: &Tensor, f: &(dyn Fn(f32) -> f32 + Sync)) -> Tensor {
+    let len = a.numel();
+    if len < MIN_PAR_ELEMS {
+        return a.map(f);
+    }
+    let mut out = a.clone();
+    let chunk = elem_chunk(len);
+    par::for_each_chunk_mut(out.as_mut_slice(), chunk, |_ci, ca| {
+        for x in ca.iter_mut() {
+            *x = f(*x);
+        }
+    });
+    out
+}
+
+pub(crate) fn add_bias_rows(out: &mut Tensor, bias: &Tensor) -> Result<()> {
+    let (n, d) = check_bias_rows(out, bias)?;
+    let bv = bias.as_slice();
+    if n * d < MIN_PAR_ELEMS {
+        return crate::ops::elementwise::add_bias_rows_naive(out, bias);
+    }
+    let rows_per = n
+        .div_ceil(par::max_threads())
+        .max(CHUNK_ELEMS.div_ceil(d.max(1)));
+    par::for_each_chunk_mut(out.as_mut_slice(), rows_per * d.max(1), |_ci, chunk| {
+        for row in chunk.chunks_mut(d.max(1)) {
+            for (x, &b) in row.iter_mut().zip(bv) {
+                *x += b;
+            }
+        }
+    });
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+pub(crate) fn channel_mean_var(input: &Tensor) -> Result<(Tensor, Tensor)> {
+    let (n, c, h, w) = check_nchw(input, "channel_mean_var")?;
+    let count = n * h * w;
+    if count == 0 {
+        return Err(TensorError::InvalidGeometry {
+            reason: "cannot compute channel statistics over an empty batch".into(),
+        });
+    }
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::reduce::channel_mean_var_naive(input);
+    }
+    let plane = h * w;
+    let mut mean = Tensor::zeros(&[c]);
+    let mut var = Tensor::zeros(&[c]);
+    let iv = input.as_slice();
+    let channels_per = c.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut2(
+        mean.as_mut_slice(),
+        var.as_mut_slice(),
+        channels_per,
+        channels_per,
+        |chunk_i, mc, vc| {
+            let c0 = chunk_i * channels_per;
+            for (local, (m_out, v_out)) in mc.iter_mut().zip(vc.iter_mut()).enumerate() {
+                let ci = c0 + local;
+                let mut s = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for &x in &iv[base..base + plane] {
+                        s += x as f64;
+                    }
+                }
+                let m = (s / count as f64) as f32;
+                *m_out = m;
+                let mut v = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for &x in &iv[base..base + plane] {
+                        let d = x - m;
+                        v += (d * d) as f64;
+                    }
+                }
+                *v_out = (v / count as f64) as f32;
+            }
+        },
+    );
+    Ok((mean, var))
+}
+
+pub(crate) fn channel_sum(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "channel_sum")?;
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::reduce::channel_sum_naive(input);
+    }
+    let plane = h * w;
+    let mut out = Tensor::zeros(&[c]);
+    let iv = input.as_slice();
+    let channels_per = c.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(out.as_mut_slice(), channels_per, |chunk_i, oc| {
+        let c0 = chunk_i * channels_per;
+        for (local, o) in oc.iter_mut().enumerate() {
+            let ci = c0 + local;
+            let mut s = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                s += iv[base..base + plane].iter().sum::<f32>();
+            }
+            *o = s;
+        }
+    });
+    Ok(out)
+}
+
+pub(crate) fn sum_axis0(input: &Tensor) -> Result<Tensor> {
+    if input.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            got: input.rank(),
+            op: "sum_axis0",
+        });
+    }
+    let (n, d) = (input.dim(0), input.dim(1));
+    if n * d < MIN_PAR_ELEMS {
+        return crate::ops::reduce::sum_axis0_naive(input);
+    }
+    let mut out = Tensor::zeros(&[d]);
+    let iv = input.as_slice();
+    let cols_per = d.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(out.as_mut_slice(), cols_per, |chunk_i, oc| {
+        let d0 = chunk_i * cols_per;
+        for ni in 0..n {
+            let row = &iv[ni * d + d0..ni * d + d0 + oc.len()];
+            for (o, &x) in oc.iter_mut().zip(row) {
+                *o += x;
+            }
+        }
+    });
+    Ok(out)
+}
+
+pub(crate) fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    if logits.rank() != 2 {
+        return Err(TensorError::RankMismatch {
+            expected: 2,
+            got: logits.rank(),
+            op: "softmax_rows",
+        });
+    }
+    let (n, d) = (logits.dim(0), logits.dim(1));
+    if n * d < MIN_PAR_ELEMS {
+        return crate::ops::reduce::softmax_rows_naive(logits);
+    }
+    let mut out = logits.clone();
+    let rows_per = n.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(out.as_mut_slice(), rows_per * d.max(1), |_ci, chunk| {
+        for row in chunk.chunks_mut(d.max(1)) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for x in row.iter_mut() {
+                *x = (*x - max).exp();
+                sum += *x;
+            }
+            let inv = 1.0 / sum;
+            for x in row.iter_mut() {
+                *x *= inv;
+            }
+        }
+    });
+    Ok(out)
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm channel kernels (sample-chunked elementwise, channel reductions)
+// ---------------------------------------------------------------------------
+
+/// Runs `f(plane_range_start_channel, sample_chunk)` over whole-sample chunks
+/// of `data` (`[N, C, H, W]` flattened), passing the first sample index.
+fn for_sample_chunks(data: &mut [f32], sample_len: usize, f: impl Fn(usize, &mut [f32]) + Sync) {
+    let n = data.len().checked_div(sample_len).unwrap_or(0);
+    let samples_per = n.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(data, samples_per * sample_len.max(1), |ci, chunk| {
+        f(ci * samples_per, chunk);
+    });
+}
+
+pub(crate) fn bn_normalize(input: &Tensor, mean: &Tensor, inv_std: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "bn_normalize")?;
+    check_channel_vec(mean, c, "bn_normalize (mean)")?;
+    check_channel_vec(inv_std, c, "bn_normalize (inv_std)")?;
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::channel::bn_normalize_naive(input, mean, inv_std);
+    }
+    let plane = h * w;
+    let mut out = input.clone();
+    let mv = mean.as_slice();
+    let sv = inv_std.as_slice();
+    for_sample_chunks(out.as_mut_slice(), c * plane, |_first, chunk| {
+        for sample in chunk.chunks_mut(c * plane) {
+            for (ci, ch) in sample.chunks_mut(plane).enumerate() {
+                let m = mv[ci];
+                let is = sv[ci];
+                for x in ch.iter_mut() {
+                    *x = (*x - m) * is;
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+pub(crate) fn channel_affine(input: &Tensor, scale: &Tensor, shift: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "channel_affine")?;
+    check_channel_vec(scale, c, "channel_affine (scale)")?;
+    check_channel_vec(shift, c, "channel_affine (shift)")?;
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::channel::channel_affine_naive(input, scale, shift);
+    }
+    let plane = h * w;
+    let mut out = input.clone();
+    let g = scale.as_slice();
+    let b = shift.as_slice();
+    for_sample_chunks(out.as_mut_slice(), c * plane, |_first, chunk| {
+        for sample in chunk.chunks_mut(c * plane) {
+            for (ci, ch) in sample.chunks_mut(plane).enumerate() {
+                for x in ch.iter_mut() {
+                    *x = g[ci] * *x + b[ci];
+                }
+            }
+        }
+    });
+    Ok(out)
+}
+
+pub(crate) fn bn_backward_reduce(grad_out: &Tensor, x_hat: &Tensor) -> Result<(Tensor, Tensor)> {
+    let (n, c, h, w) = check_nchw(grad_out, "bn_backward_reduce")?;
+    grad_out.expect_same_shape(x_hat, "bn_backward_reduce")?;
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::channel::bn_backward_reduce_naive(grad_out, x_hat);
+    }
+    let plane = h * w;
+    let mut sum_dy = Tensor::zeros(&[c]);
+    let mut sum_dy_xhat = Tensor::zeros(&[c]);
+    let gv = grad_out.as_slice();
+    let xv = x_hat.as_slice();
+    let channels_per = c.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut2(
+        sum_dy.as_mut_slice(),
+        sum_dy_xhat.as_mut_slice(),
+        channels_per,
+        channels_per,
+        |chunk_i, dc, dxc| {
+            let c0 = chunk_i * channels_per;
+            for (local, (d_out, dx_out)) in dc.iter_mut().zip(dxc.iter_mut()).enumerate() {
+                let ci = c0 + local;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    let mut s = 0.0f32;
+                    let mut sx = 0.0f32;
+                    for off in base..base + plane {
+                        s += gv[off];
+                        sx += gv[off] * xv[off];
+                    }
+                    *d_out += s;
+                    *dx_out += sx;
+                }
+            }
+        },
+    );
+    Ok((sum_dy, sum_dy_xhat))
+}
+
+pub(crate) fn bn_input_grad(
+    grad_out: &Tensor,
+    x_hat: &Tensor,
+    gamma: &Tensor,
+    inv_std: &Tensor,
+    sum_dy: &Tensor,
+    sum_dy_xhat: &Tensor,
+) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(grad_out, "bn_input_grad")?;
+    grad_out.expect_same_shape(x_hat, "bn_input_grad")?;
+    check_channel_vec(gamma, c, "bn_input_grad (gamma)")?;
+    check_channel_vec(inv_std, c, "bn_input_grad (inv_std)")?;
+    check_channel_vec(sum_dy, c, "bn_input_grad (sum_dy)")?;
+    check_channel_vec(sum_dy_xhat, c, "bn_input_grad (sum_dy_xhat)")?;
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::channel::bn_input_grad_naive(
+            grad_out,
+            x_hat,
+            gamma,
+            inv_std,
+            sum_dy,
+            sum_dy_xhat,
+        );
+    }
+    let plane = h * w;
+    let count = (n * plane) as f32;
+    let mut grad_in = grad_out.clone();
+    let xv = x_hat.as_slice();
+    let g = gamma.as_slice();
+    let is = inv_std.as_slice();
+    let dv = sum_dy.as_slice();
+    let dxv = sum_dy_xhat.as_slice();
+    let sample_len = c * plane;
+    let samples_per = n.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(
+        grad_in.as_mut_slice(),
+        samples_per * sample_len.max(1),
+        |ci, chunk| {
+            let first = ci * samples_per;
+            for (local, sample) in chunk.chunks_mut(sample_len).enumerate() {
+                let ni = first + local;
+                for (cidx, ch) in sample.chunks_mut(plane).enumerate() {
+                    let mean_dy = dv[cidx] / count;
+                    let mean_dy_xhat = dxv[cidx] / count;
+                    let scale = g[cidx] * is[cidx];
+                    let base = (ni * c + cidx) * plane;
+                    for (off, x) in ch.iter_mut().enumerate() {
+                        *x = scale * (*x - mean_dy - xv[base + off] * mean_dy_xhat);
+                    }
+                }
+            }
+        },
+    );
+    Ok(grad_in)
+}
+
+// ---------------------------------------------------------------------------
+// Pooling
+// ---------------------------------------------------------------------------
+
+pub(crate) fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<(Tensor, MaxPoolIndices)> {
+    let (n, c, h, w) = check_nchw(input, "maxpool2d")?;
+    let oh = conv_output_size(h, k, k, 0)?;
+    let ow = conv_output_size(w, k, k, 0)?;
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::pool::maxpool2d_forward_naive(input, k);
+    }
+    let planes = n * c;
+    let out_plane = oh * ow;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let mut winners = vec![0usize; planes * out_plane];
+    let iv = input.as_slice();
+    let planes_per = planes.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut2(
+        out.as_mut_slice(),
+        &mut winners,
+        planes_per * out_plane.max(1),
+        planes_per * out_plane.max(1),
+        |chunk_i, oc, wc| {
+            let p0 = chunk_i * planes_per;
+            for (local, (op, wp)) in oc
+                .chunks_mut(out_plane.max(1))
+                .zip(wc.chunks_mut(out_plane.max(1)))
+                .enumerate()
+            {
+                let plane_base = (p0 + local) * h * w;
+                let mut oidx = 0usize;
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_off = plane_base;
+                        for ki in 0..k {
+                            let ih = ohi * k + ki;
+                            for kj in 0..k {
+                                let iw = owi * k + kj;
+                                let off = plane_base + ih * w + iw;
+                                if iv[off] > best {
+                                    best = iv[off];
+                                    best_off = off;
+                                }
+                            }
+                        }
+                        op[oidx] = best;
+                        wp[oidx] = best_off;
+                        oidx += 1;
+                    }
+                }
+            }
+        },
+    );
+    Ok((
+        out,
+        MaxPoolIndices {
+            winners,
+            input_dims: vec![n, c, h, w],
+        },
+    ))
+}
+
+pub(crate) fn maxpool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Result<Tensor> {
+    if grad_out.numel() != indices.winners.len() {
+        return Err(TensorError::LengthMismatch {
+            expected: indices.winners.len(),
+            got: grad_out.numel(),
+            op: "maxpool2d_backward",
+        });
+    }
+    let dims = &indices.input_dims;
+    let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::pool::maxpool2d_backward_naive(grad_out, indices);
+    }
+    let planes = n * c;
+    let in_plane = h * w;
+    let out_plane = grad_out.numel().checked_div(planes).unwrap_or(0);
+    let mut grad_input = Tensor::zeros(dims);
+    let gv = grad_out.as_slice();
+    let wv = &indices.winners;
+    let planes_per = planes.div_ceil(par::max_threads()).max(1);
+    // Winner offsets stay inside their own plane, so chunking the input
+    // gradient by whole planes gives disjoint writes.
+    par::for_each_chunk_mut(
+        grad_input.as_mut_slice(),
+        planes_per * in_plane.max(1),
+        |chunk_i, gi_chunk| {
+            let p0 = chunk_i * planes_per;
+            let in_base = p0 * in_plane;
+            let out_lo = p0 * out_plane;
+            let out_hi = (out_lo + gi_chunk.len() / in_plane.max(1) * out_plane).min(gv.len());
+            for (&win, &g) in wv[out_lo..out_hi].iter().zip(&gv[out_lo..out_hi]) {
+                gi_chunk[win - in_base] += g;
+            }
+        },
+    );
+    Ok(grad_input)
+}
+
+pub(crate) fn avgpool2d_global_forward(input: &Tensor) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "avgpool2d_global")?;
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::pool::avgpool2d_global_forward_naive(input);
+    }
+    let mut out = Tensor::zeros(&[n, c]);
+    let iv = input.as_slice();
+    let area = (h * w) as f32;
+    let plane = h * w;
+    let planes_per = (n * c).div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(out.as_mut_slice(), planes_per, |chunk_i, oc| {
+        let p0 = chunk_i * planes_per;
+        for (local, o) in oc.iter_mut().enumerate() {
+            let base = (p0 + local) * plane;
+            let s: f32 = iv[base..base + plane].iter().sum();
+            *o = s / area;
+        }
+    });
+    Ok(out)
+}
+
+pub(crate) fn avgpool2d_global_backward(grad_out: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    if input_dims.len() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input_dims.len(),
+            op: "avgpool2d_global_backward",
+        });
+    }
+    let (n, c, h, w) = (input_dims[0], input_dims[1], input_dims[2], input_dims[3]);
+    if grad_out.dims() != [n, c] {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![n, c],
+            got: grad_out.dims().to_vec(),
+            op: "avgpool2d_global_backward",
+        });
+    }
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::pool::avgpool2d_global_backward_naive(grad_out, input_dims);
+    }
+    let mut grad_input = Tensor::zeros(input_dims);
+    let gv = grad_out.as_slice();
+    let area = (h * w) as f32;
+    let plane = h * w;
+    let planes_per = (n * c).div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(
+        grad_input.as_mut_slice(),
+        planes_per * plane.max(1),
+        |chunk_i, chunk| {
+            let p0 = chunk_i * planes_per;
+            for (local, gp) in chunk.chunks_mut(plane.max(1)).enumerate() {
+                let g = gv[p0 + local] / area;
+                for x in gp.iter_mut() {
+                    *x = g;
+                }
+            }
+        },
+    );
+    Ok(grad_input)
+}

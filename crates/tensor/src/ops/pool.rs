@@ -11,8 +11,8 @@ use super::conv::conv_output_size;
 pub struct MaxPoolIndices {
     /// For every output element (flattened `[N, C, OH, OW]` order), the flat
     /// offset of the winning input element within the full input buffer.
-    winners: Vec<usize>,
-    input_dims: Vec<usize>,
+    pub(crate) winners: Vec<usize>,
+    pub(crate) input_dims: Vec<usize>,
 }
 
 impl MaxPoolIndices {
@@ -31,6 +31,13 @@ impl MaxPoolIndices {
 ///
 /// Returns rank/geometry errors for inconsistent operands.
 pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<(Tensor, MaxPoolIndices)> {
+    crate::backend::global().maxpool2d_forward(input, k)
+}
+
+pub(crate) fn maxpool2d_forward_naive(
+    input: &Tensor,
+    k: usize,
+) -> Result<(Tensor, MaxPoolIndices)> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -88,6 +95,13 @@ pub fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<(Tensor, MaxPoolInd
 /// Returns [`TensorError::LengthMismatch`] if `grad_out` does not match the
 /// recorded pooling geometry.
 pub fn maxpool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Result<Tensor> {
+    crate::backend::global().maxpool2d_backward(grad_out, indices)
+}
+
+pub(crate) fn maxpool2d_backward_naive(
+    grad_out: &Tensor,
+    indices: &MaxPoolIndices,
+) -> Result<Tensor> {
     if grad_out.numel() != indices.winners.len() {
         return Err(TensorError::LengthMismatch {
             expected: indices.winners.len(),
@@ -109,6 +123,10 @@ pub fn maxpool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Result
 ///
 /// Returns [`TensorError::RankMismatch`] for non-4-D input.
 pub fn avgpool2d_global_forward(input: &Tensor) -> Result<Tensor> {
+    crate::backend::global().avgpool2d_global_forward(input)
+}
+
+pub(crate) fn avgpool2d_global_forward_naive(input: &Tensor) -> Result<Tensor> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -138,6 +156,13 @@ pub fn avgpool2d_global_forward(input: &Tensor) -> Result<Tensor> {
 ///
 /// Returns shape errors when `grad_out` is not `[N, C]` matching `input_dims`.
 pub fn avgpool2d_global_backward(grad_out: &Tensor, input_dims: &[usize]) -> Result<Tensor> {
+    crate::backend::global().avgpool2d_global_backward(grad_out, input_dims)
+}
+
+pub(crate) fn avgpool2d_global_backward_naive(
+    grad_out: &Tensor,
+    input_dims: &[usize],
+) -> Result<Tensor> {
     if input_dims.len() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -209,11 +234,7 @@ mod tests {
 
     #[test]
     fn maxpool_multichannel_batch() {
-        let input = Tensor::from_vec(
-            (0..16).map(|x| x as f32).collect(),
-            &[2, 2, 2, 2],
-        )
-        .unwrap();
+        let input = Tensor::from_vec((0..16).map(|x| x as f32).collect(), &[2, 2, 2, 2]).unwrap();
         let (out, _) = maxpool2d_forward(&input, 2).unwrap();
         assert_eq!(out.dims(), &[2, 2, 1, 1]);
         assert_eq!(out.as_slice(), &[3.0, 7.0, 11.0, 15.0]);

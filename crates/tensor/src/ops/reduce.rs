@@ -15,6 +15,10 @@ use crate::{Result, Tensor, TensorError};
 /// Returns [`TensorError::RankMismatch`] for non-4-D input and
 /// [`TensorError::InvalidGeometry`] when the reduction set is empty.
 pub fn channel_mean_var(input: &Tensor) -> Result<(Tensor, Tensor)> {
+    crate::backend::global().channel_mean_var(input)
+}
+
+pub(crate) fn channel_mean_var_naive(input: &Tensor) -> Result<(Tensor, Tensor)> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -62,6 +66,10 @@ pub fn channel_mean_var(input: &Tensor) -> Result<(Tensor, Tensor)> {
 ///
 /// Returns [`TensorError::RankMismatch`] for non-4-D input.
 pub fn channel_sum(input: &Tensor) -> Result<Tensor> {
+    crate::backend::global().channel_sum(input)
+}
+
+pub(crate) fn channel_sum_naive(input: &Tensor) -> Result<Tensor> {
     if input.rank() != 4 {
         return Err(TensorError::RankMismatch {
             expected: 4,
@@ -90,6 +98,10 @@ pub fn channel_sum(input: &Tensor) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::RankMismatch`] for non-2-D input.
 pub fn sum_axis0(input: &Tensor) -> Result<Tensor> {
+    crate::backend::global().sum_axis0(input)
+}
+
+pub(crate) fn sum_axis0_naive(input: &Tensor) -> Result<Tensor> {
     if input.rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,
@@ -115,6 +127,10 @@ pub fn sum_axis0(input: &Tensor) -> Result<Tensor> {
 ///
 /// Returns [`TensorError::RankMismatch`] for non-2-D input.
 pub fn softmax_rows(logits: &Tensor) -> Result<Tensor> {
+    crate::backend::global().softmax_rows(logits)
+}
+
+pub(crate) fn softmax_rows_naive(logits: &Tensor) -> Result<Tensor> {
     if logits.rank() != 2 {
         return Err(TensorError::RankMismatch {
             expected: 2,

@@ -1,0 +1,216 @@
+//! Scoped-thread parallelism helpers used by the [`Parallel`] backend and by
+//! higher-level crates (batch-level parallelism in `tbnet-core`).
+//!
+//! Everything here is built on `std::thread::scope` — no thread-pool crate is
+//! available offline — so helpers are written to spawn at most
+//! [`max_threads`] threads per call and to fall back to plain sequential
+//! execution when the work is too small to amortize spawn cost (a scoped
+//! spawn costs tens of microseconds).
+//!
+//! Determinism: all helpers split work into *contiguous* chunks in index
+//! order and return per-chunk results in that same order, so reductions that
+//! fold chunk results left-to-right are deterministic for a fixed thread
+//! count.
+//!
+//! [`Parallel`]: crate::backend::Parallel
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Upper bound on threads spawned by any single helper call.
+///
+/// Defaults to the machine's available parallelism; override with the
+/// `TBNET_THREADS` environment variable or [`set_max_threads`] (values < 1
+/// are treated as 1).
+pub fn max_threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => {
+            let n = if let Some(n) = std::env::var("TBNET_THREADS")
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+            {
+                n.max(1)
+            } else {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            };
+            THREADS.store(n, Ordering::Relaxed);
+            n
+        }
+        n => n,
+    }
+}
+
+/// Overrides the thread cap at runtime (tests use this to force multi-chunk
+/// code paths on single-core hosts). Values < 1 are treated as 1.
+pub fn set_max_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// Splits `0..n` into at most `parts` contiguous near-equal ranges.
+pub fn partition(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.clamp(1, n.max(1));
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        if len == 0 {
+            break;
+        }
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Runs `f` over a partition of `0..n` (at least `min_per_part` indices per
+/// part), collecting results in range order. Runs inline when a single part
+/// suffices.
+pub fn map_parts<R, F>(n: usize, min_per_part: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let parts = if min_per_part == 0 {
+        max_threads()
+    } else {
+        max_threads().min(n.div_ceil(min_per_part.max(1)))
+    };
+    let ranges = partition(n, parts);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(|| f(r))).collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` elements and runs
+/// `f(chunk_index, chunk)` on each, in parallel. The last chunk may be
+/// shorter. Runs inline when one chunk covers everything.
+pub fn for_each_chunk_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    let chunk_len = chunk_len.max(1);
+    if data.len() <= chunk_len {
+        if !data.is_empty() {
+            f(0, data);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, chunk));
+        }
+    });
+}
+
+/// Parallel zip over two mutable slices chunked consistently: the `i`-th
+/// chunk of `a` (length `a_chunk`) is processed together with the `i`-th
+/// chunk of `b` (length `b_chunk`). The two slices must describe the same
+/// number of chunks.
+pub fn for_each_chunk_mut2<T, U, F>(a: &mut [T], b: &mut [U], a_chunk: usize, b_chunk: usize, f: F)
+where
+    T: Send,
+    U: Send,
+    F: Fn(usize, &mut [T], &mut [U]) + Sync,
+{
+    let a_chunk = a_chunk.max(1);
+    let b_chunk = b_chunk.max(1);
+    debug_assert_eq!(a.len().div_ceil(a_chunk), b.len().div_ceil(b_chunk));
+    if a.len() <= a_chunk {
+        if !a.is_empty() {
+            f(0, a, b);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        for (i, (ca, cb)) in a.chunks_mut(a_chunk).zip(b.chunks_mut(b_chunk)).enumerate() {
+            let f = &f;
+            s.spawn(move || f(i, ca, cb));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_everything_in_order() {
+        for n in [0usize, 1, 5, 16, 17, 100] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = partition(n, parts);
+                let mut covered = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, covered, "n={n} parts={parts}");
+                    covered = r.end;
+                }
+                assert_eq!(covered, n, "n={n} parts={parts}");
+            }
+        }
+    }
+
+    #[test]
+    fn map_parts_results_in_range_order() {
+        let sums = map_parts(100, 10, |r| r.sum::<usize>());
+        let total: usize = sums.iter().sum();
+        assert_eq!(total, (0..100).sum::<usize>());
+        // Chunk order must match index order (sums of contiguous ascending
+        // ranges are strictly increasing). On a single-core host there may
+        // be only one chunk.
+        assert!(sums.windows(2).all(|p| p[0] < p[1]));
+    }
+
+    #[test]
+    fn chunked_mutation_touches_every_element_once() {
+        let mut data = vec![0u32; 1000];
+        for_each_chunk_mut(&mut data, 64, |i, chunk| {
+            for x in chunk.iter_mut() {
+                *x += 1 + i as u32;
+            }
+        });
+        assert!(data.iter().all(|&x| x >= 1));
+        let expected: u32 = (0..1000).map(|j| 1 + (j / 64) as u32).sum();
+        assert_eq!(data.iter().sum::<u32>(), expected);
+    }
+
+    #[test]
+    fn paired_chunks_stay_aligned() {
+        let mut a = vec![0usize; 60]; // unit 6
+        let mut b = vec![0usize; 20]; // unit 2
+        for_each_chunk_mut2(&mut a, &mut b, 12, 4, |i, ca, cb| {
+            for x in ca.iter_mut() {
+                *x = i;
+            }
+            for x in cb.iter_mut() {
+                *x = i;
+            }
+        });
+        for i in 0..5 {
+            assert!(a[i * 12..(i + 1) * 12].iter().all(|&x| x == i));
+            assert!(b[i * 4..(i + 1) * 4].iter().all(|&x| x == i));
+        }
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        let mut data = vec![1.0f32; 3];
+        for_each_chunk_mut(&mut data, 1000, |i, chunk| {
+            assert_eq!(i, 0);
+            chunk[0] = 2.0;
+        });
+        assert_eq!(data[0], 2.0);
+        let r = map_parts(2, 1000, |r| r.len());
+        assert_eq!(r, vec![2]);
+    }
+}

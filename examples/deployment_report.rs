@@ -29,9 +29,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let cost = CostModel::raspberry_pi3();
     let lat = plan.latency(&cost)?;
     println!("\nlatency (simulated Pi 3 + OP-TEE):");
-    println!("  baseline (victim fully in TEE): {:.3} ms", lat.baseline.total_s * 1e3);
-    println!("  TBNet (M_R in REE ∥ M_T in TEE): {:.3} ms", lat.tbnet.total_s * 1e3);
-    println!("  reduction: {:.2}x  ({} world switches)", lat.reduction_factor(), lat.tbnet.switches);
+    println!(
+        "  baseline (victim fully in TEE): {:.3} ms",
+        lat.baseline.total_s * 1e3
+    );
+    println!(
+        "  TBNet (M_R in REE ∥ M_T in TEE): {:.3} ms",
+        lat.tbnet.total_s * 1e3
+    );
+    println!(
+        "  reduction: {:.2}x  ({} world switches)",
+        lat.reduction_factor(),
+        lat.tbnet.switches
+    );
 
     // --- Secure memory (Fig. 3 shape). ---
     let mem = plan.memory()?;
@@ -68,7 +78,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // --- Budget check: load M_T into a 16 MiB secure world. ---
     let mut world = SecureWorld::from_cost_model(&cost);
     let used = plan.load_into_secure_world(&mut world)?;
-    println!("\nsecure world after loading M_T: {used} bytes used of {}", cost.secure_memory_budget);
+    println!(
+        "\nsecure world after loading M_T: {used} bytes used of {}",
+        cost.secure_memory_budget
+    );
 
     // --- Functional split inference over the one-way channel. ---
     let batch = data.test().gather(&[0, 1, 2, 3]);

@@ -40,8 +40,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Step 1 — two-branch initialization.
     let mut tb = TwoBranchModel::from_victim(&victim, &mut rng)?;
-    let mr_skips = tb.mr().units().iter().filter(|u| u.spec().skip_from.is_some()).count();
-    let mt_skips = tb.mt().units().iter().filter(|u| u.spec().skip_from.is_some()).count();
+    let mr_skips = tb
+        .mr()
+        .units()
+        .iter()
+        .filter(|u| u.spec().skip_from.is_some())
+        .count();
+    let mt_skips = tb
+        .mt()
+        .units()
+        .iter()
+        .filter(|u| u.spec().skip_from.is_some())
+        .count();
     println!("[1] two-branch init: M_R skips = {mr_skips}, M_T skips = {mt_skips}");
 
     // Step 2 — knowledge transfer (Eq. 1).
@@ -77,6 +87,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let tbnet_acc = evaluate_two_branch(&mut tb, data.test())?;
     let attack_acc = direct_use_attack(&tb, data.test())?;
     println!("TBNet accuracy   : {:.1}%", tbnet_acc * 100.0);
-    println!("direct-use attack: {:.1}%  (chance = 10%)", attack_acc * 100.0);
+    println!(
+        "direct-use attack: {:.1}%  (chance = 10%)",
+        attack_acc * 100.0
+    );
     Ok(())
 }

@@ -24,13 +24,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let spec = vgg::vgg_tiny(data.train().classes(), 3, (16, 16));
 
-    println!("training victim + building TBNet ({} units)…", spec.units.len());
+    println!(
+        "training victim + building TBNet ({} units)…",
+        spec.units.len()
+    );
     let artifacts = run_pipeline(&spec, &data, &PipelineConfig::smoke())?;
 
     let attack_acc = direct_use_attack(&artifacts.model, data.test())?;
     println!("victim accuracy : {:.1}%", artifacts.victim_acc * 100.0);
-    println!("TBNet accuracy  : {:.1}%  (what the user gets, from M_T in the TEE)", artifacts.tbnet_acc * 100.0);
-    println!("attacker direct : {:.1}%  (transplanting M_R from REE memory)", attack_acc * 100.0);
+    println!(
+        "TBNet accuracy  : {:.1}%  (what the user gets, from M_T in the TEE)",
+        artifacts.tbnet_acc * 100.0
+    );
+    println!(
+        "attacker direct : {:.1}%  (transplanting M_R from REE memory)",
+        attack_acc * 100.0
+    );
     println!(
         "accuracy gap    : {:.1} points",
         (artifacts.tbnet_acc - attack_acc) * 100.0

@@ -39,8 +39,18 @@ fn vgg_pipeline_produces_consistent_artifacts() {
     assert!(artifacts.model.is_finalized());
     assert!(artifacts.mr_spec().trace().is_ok());
     assert!(artifacts.mt_spec().trace().is_ok());
-    let mr_total: usize = artifacts.mr_spec().units.iter().map(|u| u.out_channels).sum();
-    let mt_total: usize = artifacts.mt_spec().units.iter().map(|u| u.out_channels).sum();
+    let mr_total: usize = artifacts
+        .mr_spec()
+        .units
+        .iter()
+        .map(|u| u.out_channels)
+        .sum();
+    let mt_total: usize = artifacts
+        .mt_spec()
+        .units
+        .iter()
+        .map(|u| u.out_channels)
+        .sum();
     assert!(mr_total >= mt_total);
 
     // Accuracy values live in [0, 1] and training history is populated.

@@ -7,7 +7,6 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use tbnet_models::{resnet, vgg, ChainNet};
-use tbnet_nn::Layer;
 use tbnet_tee::{
     simulate_baseline, simulate_partition, simulate_two_branch, CostModel, MemoryReport,
 };
