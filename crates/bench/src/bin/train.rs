@@ -1,0 +1,137 @@
+//! Training-engine report: times sequential victim training against the
+//! data-parallel engine at W ∈ {1, 2, 4} workers on a paper-shaped workload
+//! and writes `BENCH_train.json` at the repo root (or the path given as the
+//! first argument). Besides throughput, the report records the maximum
+//! per-epoch loss deviation from the sequential run — the determinism
+//! contract the parity tests pin at 1e-5.
+//!
+//! Run with `cargo run --release -p tbnet-bench --bin train`.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use tbnet_core::dp_train::train_victim_dp;
+use tbnet_core::train::{train_victim, EpochStats, TrainConfig};
+use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_models::{vgg, ChainNet};
+use tbnet_tensor::par;
+
+#[derive(Debug, Clone, Serialize)]
+struct TrainResult {
+    engine: String,
+    workers: usize,
+    seconds: f64,
+    samples_per_sec: f64,
+    speedup_vs_sequential: f64,
+    max_epoch_loss_delta: f32,
+    final_loss: f32,
+}
+
+#[derive(Debug, Serialize)]
+struct TrainReport {
+    report: String,
+    threads: usize,
+    pool_workers: usize,
+    epochs: usize,
+    batch_size: usize,
+    train_samples: usize,
+    note: String,
+    results: Vec<TrainResult>,
+}
+
+fn max_loss_delta(a: &[EpochStats], b: &[EpochStats]) -> f32 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x.train_loss - y.train_loss).abs())
+        .fold(0.0f32, f32::max)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_train.json".to_string());
+
+    let data = SyntheticCifar::generate(
+        DatasetKind::Cifar10Like
+            .config()
+            .with_classes(4)
+            .with_train_per_class(64)
+            .with_test_per_class(8)
+            .with_size(16, 16)
+            .with_noise_std(0.3),
+    );
+    let spec = vgg::vgg_from_stages("bench-train", &[(16, 1), (32, 1)], 4, 3, (16, 16));
+    let mut rng = StdRng::seed_from_u64(0);
+    let net0 = ChainNet::from_spec(&spec, &mut rng).expect("bench spec is valid");
+    let cfg = TrainConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..TrainConfig::paper_scaled(2)
+    };
+    let samples = data.train().len() * cfg.epochs;
+
+    let mut results = Vec::new();
+
+    let t0 = Instant::now();
+    let mut seq_net = net0.clone();
+    let seq_hist = train_victim(&mut seq_net, data.train(), &cfg).expect("sequential training");
+    let seq_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "sequential         {seq_secs:7.2} s | {:8.1} samples/s | final loss {:.4}",
+        samples as f64 / seq_secs,
+        seq_hist.last().unwrap().train_loss
+    );
+    results.push(TrainResult {
+        engine: "sequential".into(),
+        workers: 1,
+        seconds: seq_secs,
+        samples_per_sec: samples as f64 / seq_secs,
+        speedup_vs_sequential: 1.0,
+        max_epoch_loss_delta: 0.0,
+        final_loss: seq_hist.last().unwrap().train_loss,
+    });
+
+    for workers in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let mut dp_net = net0.clone();
+        let hist = train_victim_dp(&mut dp_net, data.train(), &cfg, workers).expect("dp training");
+        let secs = t0.elapsed().as_secs_f64();
+        let delta = max_loss_delta(&seq_hist, &hist);
+        println!(
+            "data-parallel W={workers} {secs:7.2} s | {:8.1} samples/s | {:.2}x | max loss Δ {delta:.2e}",
+            samples as f64 / secs,
+            seq_secs / secs
+        );
+        results.push(TrainResult {
+            engine: "data-parallel".into(),
+            workers,
+            seconds: secs,
+            samples_per_sec: samples as f64 / secs,
+            speedup_vs_sequential: seq_secs / secs,
+            max_epoch_loss_delta: delta,
+            final_loss: hist.last().unwrap().train_loss,
+        });
+    }
+
+    let report = TrainReport {
+        report: "training-engine".to_string(),
+        threads: par::max_threads(),
+        pool_workers: par::pool_workers(),
+        epochs: cfg.epochs,
+        batch_size: cfg.batch_size,
+        train_samples: data.train().len(),
+        note: "wall clock per full training run; the data-parallel engine \
+               shards each minibatch across model replicas with synchronized \
+               BatchNorm statistics, so max_epoch_loss_delta stays within \
+               f32 rounding of the sequential loss curve. Speedups require \
+               multiple cores (threads=1 shows sync overhead only)."
+            .to_string(),
+        results,
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_train.json");
+    println!("wrote {out_path}");
+}

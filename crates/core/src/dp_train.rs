@@ -1,0 +1,410 @@
+//! Data-parallel victim training with synchronized BatchNorm statistics.
+//!
+//! [`train_victim_dp`] reproduces [`crate::train::train_victim`]'s SGD loop
+//! across `W` model replicas: every minibatch is split into `W` contiguous
+//! shards, each replica runs forward/backward on its shard, and the two
+//! places where shards couple are synchronized between lockstep phases:
+//!
+//! * **BatchNorm batch statistics** — per-shard `(mean, var, count)` are
+//!   merged with the weighted parallel-variance formula
+//!   ([`tbnet_nn::merge_batch_stats`]) and every replica normalizes (and
+//!   updates its running statistics) with the *global* batch statistics,
+//!   exactly like the sequential whole-batch step;
+//! * **BatchNorm backward reductions** — per-shard `(Σ dy, Σ dy·x̂)` are
+//!   summed left-to-right across shards and fed back into each shard's
+//!   input-gradient computation over the global element count.
+//!
+//! Everything else in backward is linear in the loss gradient, so scaling
+//! each shard's loss gradient by the *global* minibatch size
+//! ([`tbnet_nn::loss::softmax_cross_entropy_scaled`]) makes the sum of
+//! per-shard parameter gradients equal the sequential whole-batch gradient.
+//! Gradients are merged with a fixed left-to-right fold over contiguous
+//! shards, the merged gradient is broadcast to every replica, and each
+//! replica takes the *same* SGD step — replicas therefore stay
+//! numerically identical, replica 0 is canonical, and a `W`-worker step
+//! matches the sequential step to f32 rounding (the parity suite pins
+//! 1e-5).
+//!
+//! All lockstep phases and the final optimizer fan-out run on the
+//! persistent worker pool in [`tbnet_tensor::par`] — the training hot path
+//! spawns no threads.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tbnet_data::{Batch, ImageDataset};
+use tbnet_models::{accumulate_grad, ChainNet};
+use tbnet_nn::loss::softmax_cross_entropy_scaled;
+use tbnet_nn::merge_batch_stats;
+use tbnet_nn::metrics::{accuracy, RunningMean};
+use tbnet_nn::optim::{Sgd, StepLr};
+use tbnet_nn::{Layer, Mode};
+use tbnet_tensor::{ops, par, Tensor};
+
+use crate::train::{EpochStats, TrainConfig};
+use crate::{CoreError, Result};
+
+/// Data-parallel SGD driver: `W` replicas of one [`ChainNet`] that stay
+/// numerically identical across steps (see the module docs for the
+/// synchronization contract). Most callers want [`train_victim_dp`]; the
+/// trainer is public so benches and future transfer-training work can step
+/// it batch by batch.
+#[derive(Debug)]
+pub struct DataParallelTrainer {
+    replicas: Vec<ChainNet>,
+}
+
+/// Per-shard scratch state threaded through the lockstep phases of one
+/// training step.
+struct ShardCtx {
+    batch: Batch,
+    /// Conv output of the unit currently in flight (forward).
+    conv_out: Option<Tensor>,
+    /// Unit outputs, for skip connections (mirrors the sequential forward).
+    outs: Vec<Tensor>,
+    /// Pre-activation gradient of the unit currently in flight (backward).
+    grad_pre: Option<Tensor>,
+    /// Pending skip gradient of the unit currently in flight.
+    grad_skip: Option<Tensor>,
+    /// Per-unit output gradients (mirrors the sequential backward).
+    gouts: Vec<Option<Tensor>>,
+    loss: f32,
+    acc: f32,
+}
+
+impl ShardCtx {
+    fn new(batch: Batch, n_units: usize) -> Self {
+        ShardCtx {
+            batch,
+            conv_out: None,
+            outs: Vec::with_capacity(n_units),
+            grad_pre: None,
+            grad_skip: None,
+            gouts: vec![None; n_units],
+            loss: 0.0,
+            acc: 0.0,
+        }
+    }
+}
+
+/// Copies the samples of `range` out of `batch` (contiguous rows, so shard
+/// boundaries match the sequential sample order exactly).
+fn shard_batch(batch: &Batch, range: &std::ops::Range<usize>) -> Batch {
+    let dims = batch.images.dims();
+    let sample = dims[1] * dims[2] * dims[3];
+    let images = Tensor::from_vec(
+        batch.images.as_slice()[range.start * sample..range.end * sample].to_vec(),
+        &[range.len(), dims[1], dims[2], dims[3]],
+    )
+    .expect("shard slicing preserves the sample geometry");
+    Batch {
+        images,
+        labels: batch.labels[range.clone()].to_vec(),
+    }
+}
+
+/// Runs `f` on every (replica, shard) pair via the persistent pool,
+/// propagating the first error in shard order.
+fn phase<R, F>(replicas: &mut [ChainNet], ctxs: &mut [ShardCtx], f: F) -> Result<Vec<R>>
+where
+    R: Send,
+    F: Fn(usize, &mut ChainNet, &mut ShardCtx) -> Result<R> + Sync,
+{
+    let items: Vec<(&mut ChainNet, &mut ShardCtx)> =
+        replicas.iter_mut().zip(ctxs.iter_mut()).collect();
+    par::run(items, |i, (net, ctx)| f(i, net, ctx))
+        .into_iter()
+        .collect()
+}
+
+/// Left-to-right fold of per-shard BatchNorm reductions into global sums
+/// plus the global per-channel element count.
+fn fold_bn_sums(parts: Vec<(Tensor, Tensor, usize)>) -> Result<(Tensor, Tensor, usize)> {
+    let mut iter = parts.into_iter();
+    let (mut sum_dy, mut sum_dy_xhat, mut total) = iter
+        .next()
+        .expect("dp_step always has at least one active shard");
+    for (sd, sdx, count) in iter {
+        ops::add_assign(&mut sum_dy, &sd)?;
+        ops::add_assign(&mut sum_dy_xhat, &sdx)?;
+        total += count;
+    }
+    Ok((sum_dy, sum_dy_xhat, total))
+}
+
+impl DataParallelTrainer {
+    /// Clones `net` into `workers` replicas.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CoreError::InvalidConfig`] for zero workers.
+    pub fn new(net: &ChainNet, workers: usize) -> Result<Self> {
+        if workers == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "workers",
+                reason: "data-parallel training needs at least one worker".into(),
+            });
+        }
+        Ok(DataParallelTrainer {
+            replicas: vec![net.clone(); workers],
+        })
+    }
+
+    /// Number of replicas.
+    pub fn workers(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// The canonical model state (replica 0).
+    pub fn into_net(mut self) -> ChainNet {
+        self.replicas.swap_remove(0)
+    }
+
+    /// One data-parallel SGD step over `batch`, returning the batch's mean
+    /// loss and accuracy (both match the sequential step's values to f32
+    /// rounding).
+    ///
+    /// When the batch is smaller than the worker count, the surplus
+    /// replicas skip the forward/backward but still receive the merged
+    /// gradient and the identical optimizer step, so all replicas keep the
+    /// same parameters and momentum buffers. (Their BatchNorm *running*
+    /// statistics may lag — those never feed training math, and replica 0
+    /// always owns a shard, so the canonical state stays sequential-exact.)
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/configuration errors from the shard phases.
+    pub fn step(&mut self, batch: &Batch, sgd: &Sgd) -> Result<(f32, f32)> {
+        let n_total = batch.len();
+        if n_total == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "batch",
+                reason: "cannot step on an empty batch".into(),
+            });
+        }
+        let ranges = par::partition(n_total, self.replicas.len());
+        let active = ranges.len();
+        let n_units = self.replicas[0].units().len();
+        let mut ctxs: Vec<ShardCtx> = ranges
+            .iter()
+            .map(|r| ShardCtx::new(shard_batch(batch, r), n_units))
+            .collect();
+        let (act, _idle) = self.replicas.split_at_mut(active);
+
+        phase(act, &mut ctxs, |_, net, _| {
+            net.zero_grad();
+            Ok(())
+        })?;
+
+        // Forward, unit by unit, with a BN statistics barrier per unit.
+        for u in 0..n_units {
+            let stats = phase(act, &mut ctxs, |_, net, ctx| {
+                let input = if u == 0 {
+                    &ctx.batch.images
+                } else {
+                    &ctx.outs[u - 1]
+                };
+                let conv_out = net.units_mut()[u].forward_conv(input, Mode::Train)?;
+                let (mean, var) = ops::channel_mean_var(&conv_out)?;
+                let count = conv_out.dim(0) * conv_out.dim(2) * conv_out.dim(3);
+                ctx.conv_out = Some(conv_out);
+                Ok((mean, var, count))
+            })?;
+            let (mean, var) = merge_batch_stats(&stats)?;
+            phase(act, &mut ctxs, |_, net, ctx| {
+                let conv_out = ctx.conv_out.take().expect("set by the conv phase");
+                let skip = net.units()[u].spec().skip_from.map(|j| ctx.outs[j].clone());
+                let y = net.units_mut()[u].forward_from_conv(
+                    &conv_out,
+                    skip.as_ref(),
+                    Mode::Train,
+                    Some((&mean, &var)),
+                )?;
+                ctx.outs.push(y);
+                Ok(())
+            })?;
+        }
+
+        // Head forward, loss (scaled by the global batch size), head
+        // backward.
+        phase(act, &mut ctxs, |_, net, ctx| {
+            let logits = net
+                .head_mut()
+                .forward(&ctx.outs[n_units - 1], Mode::Train)?;
+            let out = softmax_cross_entropy_scaled(&logits, &ctx.batch.labels, n_total)?;
+            ctx.acc = accuracy(&logits, &ctx.batch.labels)?;
+            ctx.loss = out.loss;
+            let g = net.head_mut().backward(&out.grad)?;
+            ctx.gouts[n_units - 1] = Some(g);
+            Ok(())
+        })?;
+
+        // Backward, unit by unit, with a BN reduction barrier per unit.
+        for u in (0..n_units).rev() {
+            let sums = phase(act, &mut ctxs, |_, net, ctx| {
+                let g = ctx.gouts[u]
+                    .take()
+                    .expect("every unit output feeds the chain, so a gradient must exist");
+                let halfway = net.units_mut()[u].backward_to_bn(&g)?;
+                let count =
+                    halfway.grad_pre.dim(0) * halfway.grad_pre.dim(2) * halfway.grad_pre.dim(3);
+                ctx.grad_pre = Some(halfway.grad_pre);
+                ctx.grad_skip = halfway.grad_skip;
+                Ok((halfway.sum_dy, halfway.sum_dy_xhat, count))
+            })?;
+            let (sum_dy, sum_dy_xhat, total) = fold_bn_sums(sums)?;
+            phase(act, &mut ctxs, |_, net, ctx| {
+                let grad_pre = ctx.grad_pre.take().expect("set by the reduce phase");
+                let grad_input =
+                    net.units_mut()[u].backward_from_bn(&grad_pre, &sum_dy, &sum_dy_xhat, total)?;
+                let kind = net.backend_kind();
+                if let (Some(j), Some(gs)) = (net.units()[u].spec().skip_from, ctx.grad_skip.take())
+                {
+                    accumulate_grad(&mut ctx.gouts[j], gs, kind)?;
+                }
+                if u > 0 {
+                    accumulate_grad(&mut ctx.gouts[u - 1], grad_input, kind)?;
+                }
+                Ok(())
+            })?;
+        }
+
+        // Deterministic gradient merge: fixed left-to-right fold over the
+        // contiguous shards.
+        let mut merged: Vec<Tensor> = Vec::new();
+        {
+            let (first, rest) = self
+                .replicas
+                .split_first_mut()
+                .expect("trainer holds at least one replica");
+            first.visit_params(&mut |p| merged.push(p.grad.clone()));
+            for net in rest[..active - 1].iter_mut() {
+                let mut idx = 0;
+                net.visit_params(&mut |p| {
+                    ops::add_assign(&mut merged[idx], &p.grad)
+                        .expect("replica gradients share shapes");
+                    idx += 1;
+                });
+            }
+        }
+
+        // Broadcast the merged gradient and take the identical SGD step on
+        // every replica (active or not) so all replicas stay in sync.
+        let merged_ref = &merged;
+        let items: Vec<&mut ChainNet> = self.replicas.iter_mut().collect();
+        par::run(items, |_, net| {
+            let mut idx = 0;
+            net.visit_params(&mut |p| {
+                p.grad
+                    .as_mut_slice()
+                    .copy_from_slice(merged_ref[idx].as_slice());
+                idx += 1;
+            });
+            sgd.step(net);
+        });
+
+        let loss: f32 = ctxs.iter().map(|c| c.loss).sum();
+        let mut acc = RunningMean::new();
+        for c in &ctxs {
+            acc.add(c.acc, c.batch.len());
+        }
+        Ok((loss, acc.mean()))
+    }
+}
+
+/// Trains a [`ChainNet`] classifier in place with `workers`-way data
+/// parallelism, returning per-epoch stats. Batch composition, shuffling and
+/// the optimizer schedule are identical to
+/// [`crate::train::train_victim`]; the result matches the sequential
+/// trainer to f32 rounding (1e-5 in the parity suite) for any worker
+/// count.
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn train_victim_dp(
+    net: &mut ChainNet,
+    data: &ImageDataset,
+    cfg: &TrainConfig,
+    workers: usize,
+) -> Result<Vec<EpochStats>> {
+    cfg.validate()?;
+    let mut trainer = DataParallelTrainer::new(net, workers)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
+    let sched = StepLr::new(cfg.lr, cfg.lr_gamma, cfg.lr_step)?;
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        sgd.set_lr(sched.lr_at(epoch));
+        let mut loss_acc = RunningMean::new();
+        let mut acc_acc = RunningMean::new();
+        for batch in data.minibatches(cfg.batch_size, &mut rng) {
+            let (loss, acc) = trainer.step(&batch, &sgd)?;
+            loss_acc.add(loss, batch.len());
+            acc_acc.add(acc, batch.len());
+        }
+        history.push(EpochStats {
+            epoch,
+            train_loss: loss_acc.mean(),
+            train_acc: acc_acc.mean(),
+        });
+    }
+    *net = trainer.into_net();
+    Ok(history)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::train::train_victim;
+    use tbnet_data::{DatasetKind, SyntheticCifar};
+    use tbnet_models::vgg;
+
+    fn tiny_data() -> SyntheticCifar {
+        SyntheticCifar::generate(
+            DatasetKind::Cifar10Like
+                .config()
+                .with_classes(4)
+                .with_train_per_class(8)
+                .with_test_per_class(4)
+                .with_size(8, 8)
+                .with_noise_std(0.2),
+        )
+    }
+
+    #[test]
+    fn zero_workers_rejected() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let spec = vgg::vgg_from_stages("v", &[(4, 1)], 4, 3, (8, 8));
+        let mut net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let data = tiny_data();
+        let cfg = TrainConfig::paper_scaled(1);
+        assert!(train_victim_dp(&mut net, data.train(), &cfg, 0).is_err());
+    }
+
+    #[test]
+    fn more_workers_than_samples_still_trains() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let spec = vgg::vgg_from_stages("v", &[(4, 1)], 4, 3, (8, 8));
+        let mut seq = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let mut dp = seq.clone();
+        let data = tiny_data();
+        let mut cfg = TrainConfig::paper_scaled(1);
+        cfg.batch_size = 3; // smaller than the worker count below
+        let hs = train_victim(&mut seq, data.train(), &cfg).unwrap();
+        let hd = train_victim_dp(&mut dp, data.train(), &cfg, 5).unwrap();
+        assert_eq!(hs.len(), hd.len());
+        assert!((hs[0].train_loss - hd[0].train_loss).abs() < 1e-5);
+    }
+
+    #[test]
+    fn trainer_accessors() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let spec = vgg::vgg_from_stages("v", &[(4, 1)], 4, 3, (8, 8));
+        let net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let trainer = DataParallelTrainer::new(&net, 3).unwrap();
+        assert_eq!(trainer.workers(), 3);
+        let back = trainer.into_net();
+        assert_eq!(back.units().len(), net.units().len());
+    }
+}

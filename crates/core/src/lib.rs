@@ -42,6 +42,7 @@ pub mod analysis;
 pub mod attack;
 pub mod baselines;
 pub mod deploy;
+pub mod dp_train;
 pub mod parallel;
 pub mod persist;
 pub mod pipeline;

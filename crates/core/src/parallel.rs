@@ -1,11 +1,13 @@
 //! Batch-level parallelism for inference-style loops.
 //!
-//! Training steps are inherently sequential (each SGD step depends on the
-//! last), but evaluation, attack scoring and transfer soft-labeling all walk
-//! a dataset in independent fixed-size batches. [`parallel_eval`] splits the
-//! batch sequence across worker threads, giving each worker its own clone of
-//! the model (forward passes mutate layer caches, so sharing one model is
-//! not an option).
+//! Evaluation, attack scoring and transfer soft-labeling all walk a dataset
+//! in independent fixed-size batches. [`parallel_eval`] splits the batch
+//! sequence across the persistent worker pool in [`tbnet_tensor::par`],
+//! giving each worker its own clone of the model (forward passes mutate
+//! layer caches, so sharing one model is not an option). Training, whose
+//! steps *do* depend on each other, parallelizes within a step instead —
+//! see [`crate::dp_train`] for the shard-synchronized SGD engine that
+//! shares the same pool.
 //!
 //! Determinism: the batch boundaries are identical to the sequential loop's
 //! and per-batch results are folded in batch order, so the returned mean is

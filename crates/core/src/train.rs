@@ -3,7 +3,10 @@
 //! The threat model assumes the vendor ships a *well-trained, highly
 //! optimized* victim (paper §2.2); [`train_victim`] produces it with the
 //! paper's optimizer settings (SGD, momentum 0.9, weight decay 1e-4, step LR
-//! decay).
+//! decay). [`train_victim_with_workers`] runs the same recipe through the
+//! data-parallel engine in [`crate::dp_train`] (synchronized BatchNorm,
+//! deterministic shard-merge), which reproduces the sequential results to
+//! f32 rounding at any worker count.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -56,7 +59,7 @@ impl TrainConfig {
         }
     }
 
-    fn validate(&self) -> Result<()> {
+    pub(crate) fn validate(&self) -> Result<()> {
         if self.epochs == 0 {
             return Err(CoreError::InvalidConfig {
                 field: "epochs",
@@ -119,6 +122,30 @@ pub fn train_victim(
         });
     }
     Ok(history)
+}
+
+/// Trains with `workers`-way data parallelism when `workers > 1`, falling
+/// back to the plain sequential loop for a single worker. The data-parallel
+/// engine ([`crate::dp_train`]) synchronizes BatchNorm statistics across
+/// shards and merges gradients deterministically, so every worker count
+/// produces the same loss curve, weights and running statistics to f32
+/// rounding — pick `workers` from `tbnet_tensor::par::max_threads()` for
+/// throughput without changing results.
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn train_victim_with_workers(
+    net: &mut ChainNet,
+    data: &ImageDataset,
+    cfg: &TrainConfig,
+    workers: usize,
+) -> Result<Vec<EpochStats>> {
+    if workers <= 1 {
+        train_victim(net, data, cfg)
+    } else {
+        crate::dp_train::train_victim_dp(net, data, cfg, workers)
+    }
 }
 
 /// Evaluates a [`ChainNet`] on a dataset (eval mode, batched to bound

@@ -25,6 +25,22 @@ pub struct UnitGrads {
     pub grad_skip: Option<Tensor>,
 }
 
+/// Intermediate state of a split-phase unit backward pass, produced by
+/// [`Unit::backward_to_bn`]. Data-parallel training synchronizes the
+/// BatchNorm reductions across shards between the two phases.
+#[derive(Debug, Clone)]
+pub struct UnitBnBackward {
+    /// Gradient w.r.t. the BN output / pre-activation (after pool and ReLU
+    /// backward).
+    pub grad_pre: Tensor,
+    /// Gradient w.r.t. the skip input, when the forward pass received one.
+    pub grad_skip: Option<Tensor>,
+    /// Per-channel `Σ dy` over this shard.
+    pub sum_dy: Tensor,
+    /// Per-channel `Σ dy·x̂` over this shard.
+    pub sum_dy_xhat: Tensor,
+}
+
 /// One conv → batch-norm → ReLU unit with optional max pooling and an
 /// optional residual input added to the pre-activation.
 #[derive(Debug, Clone)]
@@ -128,7 +144,47 @@ impl Unit {
     /// Returns shape errors when `input` or `skip` disagree with the unit's
     /// geometry.
     pub fn forward(&mut self, input: &Tensor, skip: Option<&Tensor>, mode: Mode) -> Result<Tensor> {
-        let mut pre = self.bn.forward(&self.conv.forward(input, mode)?, mode)?;
+        let conv_out = self.forward_conv(input, mode)?;
+        self.forward_from_conv(&conv_out, skip, mode, None)
+    }
+
+    /// First phase of a split forward pass: the convolution alone. A
+    /// data-parallel trainer runs this on every shard, merges the BatchNorm
+    /// statistics of the conv outputs across shards, and resumes with
+    /// [`Unit::forward_from_conv`].
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `input` disagrees with the convolution.
+    pub fn forward_conv(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        Ok(self.conv.forward(input, mode)?)
+    }
+
+    /// Second phase of a split forward pass: BatchNorm (optionally with
+    /// externally synchronized `(mean, var)` batch statistics), skip add,
+    /// ReLU and pooling. `forward(x, skip, mode)` is exactly
+    /// `forward_from_conv(forward_conv(x), skip, mode, None)`.
+    ///
+    /// `batch_stats` is only meaningful in training mode; `None` uses the
+    /// conv output's own statistics (or running statistics in eval mode).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `conv_out`, `skip` or the statistics
+    /// disagree with the unit's geometry.
+    pub fn forward_from_conv(
+        &mut self,
+        conv_out: &Tensor,
+        skip: Option<&Tensor>,
+        mode: Mode,
+        batch_stats: Option<(&Tensor, &Tensor)>,
+    ) -> Result<Tensor> {
+        let mut pre = match batch_stats {
+            Some((mean, var)) if mode.is_train() => {
+                self.bn.forward_with_batch_stats(conv_out, mean, var)?
+            }
+            _ => self.bn.forward(conv_out, mode)?,
+        };
         if let Some(s) = skip {
             self.backend.imp().add_assign(&mut pre, s).map_err(|e| {
                 ModelError::SkipShapeMismatch {
@@ -154,20 +210,68 @@ impl Unit {
     /// Returns [`tbnet_nn::NnError::MissingForwardCache`] (wrapped) when no
     /// training forward preceded this call.
     pub fn backward(&mut self, grad_out: &Tensor) -> Result<UnitGrads> {
+        let halfway = self.backward_to_bn(grad_out)?;
+        let count = halfway.grad_pre.dim(0) * halfway.grad_pre.dim(2) * halfway.grad_pre.dim(3);
+        let grad_input = self.backward_from_bn(
+            &halfway.grad_pre,
+            &halfway.sum_dy,
+            &halfway.sum_dy_xhat,
+            count,
+        )?;
+        Ok(UnitGrads {
+            grad_input,
+            grad_skip: halfway.grad_skip,
+        })
+    }
+
+    /// First phase of a split backward pass: pool and ReLU backward, the
+    /// skip gradient, and the BatchNorm per-channel reductions (γ/β
+    /// gradients are accumulated from this shard's reductions). A
+    /// data-parallel trainer sums the reductions across shards and resumes
+    /// with [`Unit::backward_from_bn`]; [`Unit::backward`] chains the two
+    /// with purely local statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a missing-cache error (wrapped) when no training-mode forward
+    /// preceded this call.
+    pub fn backward_to_bn(&mut self, grad_out: &Tensor) -> Result<UnitBnBackward> {
         let g = match self.pool.as_mut() {
             Some(p) => p.backward(grad_out)?,
             None => grad_out.clone(),
         };
-        let g_pre = self.relu.backward(&g)?;
+        let grad_pre = self.relu.backward(&g)?;
         // The skip input was added directly to the pre-activation, so its
         // gradient is exactly the pre-activation gradient.
-        let grad_skip = self.had_skip.then(|| g_pre.clone());
-        let g_bn = self.bn.backward(&g_pre)?;
-        let grad_input = self.conv.backward(&g_bn)?;
-        Ok(UnitGrads {
-            grad_input,
+        let grad_skip = self.had_skip.then(|| grad_pre.clone());
+        let (sum_dy, sum_dy_xhat) = self.bn.backward_reduce(&grad_pre)?;
+        Ok(UnitBnBackward {
+            grad_pre,
             grad_skip,
+            sum_dy,
+            sum_dy_xhat,
         })
+    }
+
+    /// Second phase of a split backward pass: the BatchNorm input gradient
+    /// from (possibly globally summed) reductions over `total_count`
+    /// elements per channel, then the convolution backward.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape/missing-cache errors (wrapped) for inconsistent
+    /// operands.
+    pub fn backward_from_bn(
+        &mut self,
+        grad_pre: &Tensor,
+        sum_dy: &Tensor,
+        sum_dy_xhat: &Tensor,
+        total_count: usize,
+    ) -> Result<Tensor> {
+        let g_bn = self
+            .bn
+            .backward_input_with_stats(grad_pre, sum_dy, sum_dy_xhat, total_count)?;
+        Ok(self.conv.backward(&g_bn)?)
     }
 
     /// Visits the unit's trainable parameters (conv weight, BN γ/β).
@@ -365,6 +469,12 @@ impl ChainNet {
         &mut self.head
     }
 
+    /// The compute backend the network's gradient-merge arithmetic runs on
+    /// (data-parallel training mirrors the chain backward with it).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
+    }
+
     /// Re-pins every layer in the network (and the gradient-merge
     /// arithmetic) to a compute backend.
     pub fn set_backend(&mut self, kind: BackendKind) {
@@ -464,10 +574,10 @@ impl ChainNet {
                 .expect("every unit output feeds the chain, so a gradient must exist");
             let ug = self.units[i].backward(&g)?;
             if let (Some(j), Some(gs)) = (self.units[i].spec.skip_from, ug.grad_skip) {
-                accumulate(&mut gouts[j], gs, self.backend)?;
+                accumulate_grad(&mut gouts[j], gs, self.backend)?;
             }
             if i > 0 {
-                accumulate(&mut gouts[i - 1], ug.grad_input, self.backend)?;
+                accumulate_grad(&mut gouts[i - 1], ug.grad_input, self.backend)?;
             } else {
                 grad_input = Some(ug.grad_input);
             }
@@ -476,7 +586,15 @@ impl ChainNet {
     }
 }
 
-fn accumulate(slot: &mut Option<Tensor>, grad: Tensor, kind: BackendKind) -> Result<()> {
+/// Accumulates `grad` into an optional gradient slot through the given
+/// backend's `add_assign`. Shared by [`ChainNet`]'s sequential backward and
+/// the data-parallel trainer in `tbnet-core`, so the two backward paths
+/// stay arithmetically identical by construction.
+///
+/// # Errors
+///
+/// Returns a shape error when `grad` disagrees with an existing slot value.
+pub fn accumulate_grad(slot: &mut Option<Tensor>, grad: Tensor, kind: BackendKind) -> Result<()> {
     match slot {
         Some(existing) => {
             kind.imp().add_assign(existing, &grad)?;

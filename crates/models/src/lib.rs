@@ -43,7 +43,7 @@ mod error;
 pub mod resnet;
 pub mod vgg;
 
-pub use chain::{ChainNet, Head, Unit};
+pub use chain::{accumulate_grad, ChainNet, Head, Unit, UnitBnBackward};
 pub use descriptor::{HeadSpec, ModelSpec, UnitSpec, UnitTrace};
 pub use error::ModelError;
 

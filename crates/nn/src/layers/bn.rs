@@ -79,6 +79,153 @@ impl BatchNorm2d {
         &self.running_var
     }
 
+    fn check_input(&self, input: &Tensor, op_channels: &'static str) -> Result<usize> {
+        if input.rank() != 4 {
+            return Err(NnError::Tensor(TensorError::RankMismatch {
+                expected: 4,
+                got: input.rank(),
+                op: "BatchNorm2d",
+            }));
+        }
+        let c = input.dim(1);
+        if c != self.channels() {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                expected: vec![self.channels()],
+                got: vec![c],
+                op: op_channels,
+            }));
+        }
+        Ok(c)
+    }
+
+    /// Training-mode forward with externally supplied batch statistics
+    /// (synchronized BatchNorm). A data-parallel trainer computes per-shard
+    /// statistics, merges them (see [`merge_batch_stats`]) and hands every
+    /// replica the *global* batch mean/variance, so normalization, the
+    /// running-stat update, and the backward cache all match a sequential
+    /// whole-batch step. The plain train-mode [`Layer::forward`] is exactly
+    /// this method fed with the input's own statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `input` is not `[N, C, H, W]` or the
+    /// statistics are not `[C]`.
+    pub fn forward_with_batch_stats(
+        &mut self,
+        input: &Tensor,
+        mean: &Tensor,
+        var: &Tensor,
+    ) -> Result<Tensor> {
+        let c = self.check_input(input, "BatchNorm2d (channels)")?;
+        for (t, op) in [
+            (mean, "BatchNorm2d (batch mean)"),
+            (var, "BatchNorm2d (batch var)"),
+        ] {
+            if t.dims() != [c] {
+                return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                    expected: vec![c],
+                    got: t.dims().to_vec(),
+                    op,
+                }));
+            }
+        }
+        let imp = self.backend.imp();
+        // Update running statistics.
+        for ci in 0..c {
+            let rm = &mut self.running_mean.as_mut_slice()[ci];
+            *rm = (1.0 - self.momentum) * *rm + self.momentum * mean.as_slice()[ci];
+            let rv = &mut self.running_var.as_mut_slice()[ci];
+            *rv = (1.0 - self.momentum) * *rv + self.momentum * var.as_slice()[ci];
+        }
+
+        let mut inv_std = Tensor::zeros(&[c]);
+        for ci in 0..c {
+            inv_std.as_mut_slice()[ci] = 1.0 / (var.as_slice()[ci] + self.eps).sqrt();
+        }
+
+        let x_hat = imp.bn_normalize(input, mean, &inv_std)?;
+        let out = imp.channel_affine(&x_hat, &self.gamma.value, &self.beta.value)?;
+        self.cache = Some(BnCache { x_hat, inv_std });
+        Ok(out)
+    }
+
+    /// First half of the backward pass: computes the per-channel reductions
+    /// `(Σ dy, Σ dy·x̂)` over *this* gradient (one shard, in data-parallel
+    /// training) and accumulates the γ/β parameter gradients from them.
+    /// Summing the returned pairs across shards reproduces the whole-batch
+    /// reductions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] before a training-mode
+    /// forward, or shape errors for inconsistent gradients.
+    pub fn backward_reduce(&mut self, grad_out: &Tensor) -> Result<(Tensor, Tensor)> {
+        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "BatchNorm2d",
+        })?;
+        grad_out
+            .expect_same_shape(&cache.x_hat, "BatchNorm2d backward")
+            .map_err(NnError::Tensor)?;
+        let c = grad_out.dim(1);
+        let (sum_dy, sum_dy_xhat) = self
+            .backend
+            .imp()
+            .bn_backward_reduce(grad_out, &cache.x_hat)?;
+        for ci in 0..c {
+            self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat.as_slice()[ci];
+            self.beta.grad.as_mut_slice()[ci] += sum_dy.as_slice()[ci];
+        }
+        Ok((sum_dy, sum_dy_xhat))
+    }
+
+    /// Second half of the backward pass: the input gradient
+    /// `dx = γ·inv_std · (dy − mean(dy) − x̂·mean(dy·x̂))`, where the means
+    /// divide `sum_dy` / `sum_dy_xhat` by `total_count` (the per-channel
+    /// element count `N·H·W` of the statistics batch). With per-shard sums
+    /// and the shard's own count this is the classic single-device formula;
+    /// a data-parallel trainer passes the *globally summed* reductions and
+    /// the global count instead, coupling the shards exactly like one big
+    /// batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NnError::MissingForwardCache`] before a training-mode
+    /// forward, or shape errors for inconsistent operands.
+    pub fn backward_input_with_stats(
+        &self,
+        grad_out: &Tensor,
+        sum_dy: &Tensor,
+        sum_dy_xhat: &Tensor,
+        total_count: usize,
+    ) -> Result<Tensor> {
+        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
+            layer: "BatchNorm2d",
+        })?;
+        grad_out
+            .expect_same_shape(&cache.x_hat, "BatchNorm2d backward")
+            .map_err(NnError::Tensor)?;
+        let local_count = grad_out.dim(0) * grad_out.dim(2) * grad_out.dim(3);
+        // The kernel divides by the *local* element count; pre-scaling the
+        // sums by local/total turns that into a division by `total_count`.
+        let (sd, sdx) = if local_count == total_count {
+            (sum_dy.clone(), sum_dy_xhat.clone())
+        } else {
+            let factor = local_count as f32 / total_count as f32;
+            (sum_dy.map(|v| v * factor), sum_dy_xhat.map(|v| v * factor))
+        };
+        self.backend
+            .imp()
+            .bn_input_grad(
+                grad_out,
+                &cache.x_hat,
+                &self.gamma.value,
+                &cache.inv_std,
+                &sd,
+                &sdx,
+            )
+            .map_err(NnError::Tensor)
+    }
+
     /// Replaces all per-channel state at once — the pruning pass uses this to
     /// drop channels. All four tensors must be rank-1 of equal length.
     ///
@@ -121,78 +268,34 @@ impl BatchNorm2d {
 
 impl Layer for BatchNorm2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        if input.rank() != 4 {
-            return Err(NnError::Tensor(TensorError::RankMismatch {
-                expected: 4,
-                got: input.rank(),
-                op: "BatchNorm2d",
-            }));
+        if mode.is_train() {
+            // forward_with_batch_stats validates the input; the kernel only
+            // needs rank 4, which it checks itself.
+            let (mean, var) = self.backend.imp().channel_mean_var(input)?;
+            return self.forward_with_batch_stats(input, &mean, &var);
         }
-        let c = input.dim(1);
-        if c != self.channels() {
-            return Err(NnError::Tensor(TensorError::ShapeMismatch {
-                expected: vec![self.channels()],
-                got: vec![c],
-                op: "BatchNorm2d (channels)",
-            }));
-        }
+        let c = self.check_input(input, "BatchNorm2d (channels)")?;
         let imp = self.backend.imp();
-        let (mean, var) = if mode.is_train() {
-            let (m, v) = imp.channel_mean_var(input)?;
-            // Update running statistics.
-            for ci in 0..c {
-                let rm = &mut self.running_mean.as_mut_slice()[ci];
-                *rm = (1.0 - self.momentum) * *rm + self.momentum * m.as_slice()[ci];
-                let rv = &mut self.running_var.as_mut_slice()[ci];
-                *rv = (1.0 - self.momentum) * *rv + self.momentum * v.as_slice()[ci];
-            }
-            (m, v)
-        } else {
-            (self.running_mean.clone(), self.running_var.clone())
-        };
-
+        let mean = self.running_mean.clone();
+        let var = self.running_var.clone();
         let mut inv_std = Tensor::zeros(&[c]);
         for ci in 0..c {
             inv_std.as_mut_slice()[ci] = 1.0 / (var.as_slice()[ci] + self.eps).sqrt();
         }
-
         let x_hat = imp.bn_normalize(input, &mean, &inv_std)?;
         let out = imp.channel_affine(&x_hat, &self.gamma.value, &self.beta.value)?;
-
-        self.cache = mode.is_train().then_some(BnCache { x_hat, inv_std });
+        self.cache = None;
         Ok(out)
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let cache = self.cache.as_ref().ok_or(NnError::MissingForwardCache {
-            layer: "BatchNorm2d",
-        })?;
-        grad_out
-            .expect_same_shape(&cache.x_hat, "BatchNorm2d backward")
-            .map_err(NnError::Tensor)?;
-        let c = grad_out.dim(1);
-        let imp = self.backend.imp();
-
-        // Per-channel reductions: Σ dy and Σ dy·x̂.
-        let (sum_dy, sum_dy_xhat) = imp.bn_backward_reduce(grad_out, &cache.x_hat)?;
-
-        // Parameter gradients.
-        for ci in 0..c {
-            self.gamma.grad.as_mut_slice()[ci] += sum_dy_xhat.as_slice()[ci];
-            self.beta.grad.as_mut_slice()[ci] += sum_dy.as_slice()[ci];
-        }
-
-        // Input gradient:
-        // dx = γ·inv_std · (dy − mean(dy) − x̂·mean(dy·x̂))
-        imp.bn_input_grad(
-            grad_out,
-            &cache.x_hat,
-            &self.gamma.value,
-            &cache.inv_std,
-            &sum_dy,
-            &sum_dy_xhat,
-        )
-        .map_err(NnError::Tensor)
+        // The two halves with this gradient's own reductions and element
+        // count reproduce the classic single-device formula exactly; a
+        // data-parallel trainer calls them separately with globally merged
+        // sums instead.
+        let (sum_dy, sum_dy_xhat) = self.backward_reduce(grad_out)?;
+        let local_count = grad_out.dim(0) * grad_out.dim(2) * grad_out.dim(3);
+        self.backward_input_with_stats(grad_out, &sum_dy, &sum_dy_xhat, local_count)
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
@@ -207,6 +310,70 @@ impl Layer for BatchNorm2d {
     fn set_backend(&mut self, kind: BackendKind) {
         self.backend = kind;
     }
+}
+
+/// Merges per-shard batch statistics `(mean, var, count)` into whole-batch
+/// statistics with the weighted parallel-variance formula (Chan et al.):
+///
+/// ```text
+/// mean = Σ wₛ·meanₛ / Σ wₛ
+/// var  = Σ wₛ·(varₛ + (meanₛ − mean)²) / Σ wₛ
+/// ```
+///
+/// `count` is the per-channel element count of the shard (`Nₛ·H·W`); with
+/// biased per-shard variances (what
+/// [`tbnet_tensor::ops::channel_mean_var`] produces) the merge equals the
+/// statistics of the concatenated batch in exact arithmetic. Accumulation
+/// runs in `f64`, folding shards left-to-right, so the result is
+/// deterministic for a fixed shard split.
+///
+/// # Errors
+///
+/// Returns a shape error when `parts` is empty, a shard's tensors are not
+/// `[C]` of a common length, or a shard count is zero.
+pub fn merge_batch_stats(parts: &[(Tensor, Tensor, usize)]) -> Result<(Tensor, Tensor)> {
+    let Some((first_mean, _, _)) = parts.first() else {
+        return Err(NnError::Tensor(TensorError::InvalidGeometry {
+            reason: "merge_batch_stats: no shard statistics to merge".into(),
+        }));
+    };
+    let c = first_mean.numel();
+    for (mean, var, count) in parts {
+        if mean.dims() != [c] || var.dims() != [c] {
+            return Err(NnError::Tensor(TensorError::ShapeMismatch {
+                expected: vec![c],
+                got: if mean.dims() == [c] {
+                    var.dims().to_vec()
+                } else {
+                    mean.dims().to_vec()
+                },
+                op: "merge_batch_stats",
+            }));
+        }
+        if *count == 0 {
+            return Err(NnError::Tensor(TensorError::InvalidGeometry {
+                reason: "merge_batch_stats: shard with zero element count".into(),
+            }));
+        }
+    }
+    let total: f64 = parts.iter().map(|(_, _, w)| *w as f64).sum();
+    let mut mean = Tensor::zeros(&[c]);
+    let mut var = Tensor::zeros(&[c]);
+    for ci in 0..c {
+        let mut m = 0.0f64;
+        for (shard_mean, _, w) in parts {
+            m += shard_mean.as_slice()[ci] as f64 * *w as f64;
+        }
+        let m = m / total;
+        let mut v = 0.0f64;
+        for (shard_mean, shard_var, w) in parts {
+            let d = shard_mean.as_slice()[ci] as f64 - m;
+            v += *w as f64 * (shard_var.as_slice()[ci] as f64 + d * d);
+        }
+        mean.as_mut_slice()[ci] = m as f32;
+        var.as_mut_slice()[ci] = (v / total) as f32;
+    }
+    Ok((mean, var))
 }
 
 #[cfg(test)]
@@ -366,5 +533,139 @@ mod tests {
         let bn = BatchNorm2d::new(2);
         assert!(!bn.gamma().decay);
         assert!(!bn.beta().decay);
+    }
+
+    #[test]
+    fn merged_shard_stats_match_whole_batch() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = init::randn(&[7, 3, 4, 4], 1.5, &mut rng);
+        let (whole_m, whole_v) = ops::channel_mean_var(&x).unwrap();
+        // Split the batch 7 = 2 + 4 + 1 and merge per-shard statistics.
+        let sample = 3 * 4 * 4;
+        let mut parts = Vec::new();
+        for (lo, hi) in [(0usize, 2usize), (2, 6), (6, 7)] {
+            let shard = Tensor::from_vec(
+                x.as_slice()[lo * sample..hi * sample].to_vec(),
+                &[hi - lo, 3, 4, 4],
+            )
+            .unwrap();
+            let (m, v) = ops::channel_mean_var(&shard).unwrap();
+            parts.push((m, v, (hi - lo) * 16));
+        }
+        let (merged_m, merged_v) = merge_batch_stats(&parts).unwrap();
+        for ci in 0..3 {
+            assert!((merged_m.as_slice()[ci] - whole_m.as_slice()[ci]).abs() < 1e-5);
+            assert!((merged_v.as_slice()[ci] - whole_v.as_slice()[ci]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn merge_batch_stats_validates() {
+        assert!(merge_batch_stats(&[]).is_err());
+        let m = Tensor::zeros(&[2]);
+        let v = Tensor::ones(&[2]);
+        assert!(merge_batch_stats(&[(m.clone(), Tensor::ones(&[3]), 4)]).is_err());
+        assert!(merge_batch_stats(&[(m.clone(), v.clone(), 0)]).is_err());
+        assert!(merge_batch_stats(&[(m, v, 4)]).is_ok());
+    }
+
+    #[test]
+    fn sync_forward_equals_plain_forward_on_one_shard() {
+        // forward_with_batch_stats fed the input's own statistics must be
+        // the plain training forward, bit for bit (same kernels, same
+        // running-stat update).
+        let mut rng = StdRng::seed_from_u64(12);
+        let x = init::randn(&[4, 2, 3, 3], 1.0, &mut rng);
+        let mut plain = BatchNorm2d::new(2);
+        let mut synced = plain.clone();
+        let y_plain = plain.forward(&x, Mode::Train).unwrap();
+        let (m, v) = ops::channel_mean_var(&x).unwrap();
+        let y_synced = synced.forward_with_batch_stats(&x, &m, &v).unwrap();
+        assert_eq!(y_plain.as_slice(), y_synced.as_slice());
+        assert_eq!(
+            plain.running_mean().as_slice(),
+            synced.running_mean().as_slice()
+        );
+        assert_eq!(
+            plain.running_var().as_slice(),
+            synced.running_var().as_slice()
+        );
+        // Both caches support backward and agree there too.
+        let g = init::randn(&[4, 2, 3, 3], 1.0, &mut rng);
+        let gx_plain = plain.backward(&g).unwrap();
+        let gx_synced = synced.backward(&g).unwrap();
+        assert_eq!(gx_plain.as_slice(), gx_synced.as_slice());
+    }
+
+    #[test]
+    fn split_backward_with_global_stats_couples_shards() {
+        // Two shards with globally merged reductions must reproduce the
+        // whole-batch backward exactly (within f32 rounding).
+        let mut rng = StdRng::seed_from_u64(13);
+        let x = init::randn(&[6, 2, 3, 3], 1.0, &mut rng);
+        let g = init::randn(&[6, 2, 3, 3], 1.0, &mut rng);
+        let sample = 2 * 3 * 3;
+
+        let mut whole = BatchNorm2d::new(2);
+        whole.gamma_mut().value = Tensor::from_slice(&[1.3, 0.7]);
+        whole.forward(&x, Mode::Train).unwrap();
+        let gx_whole = whole.backward(&g).unwrap();
+
+        let (gm, gv) = ops::channel_mean_var(&x).unwrap();
+        let mut shard_bns = Vec::new();
+        let mut sums: Vec<(Tensor, Tensor)> = Vec::new();
+        let shards = [(0usize, 2usize), (2, 6)];
+        for &(lo, hi) in &shards {
+            let xs = Tensor::from_vec(
+                x.as_slice()[lo * sample..hi * sample].to_vec(),
+                &[hi - lo, 2, 3, 3],
+            )
+            .unwrap();
+            let gs = Tensor::from_vec(
+                g.as_slice()[lo * sample..hi * sample].to_vec(),
+                &[hi - lo, 2, 3, 3],
+            )
+            .unwrap();
+            let mut bn = BatchNorm2d::new(2);
+            bn.gamma_mut().value = Tensor::from_slice(&[1.3, 0.7]);
+            bn.forward_with_batch_stats(&xs, &gm, &gv).unwrap();
+            let s = bn.backward_reduce(&gs).unwrap();
+            shard_bns.push((bn, gs, lo));
+            sums.push(s);
+        }
+        let mut sum_dy = sums[0].0.clone();
+        let mut sum_dy_xhat = sums[0].1.clone();
+        for (sd, sdx) in &sums[1..] {
+            for ci in 0..2 {
+                sum_dy.as_mut_slice()[ci] += sd.as_slice()[ci];
+                sum_dy_xhat.as_mut_slice()[ci] += sdx.as_slice()[ci];
+            }
+        }
+        let total = 6 * 3 * 3;
+        for (bn, gs, lo) in &shard_bns {
+            let gx = bn
+                .backward_input_with_stats(gs, &sum_dy, &sum_dy_xhat, total)
+                .unwrap();
+            for (i, val) in gx.as_slice().iter().enumerate() {
+                let whole_val = gx_whole.as_slice()[lo * sample + i];
+                assert!(
+                    (val - whole_val).abs() < 1e-5,
+                    "shard@{lo} elem {i}: {val} vs {whole_val}"
+                );
+            }
+        }
+        // γ/β gradients summed across shards match the whole-batch ones.
+        let mut gamma_grad = [0.0f32; 2];
+        let mut beta_grad = [0.0f32; 2];
+        for (bn, _, _) in &shard_bns {
+            for ci in 0..2 {
+                gamma_grad[ci] += bn.gamma().grad.as_slice()[ci];
+                beta_grad[ci] += bn.beta().grad.as_slice()[ci];
+            }
+        }
+        for ci in 0..2 {
+            assert!((gamma_grad[ci] - whole.gamma().grad.as_slice()[ci]).abs() < 1e-4);
+            assert!((beta_grad[ci] - whole.beta().grad.as_slice()[ci]).abs() < 1e-4);
+        }
     }
 }

@@ -10,7 +10,7 @@ mod linear;
 mod pool;
 mod relu;
 
-pub use bn::BatchNorm2d;
+pub use bn::{merge_batch_stats, BatchNorm2d};
 pub use conv::Conv2d;
 pub use flatten::Flatten;
 pub use linear::Linear;

@@ -64,7 +64,9 @@ pub mod optim;
 
 pub use error::NnError;
 pub use layer::{Layer, Mode};
-pub use layers::{BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu};
+pub use layers::{
+    merge_batch_stats, BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Linear, MaxPool2d, Relu,
+};
 pub use param::Param;
 pub use sequential::Sequential;
 

@@ -25,6 +25,34 @@ pub struct LossOutput {
 /// Returns [`NnError::BatchMismatch`] when `targets.len() != N` and
 /// [`NnError::LabelOutOfRange`] for an invalid class index.
 pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<LossOutput> {
+    softmax_cross_entropy_scaled(logits, targets, targets.len())
+}
+
+/// Softmax cross-entropy normalized by an explicit `denom` instead of the
+/// local batch size.
+///
+/// Data-parallel training computes the loss per contiguous shard but must
+/// scale gradients by the *global* minibatch size `N`, so that summing the
+/// per-shard parameter gradients reproduces the sequential whole-batch
+/// gradient exactly: every shard passes `denom = N` and the returned `loss`
+/// values add up to the whole-batch mean loss. With `denom == targets.len()`
+/// this is precisely [`softmax_cross_entropy`].
+///
+/// # Errors
+///
+/// Same conditions as [`softmax_cross_entropy`], plus
+/// [`NnError::InvalidHyperparameter`] for a zero `denom`.
+pub fn softmax_cross_entropy_scaled(
+    logits: &Tensor,
+    targets: &[usize],
+    denom: usize,
+) -> Result<LossOutput> {
+    if denom == 0 {
+        return Err(NnError::InvalidHyperparameter {
+            name: "denom",
+            reason: "scaled cross-entropy needs a positive denominator".into(),
+        });
+    }
     if logits.rank() != 2 {
         return Err(NnError::Tensor(TensorError::RankMismatch {
             expected: 2,
@@ -57,13 +85,13 @@ pub fn softmax_cross_entropy(logits: &Tensor, targets: &[usize]) -> Result<LossO
             loss -= (p as f64).ln();
             gv[ni * c + t] -= 1.0;
         }
-        let inv_n = 1.0 / n as f32;
+        let inv_n = 1.0 / denom as f32;
         for g in gv.iter_mut() {
             *g *= inv_n;
         }
     }
     Ok(LossOutput {
-        loss: (loss / n as f64) as f32,
+        loss: (loss / denom as f64) as f32,
         grad,
     })
 }
@@ -151,6 +179,32 @@ mod tests {
             Err(NnError::LabelOutOfRange { .. })
         ));
         assert!(softmax_cross_entropy(&Tensor::zeros(&[6]), &[0]).is_err());
+    }
+
+    #[test]
+    fn scaled_loss_shards_recompose_the_whole_batch() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let logits = init::randn(&[5, 3], 1.0, &mut rng);
+        let targets = [0usize, 2, 1, 1, 0];
+        let whole = softmax_cross_entropy(&logits, &targets).unwrap();
+        // Shards 5 = 2 + 3, every shard scaled by the global batch size.
+        let rows = |lo: usize, hi: usize| {
+            Tensor::from_vec(logits.as_slice()[lo * 3..hi * 3].to_vec(), &[hi - lo, 3]).unwrap()
+        };
+        let a = softmax_cross_entropy_scaled(&rows(0, 2), &targets[..2], 5).unwrap();
+        let b = softmax_cross_entropy_scaled(&rows(2, 5), &targets[2..], 5).unwrap();
+        assert!((a.loss + b.loss - whole.loss).abs() < 1e-6);
+        let recomposed: Vec<f32> = a
+            .grad
+            .as_slice()
+            .iter()
+            .chain(b.grad.as_slice())
+            .copied()
+            .collect();
+        for (x, y) in recomposed.iter().zip(whole.grad.as_slice()) {
+            assert!((x - y).abs() < 1e-7);
+        }
+        assert!(softmax_cross_entropy_scaled(&logits, &targets, 0).is_err());
     }
 
     #[test]

@@ -4,9 +4,9 @@
 //!
 //! * [`Naive`] — the original single-threaded scalar loops, kept verbatim as
 //!   the bit-exact reference oracle that parity tests compare against;
-//! * [`Parallel`] — cache-blocked matmul and scoped-thread parallel
-//!   convolution / elementwise / reduction kernels (see
-//!   `ops::parallel` for the determinism contract).
+//! * [`Parallel`] — cache-blocked matmul and pool-parallel convolution /
+//!   elementwise / reduction kernels riding the persistent workers in
+//!   [`crate::par`] (see `ops::parallel` for the determinism contract).
 //!
 //! The process-wide default backend is [`Parallel`] (TBNet's whole argument
 //! is throughput), overridable three ways, in precedence order:

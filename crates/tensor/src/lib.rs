@@ -25,7 +25,11 @@
 //! # }
 //! ```
 
-#![forbid(unsafe_code)]
+// Unsafe is denied everywhere except one audited lifetime-erasure point in
+// `par` (the persistent thread pool's scoped-task transmute — the same trick
+// `std::thread::scope` performs internally), which carries a local
+// `#[allow]` and a SAFETY argument.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;

@@ -2,6 +2,10 @@
 //!
 //! Design rules, in priority order:
 //!
+//! Kernels run on the persistent worker pool in [`crate::par`]; the design
+//! rules below are unchanged from the scoped-thread era because the pool
+//! preserves the same chunking and fold order.
+//!
 //! 1. **Determinism.** Work is split into contiguous chunks in index order
 //!    and cross-chunk reductions fold partials in chunk order, so a fixed
 //!    thread count always produces the same bits. Most kernels here are
@@ -12,9 +16,10 @@
 //!    partials and therefore agree with naive only to rounding.
 //! 2. **Cache blocking.** Matmul kernels block over `k` so panels of `b`
 //!    stay resident while a chunk of output rows is computed.
-//! 3. **Spawn amortization.** Scoped threads cost tens of microseconds, so
-//!    every kernel computes a per-chunk work floor and falls back to the
-//!    naive path (or fewer chunks) when the tensor is too small.
+//! 3. **Dispatch amortization.** Enqueueing pool tasks and waking workers
+//!    costs microseconds, so every kernel computes a per-chunk work floor
+//!    and falls back to the naive path (or fewer chunks) when the tensor is
+//!    too small.
 
 use crate::ops::channel::{check_channel_vec, check_nchw};
 use crate::ops::conv::{check_conv_shapes, col2im, conv_output_size, im2col, Conv2dGrads};

@@ -1,0 +1,130 @@
+//! Property tests for the shard-merge algebra underneath data-parallel
+//! training: gradients summed over arbitrary contiguous shard splits equal
+//! the whole-batch gradient, and the weighted BatchNorm mean/variance merge
+//! reproduces whole-batch statistics for randomized shard sizes.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use tbnet_nn::loss::{softmax_cross_entropy, softmax_cross_entropy_scaled};
+use tbnet_nn::merge_batch_stats;
+use tbnet_tensor::{init, ops, Tensor};
+
+/// Draws a random contiguous split of `0..n` into 1..=n parts.
+fn random_split(n: usize, rng: &mut StdRng) -> Vec<std::ops::Range<usize>> {
+    let mut cuts: Vec<usize> = (1..n).filter(|_| rng.gen_bool(0.4)).collect();
+    cuts.push(n);
+    let mut out = Vec::with_capacity(cuts.len());
+    let mut start = 0;
+    for c in cuts {
+        out.push(start..c);
+        start = c;
+    }
+    out
+}
+
+/// Copies sample rows `range` out of an `[N, …]` tensor.
+fn shard(x: &Tensor, range: &std::ops::Range<usize>) -> Tensor {
+    let dims = x.dims();
+    let sample: usize = dims[1..].iter().product();
+    let mut shape = dims.to_vec();
+    shape[0] = range.len();
+    Tensor::from_vec(
+        x.as_slice()[range.start * sample..range.end * sample].to_vec(),
+        &shape,
+    )
+    .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// BN weighted mean/var merge over random shard splits equals the
+    /// whole-batch statistics.
+    #[test]
+    fn bn_stat_merge_matches_whole_batch(
+        n in 2usize..9,
+        c in 1usize..4,
+        hw in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::randn(&[n, c, hw, hw], 1.5, &mut rng);
+        let (whole_m, whole_v) = ops::channel_mean_var(&x).unwrap();
+        let parts: Vec<(Tensor, Tensor, usize)> = random_split(n, &mut rng)
+            .iter()
+            .map(|r| {
+                let xs = shard(&x, r);
+                let (m, v) = ops::channel_mean_var(&xs).unwrap();
+                (m, v, r.len() * hw * hw)
+            })
+            .collect();
+        let (merged_m, merged_v) = merge_batch_stats(&parts).unwrap();
+        for ci in 0..c {
+            let dm = (merged_m.as_slice()[ci] - whole_m.as_slice()[ci]).abs();
+            let dv = (merged_v.as_slice()[ci] - whole_v.as_slice()[ci]).abs();
+            prop_assert!(dm < 1e-5, "channel {ci}: mean diff {dm}");
+            prop_assert!(dv < 1e-5, "channel {ci}: var diff {dv}");
+        }
+    }
+
+    /// Convolution weight gradients are additive over shard splits: the sum
+    /// of per-shard gradients equals the whole-batch gradient.
+    #[test]
+    fn conv_weight_grad_sums_over_shards(
+        n in 2usize..7,
+        c in 1usize..3,
+        hw in 3usize..6,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::randn(&[n, c, hw, hw], 1.0, &mut rng);
+        let w = init::randn(&[3, c, 3, 3], 0.5, &mut rng);
+        let g = init::randn(&[n, 3, hw, hw], 1.0, &mut rng);
+        let whole = ops::conv2d_backward(&x, &w, &g, 1, 1, false).unwrap();
+        let mut summed = Tensor::zeros(w.dims());
+        for r in random_split(n, &mut rng) {
+            let grads = ops::conv2d_backward(&shard(&x, &r), &w, &shard(&g, &r), 1, 1, false)
+                .unwrap();
+            ops::add_assign(&mut summed, &grads.grad_weight).unwrap();
+        }
+        for (a, b) in summed.as_slice().iter().zip(whole.grad_weight.as_slice()) {
+            prop_assert!(
+                (a - b).abs() < 1e-4 + 1e-4 * b.abs(),
+                "weight grad shard sum {a} vs whole {b}"
+            );
+        }
+    }
+
+    /// Per-shard losses scaled by the global batch size recompose the
+    /// whole-batch loss, and shard gradients concatenate to the whole-batch
+    /// gradient.
+    #[test]
+    fn scaled_loss_shards_recompose(
+        n in 2usize..9,
+        classes in 2usize..5,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let logits = init::randn(&[n, classes], 2.0, &mut rng);
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..classes)).collect();
+        let whole = softmax_cross_entropy(&logits, &labels).unwrap();
+        let mut loss_sum = 0.0f32;
+        let mut grads: Vec<f32> = Vec::with_capacity(n * classes);
+        for r in random_split(n, &mut rng) {
+            let out = softmax_cross_entropy_scaled(
+                &shard(&logits, &r),
+                &labels[r.clone()],
+                n,
+            )
+            .unwrap();
+            loss_sum += out.loss;
+            grads.extend_from_slice(out.grad.as_slice());
+        }
+        prop_assert!((loss_sum - whole.loss).abs() < 1e-5);
+        for (a, b) in grads.iter().zip(whole.grad.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}
