@@ -1,5 +1,6 @@
 use rand::Rng;
 
+use tbnet_tensor::ops::PackedConv2dWeight;
 use tbnet_tensor::{backend, init, BackendKind, Tensor};
 
 use crate::{Layer, Mode, NnError, Param, Result};
@@ -34,6 +35,11 @@ pub struct Conv2d {
     pad: usize,
     cache_input: Option<Tensor>,
     backend: BackendKind,
+    /// Cache-blocked pack of `weight` consumed by the fused conv kernels.
+    /// Built lazily on the first forward of a weight-update epoch and
+    /// dropped on every path that may mutate the weight (`visit_params`,
+    /// `weight_mut`, `set_weight`, `set_backend`), so it can never go stale.
+    packed: Option<PackedConv2dWeight>,
 }
 
 impl Conv2d {
@@ -54,6 +60,7 @@ impl Conv2d {
             pad,
             cache_input: None,
             backend: backend::global_kind(),
+            packed: None,
         }
     }
 
@@ -102,8 +109,10 @@ impl Conv2d {
     }
 
     /// Mutable access to the weight parameter (used by pruning to rewrite
-    /// channel slices).
+    /// channel slices). Drops the cached weight pack — the caller may
+    /// mutate the tensor through the returned reference.
     pub fn weight_mut(&mut self) -> &mut Param {
+        self.packed = None;
         &mut self.weight
     }
 
@@ -117,14 +126,26 @@ impl Conv2d {
     pub fn set_weight(&mut self, weight: Tensor) {
         self.weight.set_value(weight);
         self.cache_input = None;
+        self.packed = None;
+    }
+
+    /// The weight pack for the current weight-update epoch, (re)built on
+    /// first use after any invalidation.
+    fn packed_weight(&mut self) -> Result<&PackedConv2dWeight> {
+        if self.packed.is_none() {
+            self.packed = Some(PackedConv2dWeight::new(&self.weight.value)?);
+        }
+        Ok(self.packed.as_ref().expect("packed just ensured"))
     }
 }
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
-        let out = self.backend.imp().conv2d_forward(
+        self.packed_weight()?;
+        let packed = self.packed.as_ref().expect("packed ensured above");
+        let out = self.backend.imp().conv2d_forward_packed(
             input,
-            &self.weight.value,
+            packed,
             self.bias.as_ref().map(|b| &b.value),
             self.stride,
             self.pad,
@@ -134,14 +155,21 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad_out: &Tensor) -> Result<Tensor> {
-        let input = self
-            .cache_input
-            .as_ref()
-            .ok_or(NnError::MissingForwardCache { layer: "Conv2d" })?;
+        if self.cache_input.is_none() {
+            return Err(NnError::MissingForwardCache { layer: "Conv2d" });
+        }
+        // Forward ran with this weight epoch, so the pack is still valid
+        // (every weight mutation path drops it); rebuild defensively if a
+        // caller invalidated it between forward and backward.
+        if self.packed.is_none() {
+            self.packed = Some(PackedConv2dWeight::new(&self.weight.value)?);
+        }
+        let input = self.cache_input.as_ref().expect("checked above");
+        let packed = self.packed.as_ref().expect("ensured above");
         let imp = self.backend.imp();
-        let grads = imp.conv2d_backward(
+        let grads = imp.conv2d_backward_packed(
             input,
-            &self.weight.value,
+            packed,
             grad_out,
             self.stride,
             self.pad,
@@ -155,6 +183,9 @@ impl Layer for Conv2d {
     }
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Visitors (optimizer steps, regularizers) may mutate the weight:
+        // drop the pack so the next forward repacks the new epoch.
+        self.packed = None;
         f(&mut self.weight);
         if let Some(b) = self.bias.as_mut() {
             f(b);
@@ -167,6 +198,7 @@ impl Layer for Conv2d {
 
     fn set_backend(&mut self, kind: BackendKind) {
         self.backend = kind;
+        self.packed = None;
     }
 }
 

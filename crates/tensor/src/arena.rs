@@ -1,0 +1,214 @@
+//! Thread-local scratch arena: reusable `f32` buffers for kernel internals.
+//!
+//! Every fused kernel in [`crate::ops::parallel`] draws its transient
+//! buffers — im2col panels, transposed operand packs, per-chunk gradient
+//! accumulators — from this arena instead of the heap. A buffer is checked
+//! out with [`take`] / [`take_zeroed`], used for the duration of one kernel
+//! call, and returned to the owning thread's free list when its [`Scratch`]
+//! guard drops. After a warm-up call the free list holds a buffer of every
+//! size the kernel needs, so the steady-state hot path performs **zero heap
+//! allocations**: `Vec::resize` within retained capacity never touches the
+//! allocator.
+//!
+//! The arena is *thread-local* on purpose: the persistent workers in
+//! [`crate::par`] are long-lived, so each worker warms its own arena once
+//! and then reuses it for the life of the process, with no cross-thread
+//! synchronization on the hot path. The only global state is a monotonic
+//! [`reserved_elems`] counter recording total capacity growth across all
+//! threads — benches and the steady-state allocation tests assert it stops
+//! moving after warm-up.
+//!
+//! Checkout uses best-fit selection (the smallest free buffer whose
+//! *capacity* covers the request) and grows in power-of-two size classes,
+//! which together make the buffer-to-request assignment stable across
+//! identically-shaped calls *in any order* — pool tasks migrate between
+//! workers from call to call, and the ≤2x class rounding is what lets a
+//! permuted checkout order reuse the same capacities instead of nudging
+//! them upward forever. That stability is the property the zero-growth
+//! assertions rely on.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Total `f32` capacity ever reserved by arena buffers, across all threads.
+/// Monotonic: it grows when a checkout outgrows every free buffer and never
+/// shrinks (buffers are retained, not freed).
+static RESERVED: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// This thread's free list of retained buffers.
+    static FREE: RefCell<Vec<Vec<f32>>> = const { RefCell::new(Vec::new()) };
+    /// This thread's share of [`RESERVED`] (for tests that must not observe
+    /// concurrent growth on sibling test threads).
+    static RESERVED_LOCAL: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+}
+
+/// A checked-out scratch buffer. Derefs to `[f32]`; returns its allocation
+/// to the owning thread's arena on drop.
+#[derive(Debug)]
+pub struct Scratch {
+    buf: Vec<f32>,
+}
+
+impl Deref for Scratch {
+    type Target = [f32];
+
+    fn deref(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+impl DerefMut for Scratch {
+    fn deref_mut(&mut self) -> &mut [f32] {
+        &mut self.buf
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() > 0 {
+            FREE.with(|f| f.borrow_mut().push(buf));
+        }
+    }
+}
+
+fn checkout(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    let reclaimed = FREE.with(|f| {
+        let mut free = f.borrow_mut();
+        // Best fit: smallest retained buffer that already covers the
+        // request. Falls back to growing the largest retained buffer so the
+        // arena converges on one buffer per concurrent checkout size
+        // instead of abandoning undersized allocations.
+        let best = free
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i)
+            .or_else(|| {
+                free.iter()
+                    .enumerate()
+                    .max_by_key(|(_, b)| b.capacity())
+                    .map(|(i, _)| i)
+            });
+        best.map(|i| free.swap_remove(i))
+    });
+    let mut buf = reclaimed.unwrap_or_default();
+    if buf.capacity() < len {
+        // Grow to the next power-of-two size class. Pool tasks land on
+        // different workers from call to call, so a thread's checkout
+        // *order* over mixed sizes is not stable; exact-fit growth would
+        // then keep nudging capacities upward forever. With ≤2x
+        // over-provisioned classes, any permutation of the same request
+        // multiset maps to the same capacity classes — growth provably
+        // stops once every class exists.
+        let class = len.next_power_of_two();
+        let before = buf.capacity();
+        buf.clear();
+        buf.reserve_exact(class);
+        let grown = buf.capacity() - before;
+        RESERVED.fetch_add(grown, Ordering::Relaxed);
+        RESERVED_LOCAL.with(|r| r.set(r.get() + grown));
+    }
+    buf
+}
+
+/// Checks out a scratch buffer of exactly `len` elements with **arbitrary
+/// contents** (callers must fully overwrite it). Allocates only if no
+/// retained buffer is large enough.
+pub fn take(len: usize) -> Scratch {
+    let mut buf = checkout(len);
+    // SAFETY-free fast resize: elements are plain f32, resize within
+    // capacity never reallocates. Contents left over from the previous
+    // checkout are deliberately visible — this is the "uninitialized"
+    // variant.
+    if buf.len() < len {
+        buf.resize(len, 0.0);
+    } else {
+        buf.truncate(len);
+    }
+    Scratch { buf }
+}
+
+/// Checks out a zero-filled scratch buffer of `len` elements.
+pub fn take_zeroed(len: usize) -> Scratch {
+    let mut s = take(len);
+    s.buf.fill(0.0);
+    s
+}
+
+/// Total `f32` capacity reserved by arena buffers across all threads since
+/// process start (monotonic). Steady-state assertions diff this around a
+/// repeated workload to prove the second pass reused warm buffers instead
+/// of allocating.
+pub fn reserved_elems() -> usize {
+    RESERVED.load(Ordering::Relaxed)
+}
+
+/// The calling thread's share of [`reserved_elems`] — immune to concurrent
+/// growth on other threads, so single-threaded steady-state assertions can
+/// use it even while sibling tests run.
+pub fn thread_reserved_elems() -> usize {
+    RESERVED_LOCAL.with(|r| r.get())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_zeroed_is_zeroed_even_after_reuse() {
+        {
+            let mut a = take(128);
+            a.iter_mut().for_each(|x| *x = 7.0);
+        }
+        let b = take_zeroed(128);
+        assert!(b.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn steady_state_reuses_capacity() {
+        // Warm up with a fixed multiset of sizes…
+        {
+            let _a = take(1000);
+            let _b = take_zeroed(500);
+            let _c = take(250);
+        }
+        let reserved = thread_reserved_elems();
+        // …then repeat the same checkout pattern: no growth allowed.
+        for _ in 0..10 {
+            let _a = take(1000);
+            let _b = take_zeroed(500);
+            let _c = take(250);
+        }
+        assert_eq!(
+            thread_reserved_elems(),
+            reserved,
+            "steady-state checkouts must not grow the arena"
+        );
+    }
+
+    #[test]
+    fn zero_len_takes_do_not_allocate() {
+        let before = thread_reserved_elems();
+        let s = take(0);
+        assert!(s.is_empty());
+        drop(s);
+        assert_eq!(thread_reserved_elems(), before);
+    }
+
+    #[test]
+    fn lengths_are_exact() {
+        {
+            let big = take(512);
+            assert_eq!(big.len(), 512);
+        }
+        let small = take(10);
+        assert_eq!(small.len(), 10, "reused capacity must be truncated");
+    }
+}

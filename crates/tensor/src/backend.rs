@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use serde::{Deserialize, Serialize};
 
 use crate::ops::pool::MaxPoolIndices;
-use crate::ops::Conv2dGrads;
+use crate::ops::{Conv2dGrads, PackedConv2dWeight};
 use crate::{ops, Result, Tensor};
 
 /// The kernel contract every compute backend implements.
@@ -95,6 +95,44 @@ pub trait Backend: fmt::Debug + Send + Sync {
         has_bias: bool,
     ) -> Result<Conv2dGrads> {
         ops::conv::conv2d_backward_naive(input, weight, grad_out, stride, pad, has_bias)
+    }
+
+    /// 2-D convolution forward over a pre-packed weight
+    /// ([`PackedConv2dWeight`]). Layers cache the pack across calls so
+    /// backends with a fused engine skip per-call repacking; backends
+    /// without one fall back to the plain kernel on the embedded original
+    /// weight, so results are identical either way.
+    ///
+    /// # Errors
+    ///
+    /// Shape/geometry errors as documented on [`ops::conv2d_forward`].
+    fn conv2d_forward_packed(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Tensor> {
+        self.conv2d_forward(input, packed.weight(), bias, stride, pad)
+    }
+
+    /// 2-D convolution backward over a pre-packed weight; see
+    /// [`Backend::conv2d_forward_packed`] for the packing contract.
+    ///
+    /// # Errors
+    ///
+    /// Shape/geometry errors as documented on [`ops::conv2d_backward`].
+    fn conv2d_backward_packed(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        grad_out: &Tensor,
+        stride: usize,
+        pad: usize,
+        has_bias: bool,
+    ) -> Result<Conv2dGrads> {
+        self.conv2d_backward(input, packed.weight(), grad_out, stride, pad, has_bias)
     }
 
     /// Elementwise `a + b`.
@@ -333,6 +371,29 @@ impl Backend for Parallel {
         has_bias: bool,
     ) -> Result<Conv2dGrads> {
         ops::parallel::conv2d_backward(input, weight, grad_out, stride, pad, has_bias)
+    }
+
+    fn conv2d_forward_packed(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Tensor> {
+        ops::parallel::conv2d_forward_packed(input, packed, bias, stride, pad)
+    }
+
+    fn conv2d_backward_packed(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        grad_out: &Tensor,
+        stride: usize,
+        pad: usize,
+        has_bias: bool,
+    ) -> Result<Conv2dGrads> {
+        ops::parallel::conv2d_backward_packed(input, packed, grad_out, stride, pad, has_bias)
     }
 
     fn add(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {

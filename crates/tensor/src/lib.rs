@@ -36,6 +36,7 @@ mod error;
 mod shape;
 mod tensor;
 
+pub mod arena;
 pub mod backend;
 pub mod init;
 pub mod ops;

@@ -1,12 +1,190 @@
-//! 2-D convolution kernels (im2col formulation), forward and backward.
+//! 2-D convolution: the fused engine's data types and reference kernels.
 //!
 //! Layout conventions follow PyTorch: activations are `[N, C, H, W]`,
-//! convolution weights are `[O, C, KH, KW]`. The backward pass recomputes the
-//! im2col buffer per sample instead of caching it, trading FLOPs for memory —
-//! the same trade a TEE deployment has to make, which keeps the simulated
-//! activation footprints honest.
+//! convolution weights are `[O, C, KH, KW]`.
+//!
+//! Two generations of kernels live side by side:
+//!
+//! * the **naive reference** ([`conv2d_forward_naive`] /
+//!   [`conv2d_backward_naive`]) — the seed's whole-matrix im2col + matmul
+//!   loops, kept verbatim as the bit-exact oracle that parity tests compare
+//!   against;
+//! * the **fused engine** (`ops::parallel`), which never materializes the
+//!   full `[C*KH*KW, OH*OW]` im2col matrix and performs **zero heap
+//!   allocations in steady state**. Its building blocks are defined here:
+//!
+//!   * [`PackedConv2dWeight`] — the weight repacked *once per weight-update
+//!     epoch* into two cache-friendly forms: row-panel blocks of the
+//!     `[O, C*KH*KW]` GEMM operand (consumed by the forward microkernel with
+//!     contiguous loads) and the pre-transposed `[C*KH*KW, O]` layout
+//!     consumed by the backward input-gradient product. Layers cache the
+//!     pack and invalidate it whenever the weight may have changed.
+//!   * [`im2col_panel`] / [`col2im_panel`] — panel-wise unfold/fold over a
+//!     *range of output rows*, writing into (reading from) a caller-provided
+//!     scratch slice from the thread-local arena ([`crate::arena`]). The
+//!     fused kernels walk output tiles panel by panel so the unfolded patch
+//!     matrix stays cache-resident instead of round-tripping through RAM.
+//!
+//! Shape dispatch in the fused engine picks one of three paths per call:
+//! a 1×1 convolution runs as a pure (strided) matmul with no unfold at all;
+//! the ubiquitous 3×3 / stride 1 / pad 1 geometry runs a blocked direct
+//! kernel (shifted row-axpy stencil, no patch matrix); everything else takes
+//! the panel-wise im2col fallback. All three accumulate in the same order as
+//! the naive oracle, so parity holds to f32 rounding.
+//!
+//! The backward pass still recomputes unfolds instead of caching them,
+//! trading FLOPs for memory — the same trade a TEE deployment has to make,
+//! which keeps the simulated activation footprints honest.
 
 use crate::{Result, Tensor, TensorError};
+
+/// Row-block height of the packed GEMM A-operand: the forward microkernel
+/// consumes output channels in blocks of this many rows.
+pub(crate) const PACK_MR: usize = 8;
+
+/// A convolution weight repacked for the fused kernels.
+///
+/// Holds the original `[O, C, KH, KW]` tensor (so any backend without a
+/// fused path can fall back to the plain kernels) plus two derived layouts
+/// computed once at pack time:
+///
+/// * `panels` — the `[O, C*KH*KW]` GEMM operand in row-panel form: rows are
+///   grouped in blocks of [`PACK_MR`], each block stored column-major
+///   (`panels[(block * k + kk) * PACK_MR + row_in_block]`), so the forward
+///   microkernel's 4×4 register tiles load from consecutive cache lines.
+///   Rows past `O` in the last block are zero padding.
+/// * `transposed` — `[C*KH*KW, O]` row-major, consumed directly by the
+///   backward `grad_cols = Wᵀ @ g` product (the seed re-transposed the
+///   weight on every backward call; the pack pays that cost once per
+///   weight-update epoch instead).
+#[derive(Debug, Clone)]
+pub struct PackedConv2dWeight {
+    weight: Tensor,
+    panels: Vec<f32>,
+    transposed: Vec<f32>,
+}
+
+impl PackedConv2dWeight {
+    /// Packs `weight` (`[O, C, KH, KW]`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 weights.
+    pub fn new(weight: &Tensor) -> Result<Self> {
+        if weight.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: weight.rank(),
+                op: "pack_conv2d_weight",
+            });
+        }
+        let o = weight.dim(0);
+        let ckk = weight.dim(1) * weight.dim(2) * weight.dim(3);
+        let wv = weight.as_slice();
+        let mut panels = vec![0.0f32; packed_panel_len(o, ckk)];
+        pack_panels_into(wv, o, ckk, &mut panels);
+        let mut transposed = vec![0.0f32; ckk * o];
+        pack_transposed_into(wv, o, ckk, &mut transposed);
+        Ok(PackedConv2dWeight {
+            weight: weight.clone(),
+            panels,
+            transposed,
+        })
+    }
+
+    /// The original `[O, C, KH, KW]` weight.
+    pub fn weight(&self) -> &Tensor {
+        &self.weight
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.weight.dim(0)
+    }
+
+    /// GEMM inner dimension `C*KH*KW`.
+    pub fn k(&self) -> usize {
+        self.weight.dim(1) * self.weight.dim(2) * self.weight.dim(3)
+    }
+
+    /// Borrowed view over the packed layouts, shared with the transient
+    /// (pack-on-the-fly, arena-backed) path in `ops::parallel`.
+    pub(crate) fn view(&self) -> PackView<'_> {
+        PackView {
+            weight: self.weight.as_slice(),
+            panels: &self.panels,
+            transposed: &self.transposed,
+            o: self.weight.dim(0),
+            c: self.weight.dim(1),
+            kh: self.weight.dim(2),
+            kw: self.weight.dim(3),
+        }
+    }
+}
+
+/// Borrowed packed-weight operands: either slices into a cached
+/// [`PackedConv2dWeight`] or into arena scratch packed for one call.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct PackView<'a> {
+    /// Original `[O, C, KH, KW]` data (direct kernels read this).
+    pub weight: &'a [f32],
+    /// Row-panel form of the `[O, C*KH*KW]` GEMM operand.
+    pub panels: &'a [f32],
+    /// `[C*KH*KW, O]` row-major.
+    pub transposed: &'a [f32],
+    /// Output channels.
+    pub o: usize,
+    /// Input channels.
+    pub c: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+}
+
+impl PackView<'_> {
+    /// GEMM inner dimension `C*KH*KW`.
+    #[inline]
+    pub fn k(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    /// Element `(i, kk)` of the `[O, C*KH*KW]` operand, read from the panel
+    /// layout.
+    #[inline]
+    pub fn a_at(&self, i: usize, kk: usize) -> f32 {
+        self.panels[((i / PACK_MR) * self.k() + kk) * PACK_MR + (i % PACK_MR)]
+    }
+}
+
+/// Length of the row-panel buffer for an `[o, ckk]` operand (rows padded to
+/// a multiple of [`PACK_MR`]).
+pub(crate) fn packed_panel_len(o: usize, ckk: usize) -> usize {
+    o.div_ceil(PACK_MR).max(1) * PACK_MR * ckk
+}
+
+/// Packs `wv` (`[o, ckk]` row-major) into row-panel form. `dst` must be
+/// [`packed_panel_len`] long and zeroed (padding rows stay zero).
+pub(crate) fn pack_panels_into(wv: &[f32], o: usize, ckk: usize, dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), packed_panel_len(o, ckk));
+    for i in 0..o {
+        let (block, r) = (i / PACK_MR, i % PACK_MR);
+        for kk in 0..ckk {
+            dst[(block * ckk + kk) * PACK_MR + r] = wv[i * ckk + kk];
+        }
+    }
+}
+
+/// Writes the `[ckk, o]` transpose of `wv` (`[o, ckk]` row-major) into
+/// `dst` (fully overwritten).
+pub(crate) fn pack_transposed_into(wv: &[f32], o: usize, ckk: usize, dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), o * ckk);
+    for i in 0..o {
+        for kk in 0..ckk {
+            dst[kk * o + i] = wv[i * ckk + kk];
+        }
+    }
+}
 
 /// Gradients produced by [`conv2d_backward`].
 #[derive(Debug, Clone)]
@@ -139,6 +317,154 @@ pub fn col2im(
                             continue;
                         }
                         plane[ih as usize * w + iw as usize] += col_row[ohi * ow + owi];
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Unfolds the output-row range `oh0..oh1` of one `[C, H, W]` sample into a
+/// panel `[C*KH*KW, (oh1-oh0)*OW]` written to `dst` (fully overwritten,
+/// padding positions included), so the fused kernels can walk the patch
+/// matrix tile by tile instead of materializing all of it.
+///
+/// `dst` typically comes from the thread-local arena ([`crate::arena`]).
+///
+/// # Errors
+///
+/// Propagates geometry errors from [`conv_output_size`], and returns
+/// [`TensorError::LengthMismatch`] when `dst` disagrees with the panel
+/// shape or [`TensorError::InvalidGeometry`] for an out-of-range row span.
+#[allow(clippy::too_many_arguments)]
+pub fn im2col_panel(
+    sample: &[f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh0: usize,
+    oh1: usize,
+    dst: &mut [f32],
+) -> Result<()> {
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    if oh0 > oh1 || oh1 > oh {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!("panel rows {oh0}..{oh1} out of range for {oh} output rows"),
+        });
+    }
+    let t = (oh1 - oh0) * ow;
+    if dst.len() != c * kh * kw * t {
+        return Err(TensorError::LengthMismatch {
+            expected: c * kh * kw * t,
+            got: dst.len(),
+            op: "im2col_panel",
+        });
+    }
+    for ci in 0..c {
+        let plane = &sample[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let out_row = &mut dst[row * t..(row + 1) * t];
+                for (local, ohi) in (oh0..oh1).enumerate() {
+                    let seg = &mut out_row[local * ow..(local + 1) * ow];
+                    let ih = (ohi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        seg.fill(0.0);
+                        continue;
+                    }
+                    let in_row = &plane[ih as usize * w..(ih as usize + 1) * w];
+                    if stride == 1 {
+                        // iw = owi + kj - pad: one contiguous copy with
+                        // zero-filled borders.
+                        let shift = kj as isize - pad as isize;
+                        let lo = (-shift).clamp(0, ow as isize) as usize;
+                        let hi = (w as isize - shift).clamp(0, ow as isize) as usize;
+                        seg[..lo].fill(0.0);
+                        seg[hi..].fill(0.0);
+                        if lo < hi {
+                            let src0 = (lo as isize + shift) as usize;
+                            seg[lo..hi].copy_from_slice(&in_row[src0..src0 + (hi - lo)]);
+                        }
+                    } else {
+                        for (owi, x) in seg.iter_mut().enumerate() {
+                            let iw = (owi * stride + kj) as isize - pad as isize;
+                            *x = if iw < 0 || iw >= w as isize {
+                                0.0
+                            } else {
+                                in_row[iw as usize]
+                            };
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Adjoint of [`im2col_panel`]: folds a gradient panel
+/// `[C*KH*KW, (oh1-oh0)*OW]` back into a `[C, H, W]` input-gradient buffer,
+/// accumulating overlapping windows. Folding every panel of a partition of
+/// `0..OH` is equivalent to one whole-matrix [`col2im`].
+///
+/// # Errors
+///
+/// Same conditions as [`im2col_panel`].
+#[allow(clippy::too_many_arguments)]
+pub fn col2im_panel(
+    cols: &[f32],
+    out: &mut [f32],
+    c: usize,
+    h: usize,
+    w: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh0: usize,
+    oh1: usize,
+) -> Result<()> {
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    if oh0 > oh1 || oh1 > oh {
+        return Err(TensorError::InvalidGeometry {
+            reason: format!("panel rows {oh0}..{oh1} out of range for {oh} output rows"),
+        });
+    }
+    let t = (oh1 - oh0) * ow;
+    if cols.len() != c * kh * kw * t {
+        return Err(TensorError::LengthMismatch {
+            expected: c * kh * kw * t,
+            got: cols.len(),
+            op: "col2im_panel",
+        });
+    }
+    for ci in 0..c {
+        let plane = &mut out[ci * h * w..(ci + 1) * h * w];
+        for ki in 0..kh {
+            for kj in 0..kw {
+                let row = (ci * kh + ki) * kw + kj;
+                let col_row = &cols[row * t..(row + 1) * t];
+                for (local, ohi) in (oh0..oh1).enumerate() {
+                    let ih = (ohi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let seg = &col_row[local * ow..(local + 1) * ow];
+                    let dst_row = &mut plane[ih as usize * w..(ih as usize + 1) * w];
+                    for (owi, &g) in seg.iter().enumerate() {
+                        let iw = (owi * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        dst_row[iw as usize] += g;
                     }
                 }
             }

@@ -14,7 +14,10 @@ pub(crate) mod pool;
 pub(crate) mod reduce;
 
 pub use channel::{bn_backward_reduce, bn_input_grad, bn_normalize, channel_affine};
-pub use conv::{col2im, conv2d_backward, conv2d_forward, conv_output_size, im2col, Conv2dGrads};
+pub use conv::{
+    col2im, col2im_panel, conv2d_backward, conv2d_forward, conv_output_size, im2col, im2col_panel,
+    Conv2dGrads, PackedConv2dWeight,
+};
 pub use elementwise::{add, add_assign, add_bias_rows, add_scaled, hadamard, scale, sub, unary};
 pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b, transpose2d};
 pub use pool::{

@@ -11,18 +11,33 @@
 //!    thread count always produces the same bits. Most kernels here are
 //!    additionally *bit-identical* to the naive reference because each output
 //!    element's accumulation order is preserved (row-parallel matmul,
-//!    per-sample conv forward, per-channel reductions). The only exceptions
-//!    are conv-backward's weight/bias accumulators, which fold per-chunk
-//!    partials and therefore agree with naive only to rounding.
+//!    output-tile conv forward, per-channel reductions). The exceptions,
+//!    which agree with naive only to rounding: conv-backward's weight/bias
+//!    accumulators (fold per-chunk partials) and the direct 3×3 forward on
+//!    AVX2+FMA hosts (same accumulation order, but fused multiply-add
+//!    rounds once per tap instead of twice).
 //! 2. **Cache blocking.** Matmul kernels block over `k` so panels of `b`
-//!    stay resident while a chunk of output rows is computed.
-//! 3. **Dispatch amortization.** Enqueueing pool tasks and waking workers
+//!    stay resident while a chunk of output rows is computed; the fused
+//!    convolution engine (see `ops::conv`) unfolds im2col *panels* into the
+//!    thread-local arena ([`crate::arena`]) instead of materializing the
+//!    whole patch matrix, consumes weights packed once per weight-update
+//!    epoch ([`PackedConv2dWeight`]), and shape-dispatches 1×1 and
+//!    3×3/s1/p1 geometries to unfold-free kernels.
+//! 3. **Zero steady-state allocation.** Every transient buffer — im2col
+//!    panels, operand transposes, per-chunk gradient partials — is arena
+//!    scratch; after one warm-up call the hot path performs no heap
+//!    allocations beyond the returned tensors.
+//! 4. **Dispatch amortization.** Enqueueing pool tasks and waking workers
 //!    costs microseconds, so every kernel computes a per-chunk work floor
-//!    and falls back to the naive path (or fewer chunks) when the tensor is
-//!    too small.
+//!    and falls back to fewer chunks (or one inline chunk) when the tensor
+//!    is too small.
 
+use crate::arena;
 use crate::ops::channel::{check_channel_vec, check_nchw};
-use crate::ops::conv::{check_conv_shapes, col2im, conv_output_size, im2col, Conv2dGrads};
+use crate::ops::conv::{
+    check_conv_shapes, col2im_panel, conv_output_size, im2col_panel, pack_panels_into,
+    pack_transposed_into, packed_panel_len, Conv2dGrads, PackView, PackedConv2dWeight,
+};
 use crate::ops::elementwise::check_bias_rows;
 use crate::ops::matmul::check_rank2;
 use crate::ops::pool::MaxPoolIndices;
@@ -50,6 +65,61 @@ fn elem_chunk(len: usize) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Runtime SIMD dispatch.
+//
+// rustc's default x86-64 target only emits SSE2, which caps every f32
+// kernel at 4 lanes; the build hosts (and any production x86 deployment
+// this decade) have AVX2. The hot kernels therefore come in two codegen
+// flavours sharing one `#[inline(always)]` body: the baseline symbol and an
+// `#[target_feature(enable = "avx2")]` clone whose body re-vectorizes at 8
+// lanes. Dispatch is a memoized CPUID check per kernel call — nanoseconds
+// against kernels that run micro- to milliseconds. Numerics are identical:
+// wider lanes change neither the per-element accumulation order nor
+// contraction (Rust keeps `ffp-contract=off`), so AVX2 results are
+// bit-identical to the baseline's.
+// ---------------------------------------------------------------------------
+
+/// True when the running CPU supports AVX2 (always false off x86-64).
+#[inline]
+fn have_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // is_x86_feature_detected! memoizes in a process-wide atomic.
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Expands to a baseline + AVX2 pair of wrappers around an
+/// `#[inline(always)]` kernel body, plus the dispatching entry point.
+macro_rules! simd_dispatch {
+    (fn $name:ident / $avx2:ident / $body:ident
+     <$($gen:ident : $bound:path),*> ($($arg:ident : $ty:ty),* $(,)?)) => {
+        #[cfg(target_arch = "x86_64")]
+        #[target_feature(enable = "avx2")]
+        fn $avx2<$($gen: $bound),*>($($arg: $ty),*) {
+            $body($($arg),*)
+        }
+
+        #[inline]
+        fn $name<$($gen: $bound),*>($($arg: $ty),*) {
+            #[cfg(target_arch = "x86_64")]
+            if have_avx2() {
+                // SAFETY: the AVX2 clone is only reached after
+                // `is_x86_feature_detected!("avx2")` confirmed the CPU
+                // supports every instruction it may contain.
+                #[allow(unsafe_code)]
+                return unsafe { $avx2($($arg),*) };
+            }
+            $body($($arg),*)
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
 // Blocked row kernels over raw slices (shared by matmul and conv).
 // ---------------------------------------------------------------------------
 
@@ -62,7 +132,7 @@ const KB: usize = 64;
 /// (`(((o + a0*b0) + a1*b1) + a2*b2) + a3*b3`), so the result is
 /// bit-identical to four sequential scalar passes while the output element
 /// stays in a register.
-#[inline]
+#[inline(always)]
 fn axpy4(o_row: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3: &[f32]) {
     let n = o_row.len();
     let (b0, b1, b2, b3) = (&b0[..n], &b1[..n], &b2[..n], &b3[..n]);
@@ -71,7 +141,7 @@ fn axpy4(o_row: &mut [f32], a: [f32; 4], b0: &[f32], b1: &[f32], b2: &[f32], b3:
     }
 }
 
-#[inline]
+#[inline(always)]
 fn axpy1(o_row: &mut [f32], a: f32, b_row: &[f32]) {
     for (o, &b) in o_row.iter_mut().zip(b_row) {
         *o += a * b;
@@ -82,7 +152,7 @@ fn axpy1(o_row: &mut [f32], a: f32, b_row: &[f32]) {
 /// feeds four output rows, and each output element takes its four adds in
 /// naive `k`-order (bit-identical to the scalar reference).
 #[allow(clippy::too_many_arguments)]
-#[inline]
+#[inline(always)]
 fn axpy4x4(
     o0: &mut [f32],
     o1: &mut [f32],
@@ -109,9 +179,12 @@ fn axpy4x4(
 /// `out[row0..row0+rows] += a[row0..] @ b` with `a: [m, k]`, `b: [k, n]`.
 /// `out_rows` is the chunk's slice, `rows * n` long. `a_at(i, kk)` abstracts
 /// the `a` element layout so the plain and transposed-`a` kernels share one
-/// register-blocked body.
-fn kernel_rows_with(
-    a_at: impl Fn(usize, usize) -> f32,
+/// register-blocked body. Codegens twice (baseline + AVX2); call through
+/// [`kernel_rows_with`].
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn kernel_rows_with_body<F: Fn(usize, usize) -> f32>(
+    a_at: F,
     bv: &[f32],
     out_rows: &mut [f32],
     row0: usize,
@@ -230,6 +303,17 @@ fn kernel_rows_with(
     }
 }
 
+simd_dispatch!(fn kernel_rows_with / kernel_rows_with_avx2 / kernel_rows_with_body
+<F: Fn(usize, usize) -> f32>(
+    a_at: F,
+    bv: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+));
+
 fn kernel_rows(
     av: &[f32],
     bv: &[f32],
@@ -257,19 +341,29 @@ fn kernel_rows_ta(
     kernel_rows_with(|i, kk| av[kk * m + i], bv, out_rows, row0, rows, k, n);
 }
 
-/// Materializes `a^T` (`[k, m]` -> `[m, k]`) so transposed products can run
-/// the contiguous-row kernel instead of taking a strided load per `k` step.
-/// Worth it whenever the `O(k*m)` copy is small next to the `O(m*k*n)`
-/// product — callers gate on that.
-fn transpose_into(av: &[f32], k: usize, m: usize) -> Vec<f32> {
-    let mut at = vec![0.0f32; k * m];
-    for kk in 0..k {
-        let row = &av[kk * m..(kk + 1) * m];
-        for (i, &v) in row.iter().enumerate() {
-            at[i * k + kk] = v;
+/// Packs `a^T` (`[k, m]` -> `[m, k]`) into a caller-provided scratch slice
+/// so transposed products can run the contiguous-row kernel instead of
+/// taking a strided load per `k` step. The walk is tiled 32×32 so both the
+/// source reads and the destination writes stay within a cache line's reach
+/// regardless of which operand is the strided one. Worth it whenever the
+/// `O(k*m)` copy is small next to the `O(m*k*n)` product — callers gate on
+/// that, and draw `dst` from the thread-local arena so the pack allocates
+/// nothing in steady state.
+fn transpose_pack_into(av: &[f32], k: usize, m: usize, dst: &mut [f32]) {
+    debug_assert_eq!(dst.len(), k * m);
+    const TB: usize = 32;
+    for kb in (0..k).step_by(TB) {
+        let kend = (kb + TB).min(k);
+        for mb in (0..m).step_by(TB) {
+            let mend = (mb + TB).min(m);
+            for kk in kb..kend {
+                let row = &av[kk * m..(kk + 1) * m];
+                for i in mb..mend {
+                    dst[i * k + kk] = row[i];
+                }
+            }
         }
     }
-    at
 }
 
 /// `out[row0..row0+rows] += a[row0..] @ b^T` with `a: [m, k]`, `b: [n, k]`.
@@ -278,7 +372,8 @@ fn transpose_into(av: &[f32], k: usize, m: usize) -> Vec<f32> {
 /// friendly). Dot products use four independent accumulator lanes (folded
 /// `(l0+l1)+(l2+l3)` at the end), which reorders the floating-point sum
 /// relative to the naive kernel -- agreement is to rounding, not bits.
-fn kernel_rows_tb(
+#[inline(always)]
+fn kernel_rows_tb_body(
     av: &[f32],
     bv: &[f32],
     out_rows: &mut [f32],
@@ -311,6 +406,17 @@ fn kernel_rows_tb(
         }
     }
 }
+
+simd_dispatch!(fn kernel_rows_tb / kernel_rows_tb_avx2 / kernel_rows_tb_body
+<>(
+    av: &[f32],
+    bv: &[f32],
+    out_rows: &mut [f32],
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+));
 
 // ---------------------------------------------------------------------------
 // Matmul
@@ -347,13 +453,16 @@ pub(crate) fn matmul_transpose_a(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let mut out = Tensor::zeros(&[m, n]);
     let (av, bv) = (a.as_slice(), b.as_slice());
     let rows_per = row_chunk(m, 2 * k * n);
-    // With a sizable product, pay O(k*m) once to turn every a-load
-    // contiguous; tiny products keep the strided kernel.
+    // With a sizable product, pay O(k*m) once to pack the A-panels into the
+    // arena and turn every a-load contiguous; tiny products keep the
+    // strided kernel.
     if 2 * m * n * k >= MIN_PAR_FLOPS {
-        let at = transpose_into(av, k, m);
+        let mut at = arena::take(k * m);
+        transpose_pack_into(av, k, m, &mut at);
+        let atv: &[f32] = &at;
         par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
             let row0 = ci * rows_per;
-            kernel_rows(&at, bv, chunk, row0, chunk.len() / n.max(1), k, n);
+            kernel_rows(atv, bv, chunk, row0, chunk.len() / n.max(1), k, n);
         });
     } else {
         par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
@@ -377,13 +486,15 @@ pub(crate) fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     let (av, bv) = (a.as_slice(), b.as_slice());
     let rows_per = row_chunk(m, 2 * k * n);
     // The dot-product kernel cannot vectorize its float reduction, so with a
-    // sizable product it pays to materialize b^T once and run the fast
-    // streaming kernel instead.
+    // sizable product it pays to pack b^T once (into the arena) and run the
+    // fast streaming kernel instead.
     if 2 * m * n * k >= MIN_PAR_FLOPS {
-        let bt = transpose_into(bv, n, k);
+        let mut bt = arena::take(n * k);
+        transpose_pack_into(bv, n, k, &mut bt);
+        let btv: &[f32] = &bt;
         par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
             let row0 = ci * rows_per;
-            kernel_rows(av, &bt, chunk, row0, chunk.len() / n.max(1), k, n);
+            kernel_rows(av, btv, chunk, row0, chunk.len() / n.max(1), k, n);
         });
     } else {
         par::for_each_chunk_mut(out.as_mut_slice(), rows_per * n.max(1), |ci, chunk| {
@@ -395,20 +506,145 @@ pub(crate) fn matmul_transpose_b(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 }
 
 // ---------------------------------------------------------------------------
-// Convolution (im2col, sample-parallel)
+// Convolution: the fused engine.
+//
+// Three shape-dispatched paths (see `ops::conv` module docs), all drawing
+// scratch from the thread-local arena so the steady-state hot path never
+// touches the heap, all pool-chunked over output tiles (contiguous spans of
+// `[N*O, OH*OW]` output rows) so single-sample inference still parallelizes.
 // ---------------------------------------------------------------------------
 
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn conv2d_forward(
-    input: &Tensor,
-    weight: &Tensor,
-    bias: Option<&Tensor>,
+/// Target panel width (output columns) for the panel-wise im2col fallback:
+/// a `[C*KH*KW, PANEL_COLS]` patch panel stays L2-resident while the GEMM
+/// sweeps its row blocks over it.
+const PANEL_COLS: usize = 128;
+
+/// The kernel a given convolution geometry dispatches to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum ConvPath {
+    /// 1×1 kernels: a pure (strided) matmul, no unfold at all.
+    MatmulOneByOne,
+    /// 3×3 / stride 1 / pad 1: blocked direct kernel (shifted row-axpy
+    /// stencil), no patch matrix.
+    Direct3x3,
+    /// Everything else: panel-wise im2col into the arena.
+    Im2colPanels,
+}
+
+/// Per-sample flop ceiling below which the direct 3×3 stencil beats the
+/// panel GEMM (measured on the bench shapes: the stencil's lighter setup
+/// and zero unfold win while the working set is cache-tight; at larger
+/// geometry the packed GEMM's register blocking takes over).
+const DIRECT3X3_MAX_SAMPLE_FLOPS: usize = 1 << 21;
+
+/// Chooses the kernel for a convolution geometry. `sample_flops` is the
+/// per-sample multiply-add count (`2 · O · OH·OW · C·KH·KW`).
+pub(crate) fn conv_path(
+    kh: usize,
+    kw: usize,
     stride: usize,
     pad: usize,
-) -> Result<Tensor> {
-    let (n, c, h, w, o, kh, kw) = check_conv_shapes(input, weight)?;
-    let oh = conv_output_size(h, kh, stride, pad)?;
-    let ow = conv_output_size(w, kw, stride, pad)?;
+    sample_flops: usize,
+) -> ConvPath {
+    if kh == 1 && kw == 1 && pad == 0 {
+        ConvPath::MatmulOneByOne
+    } else if kh == 3
+        && kw == 3
+        && stride == 1
+        && pad == 1
+        && sample_flops <= DIRECT3X3_MAX_SAMPLE_FLOPS
+    {
+        ConvPath::Direct3x3
+    } else {
+        ConvPath::Im2colPanels
+    }
+}
+
+/// Validated geometry of one conv2d call, shared by forward and backward.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    n: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+    o: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+}
+
+impl ConvGeom {
+    fn validate(input: &Tensor, pv: &PackView<'_>, stride: usize, pad: usize) -> Result<Self> {
+        if input.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: input.rank(),
+                op: "conv2d",
+            });
+        }
+        let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+        if c != pv.c {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![pv.o, c, pv.kh, pv.kw],
+                got: vec![pv.o, pv.c, pv.kh, pv.kw],
+                op: "conv2d (input channels)",
+            });
+        }
+        let oh = conv_output_size(h, pv.kh, stride, pad)?;
+        let ow = conv_output_size(w, pv.kw, stride, pad)?;
+        Ok(ConvGeom {
+            n,
+            c,
+            h,
+            w,
+            o: pv.o,
+            kh: pv.kh,
+            kw: pv.kw,
+            stride,
+            pad,
+            oh,
+            ow,
+        })
+    }
+
+    #[inline]
+    fn spatial(&self) -> usize {
+        self.oh * self.ow
+    }
+
+    #[inline]
+    fn ckk(&self) -> usize {
+        self.c * self.kh * self.kw
+    }
+
+    #[inline]
+    fn in_sample(&self) -> usize {
+        self.c * self.h * self.w
+    }
+
+    #[inline]
+    fn out_sample(&self) -> usize {
+        self.o * self.spatial()
+    }
+
+    /// Output rows per im2col panel (`tile_rows * ow ≈ PANEL_COLS` output
+    /// columns per panel).
+    #[inline]
+    fn tile_rows(&self) -> usize {
+        (PANEL_COLS / self.ow.max(1)).clamp(1, self.oh.max(1))
+    }
+
+    #[inline]
+    fn path(&self) -> ConvPath {
+        let sample_flops = 2 * self.o * self.spatial() * self.ckk();
+        conv_path(self.kh, self.kw, self.stride, self.pad, sample_flops)
+    }
+}
+
+fn check_conv_bias(bias: Option<&Tensor>, o: usize) -> Result<()> {
     if let Some(b) = bias {
         if b.dims() != [o] {
             return Err(TensorError::ShapeMismatch {
@@ -418,55 +654,828 @@ pub(crate) fn conv2d_forward(
             });
         }
     }
-    // Tiny convolutions (prune/attack loops run many) are not worth
-    // threads or the transposed-product bookkeeping.
-    if 2 * n * o * oh * ow * c * kh * kw < MIN_PAR_FLOPS {
-        return crate::ops::conv::conv2d_forward_naive(input, weight, bias, stride, pad);
+    Ok(())
+}
+
+/// The shifted row-axpy stencil at the heart of the direct 3×3 kernel:
+/// `dst[j] += w0*src[j-1] + w1*src[j] + w2*src[j+1]` with zero-padding at
+/// the row borders, each element's adds in `kj` order (matching the naive
+/// oracle's accumulation order bit for bit).
+#[inline(always)]
+fn axpy_shift3(dst: &mut [f32], src: &[f32], w0: f32, w1: f32, w2: f32) {
+    let n = dst.len();
+    let src = &src[..n];
+    if n == 0 {
+        return;
     }
-    let w2d = weight.reshape(&[o, c * kh * kw])?;
-    let mut out = Tensor::zeros(&[n, o, oh, ow]);
-    let in_sample = c * h * w;
-    let out_sample = o * oh * ow;
-    let spatial = oh * ow;
-    let ckk = c * kh * kw;
-    let iv = input.as_slice();
-    let wv = w2d.as_slice();
-    let bias_v = bias.map(Tensor::as_slice);
-    let samples_per = n.div_ceil(par::max_threads()).max(1);
-    par::for_each_chunk_mut(
-        out.as_mut_slice(),
-        samples_per * out_sample.max(1),
-        |ci, chunk| {
-            let first = ci * samples_per;
-            for (local, dst) in chunk.chunks_mut(out_sample.max(1)).enumerate() {
-                let ni = first + local;
-                let cols = im2col(
-                    &iv[ni * in_sample..(ni + 1) * in_sample],
-                    c,
-                    h,
-                    w,
-                    kh,
-                    kw,
-                    stride,
-                    pad,
-                )
-                .expect("conv geometry validated before dispatch");
-                // dst is zero-initialized, so accumulating the blocked kernel
-                // into it equals the naive matmul-then-copy.
-                kernel_rows(wv, cols.as_slice(), dst, 0, o, ckk, spatial);
-                if let Some(bv) = bias_v {
-                    for (oi, &bval) in bv.iter().enumerate() {
-                        for x in &mut dst[oi * spatial..(oi + 1) * spatial] {
-                            *x += bval;
-                        }
+    if n == 1 {
+        dst[0] += w1 * src[0];
+        return;
+    }
+    dst[0] = (dst[0] + w1 * src[0]) + w2 * src[1];
+    for j in 1..n - 1 {
+        dst[j] = ((dst[j] + w0 * src[j - 1]) + w1 * src[j]) + w2 * src[j + 1];
+    }
+    dst[n - 1] = (dst[n - 1] + w0 * src[n - 2]) + w1 * src[n - 1];
+}
+
+/// Fully fused 3×3 stencil: one pass over an output row applies all nine
+/// taps of one input channel to four output-channel rows. `rm1`/`r0`/`rp1`
+/// are the three input rows feeding this output row (callers substitute a
+/// zero row at the vertical borders, which reproduces the naive oracle's
+/// explicit `+w·0.0` padding terms). Each output element accumulates its
+/// nine taps in `ki → kj` order — the oracle's order. Lengths are pinned up
+/// front so the interior loop is bounds-check-free and vectorizes.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn stencil9_x4(
+    d0: &mut [f32],
+    d1: &mut [f32],
+    d2: &mut [f32],
+    d3: &mut [f32],
+    rm1: &[f32],
+    r0: &[f32],
+    rp1: &[f32],
+    wq: &[[[f32; 3]; 3]; 4],
+) {
+    let n = d0.len();
+    let (d1, d2, d3) = (&mut d1[..n], &mut d2[..n], &mut d3[..n]);
+    let (rm1, r0, rp1) = (&rm1[..n], &r0[..n], &rp1[..n]);
+    if n == 0 {
+        return;
+    }
+    // Column borders: the kj = 0 (left) / kj = 2 (right) taps fall on
+    // horizontal padding and are dropped (they contribute exact zeros).
+    macro_rules! edge {
+        // Applies the two in-bounds column taps `kj0 < kj1` at column `j`
+        // (tap `kj` reads `src[j + kj - 1]`; the caller guarantees both
+        // indices are in range).
+        ($d:ident, $w:expr, $j:expr, $kj0:expr, $kj1:expr) => {
+            $d[$j] = (((((($d[$j] + $w[0][$kj0] * rm1[$j + $kj0 - 1])
+                + $w[0][$kj1] * rm1[$j + $kj1 - 1])
+                + $w[1][$kj0] * r0[$j + $kj0 - 1])
+                + $w[1][$kj1] * r0[$j + $kj1 - 1])
+                + $w[2][$kj0] * rp1[$j + $kj0 - 1])
+                + $w[2][$kj1] * rp1[$j + $kj1 - 1]);
+        };
+    }
+    if n == 1 {
+        for (d, w) in [(&mut *d0, &wq[0]), (d1, &wq[1]), (d2, &wq[2]), (d3, &wq[3])] {
+            d[0] = ((d[0] + w[0][1] * rm1[0]) + w[1][1] * r0[0]) + w[2][1] * rp1[0];
+        }
+        return;
+    }
+    edge!(d0, wq[0], 0, 1, 2);
+    edge!(d1, wq[1], 0, 1, 2);
+    edge!(d2, wq[2], 0, 1, 2);
+    edge!(d3, wq[3], 0, 1, 2);
+    let last = n - 1;
+    for j in 1..last {
+        let (am, bm, cm) = (rm1[j - 1], rm1[j], rm1[j + 1]);
+        let (a0, b0, c0) = (r0[j - 1], r0[j], r0[j + 1]);
+        let (ap, bp, cp) = (rp1[j - 1], rp1[j], rp1[j + 1]);
+        macro_rules! tap {
+            ($d:ident, $w:expr) => {
+                $d[j] = (((((((($d[j] + $w[0][0] * am) + $w[0][1] * bm) + $w[0][2] * cm)
+                    + $w[1][0] * a0)
+                    + $w[1][1] * b0)
+                    + $w[1][2] * c0)
+                    + $w[2][0] * ap)
+                    + $w[2][1] * bp)
+                    + $w[2][2] * cp;
+            };
+        }
+        tap!(d0, wq[0]);
+        tap!(d1, wq[1]);
+        tap!(d2, wq[2]);
+        tap!(d3, wq[3]);
+    }
+    edge!(d0, wq[0], last, 0, 1);
+    edge!(d1, wq[1], last, 0, 1);
+    edge!(d2, wq[2], last, 0, 1);
+    edge!(d3, wq[3], last, 0, 1);
+}
+
+/// Direct 3×3 / stride 1 / pad 1 forward for output channels
+/// `ch0..ch0+rows` of one sample: `dst` is the `[rows, H*W]` output span
+/// (zero-initialized). Output channels are walked in blocks of four so each
+/// loaded input row feeds four accumulator planes; per output element the
+/// adds land in `ci → ki → kj` order, matching the naive im2col oracle.
+#[allow(clippy::too_many_arguments)]
+#[inline(always)]
+fn direct3x3_rows_body(
+    sample: &[f32],
+    wv: &[f32],
+    dst: &mut [f32],
+    ch0: usize,
+    rows: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) {
+    let spatial = h * w;
+    // Stand-in for the vertically-padded rows above/below the image.
+    let zrow = arena::take_zeroed(w);
+    let mut r = 0;
+    while r + 4 <= rows {
+        let (p0, rest) = dst[r * spatial..(r + 4) * spatial].split_at_mut(spatial);
+        let (p1, rest) = rest.split_at_mut(spatial);
+        let (p2, p3) = rest.split_at_mut(spatial);
+        for ci in 0..c {
+            let plane = &sample[ci * spatial..(ci + 1) * spatial];
+            // This ci's 3×3 taps for the four channels of the block.
+            let mut wq = [[[0.0f32; 3]; 3]; 4];
+            for (q, taps) in wq.iter_mut().enumerate() {
+                let base = (((ch0 + r + q) * c + ci) * 3) * 3;
+                for (ki, row) in taps.iter_mut().enumerate() {
+                    row.copy_from_slice(&wv[base + 3 * ki..base + 3 * ki + 3]);
+                }
+            }
+            for ohi in 0..h {
+                let rm1 = if ohi > 0 {
+                    &plane[(ohi - 1) * w..ohi * w]
+                } else {
+                    &zrow[..]
+                };
+                let r0 = &plane[ohi * w..(ohi + 1) * w];
+                let rp1 = if ohi + 1 < h {
+                    &plane[(ohi + 1) * w..(ohi + 2) * w]
+                } else {
+                    &zrow[..]
+                };
+                let span = ohi * w..(ohi + 1) * w;
+                stencil9_x4(
+                    &mut p0[span.clone()],
+                    &mut p1[span.clone()],
+                    &mut p2[span.clone()],
+                    &mut p3[span],
+                    rm1,
+                    r0,
+                    rp1,
+                    &wq,
+                );
+            }
+        }
+        r += 4;
+    }
+    // Remainder channels (rows not a multiple of four): one row at a time,
+    // per-ki passes.
+    while r < rows {
+        let block = &mut dst[r * spatial..(r + 1) * spatial];
+        for ci in 0..c {
+            let plane = &sample[ci * spatial..(ci + 1) * spatial];
+            for ki in 0..3usize {
+                let wbase = (((ch0 + r) * c + ci) * 3 + ki) * 3;
+                let lo = 1usize.saturating_sub(ki);
+                let hi = (h + 1 - ki).min(h);
+                for ohi in lo..hi {
+                    let in_row = &plane[(ohi + ki - 1) * w..(ohi + ki) * w];
+                    let dst_row = &mut block[ohi * w..(ohi + 1) * w];
+                    axpy_shift3(dst_row, in_row, wv[wbase], wv[wbase + 1], wv[wbase + 2]);
+                }
+            }
+        }
+        r += 1;
+    }
+}
+
+/// AVX2+FMA implementation of the direct 3×3 stencil. Rust never contracts
+/// `a*b + c` on its own (`ffp-contract=off`), so the portable kernel pays
+/// separate multiply and add issue slots *and* 36 live broadcast weights —
+/// more than the 16 vector registers x86 offers. Explicit `vfmaddps`
+/// halves the arithmetic ops and lets the weight broadcasts ride as memory
+/// operands, which is what makes the direct path beat im2col GEMM on this
+/// geometry (the same trick production conv JITs use). Accumulation stays
+/// in the oracle's `ci → ki → kj` order; only FMA's fused rounding differs,
+/// well inside the 1e-5 parity budget.
+#[cfg(target_arch = "x86_64")]
+mod direct3x3_fma {
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m256, __m256i, _mm256_fmadd_ps, _mm256_loadu_ps, _mm256_loadu_si256, _mm256_maskload_ps,
+        _mm256_maskstore_ps, _mm256_set1_ps, _mm256_storeu_ps,
+    };
+
+    /// Sliding-window mask table: `MASKS[8 - rem ..]` yields a lane mask
+    /// with the first `rem` lanes active.
+    const MASKS: [i32; 16] = [-1, -1, -1, -1, -1, -1, -1, -1, 0, 0, 0, 0, 0, 0, 0, 0];
+
+    /// One input channel's contribution to four output-channel planes,
+    /// all rows, all nine taps. Taking the whole plane in one call lets the
+    /// 36 broadcast weights be materialized once instead of once per row.
+    ///
+    /// `d` points at the four channels' output planes (each `h*w` long,
+    /// disjoint), `plane` at the input channel, `zrow` at `w` zeros (the
+    /// stand-in for vertically-padded rows).
+    ///
+    /// # Safety
+    ///
+    /// Caller must have verified `avx2` and `fma` CPU support and that the
+    /// pointers address the stated extents (`h*w` f32s for `d`/`plane`,
+    /// `w` for `zrow`), with the `d` planes mutually disjoint.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn stencil_plane_x4(
+        d: [*mut f32; 4],
+        plane: *const f32,
+        zrow: *const f32,
+        wq: &[[[f32; 3]; 3]; 4],
+        h: usize,
+        w: usize,
+    ) {
+        unsafe {
+            // Broadcast the 36 taps once per (channel, block); LLVM spills
+            // what does not fit and re-feeds the FMAs from the stack as
+            // memory operands.
+            let mut wv: [[__m256; 9]; 4] = [[_mm256_set1_ps(0.0); 9]; 4];
+            for q in 0..4 {
+                for ki in 0..3 {
+                    for kj in 0..3 {
+                        wv[q][3 * ki + kj] = _mm256_set1_ps(wq[q][ki][kj]);
                     }
                 }
+            }
+            for ohi in 0..h {
+                let rm1 = if ohi > 0 {
+                    plane.add((ohi - 1) * w)
+                } else {
+                    zrow
+                };
+                let r0 = plane.add(ohi * w);
+                let rp1 = if ohi + 1 < h {
+                    plane.add((ohi + 1) * w)
+                } else {
+                    zrow
+                };
+                let row = ohi * w;
+                if w == 1 {
+                    for q in 0..4 {
+                        let dq = d[q].add(row);
+                        *dq = ((*dq + wq[q][0][1] * *rm1) + wq[q][1][1] * *r0) + wq[q][2][1] * *rp1;
+                    }
+                    continue;
+                }
+                // Interior columns in 8-lane groups.
+                let mut j = 1usize;
+                while j + 8 < w {
+                    let am = _mm256_loadu_ps(rm1.add(j - 1));
+                    let bm = _mm256_loadu_ps(rm1.add(j));
+                    let cm = _mm256_loadu_ps(rm1.add(j + 1));
+                    let a0 = _mm256_loadu_ps(r0.add(j - 1));
+                    let b0 = _mm256_loadu_ps(r0.add(j));
+                    let c0 = _mm256_loadu_ps(r0.add(j + 1));
+                    let ap = _mm256_loadu_ps(rp1.add(j - 1));
+                    let bp = _mm256_loadu_ps(rp1.add(j));
+                    let cp = _mm256_loadu_ps(rp1.add(j + 1));
+                    for q in 0..4 {
+                        let dq = d[q].add(row + j);
+                        let mut acc = _mm256_loadu_ps(dq);
+                        acc = _mm256_fmadd_ps(wv[q][0], am, acc);
+                        acc = _mm256_fmadd_ps(wv[q][1], bm, acc);
+                        acc = _mm256_fmadd_ps(wv[q][2], cm, acc);
+                        acc = _mm256_fmadd_ps(wv[q][3], a0, acc);
+                        acc = _mm256_fmadd_ps(wv[q][4], b0, acc);
+                        acc = _mm256_fmadd_ps(wv[q][5], c0, acc);
+                        acc = _mm256_fmadd_ps(wv[q][6], ap, acc);
+                        acc = _mm256_fmadd_ps(wv[q][7], bp, acc);
+                        acc = _mm256_fmadd_ps(wv[q][8], cp, acc);
+                        _mm256_storeu_ps(dq, acc);
+                    }
+                    j += 8;
+                }
+                // Masked tail group: the last `rem < 8` interior columns
+                // run as one predicated vector group instead of scalars.
+                let rem = (w - 1).saturating_sub(j);
+                if rem > 0 {
+                    let mask: __m256i =
+                        _mm256_loadu_si256(MASKS[8 - rem..].as_ptr().cast::<__m256i>());
+                    let am = _mm256_maskload_ps(rm1.add(j - 1), mask);
+                    let bm = _mm256_maskload_ps(rm1.add(j), mask);
+                    let cm = _mm256_maskload_ps(rm1.add(j + 1), mask);
+                    let a0 = _mm256_maskload_ps(r0.add(j - 1), mask);
+                    let b0 = _mm256_maskload_ps(r0.add(j), mask);
+                    let c0 = _mm256_maskload_ps(r0.add(j + 1), mask);
+                    let ap = _mm256_maskload_ps(rp1.add(j - 1), mask);
+                    let bp = _mm256_maskload_ps(rp1.add(j), mask);
+                    let cp = _mm256_maskload_ps(rp1.add(j + 1), mask);
+                    for q in 0..4 {
+                        let dq = d[q].add(row + j);
+                        let mut acc = _mm256_maskload_ps(dq, mask);
+                        acc = _mm256_fmadd_ps(wv[q][0], am, acc);
+                        acc = _mm256_fmadd_ps(wv[q][1], bm, acc);
+                        acc = _mm256_fmadd_ps(wv[q][2], cm, acc);
+                        acc = _mm256_fmadd_ps(wv[q][3], a0, acc);
+                        acc = _mm256_fmadd_ps(wv[q][4], b0, acc);
+                        acc = _mm256_fmadd_ps(wv[q][5], c0, acc);
+                        acc = _mm256_fmadd_ps(wv[q][6], ap, acc);
+                        acc = _mm256_fmadd_ps(wv[q][7], bp, acc);
+                        acc = _mm256_fmadd_ps(wv[q][8], cp, acc);
+                        _mm256_maskstore_ps(dq, mask, acc);
+                    }
+                }
+                // Column borders: the out-of-image tap is horizontal padding.
+                for q in 0..4 {
+                    let t = wq[q];
+                    let dq = d[q].add(row);
+                    let mut acc = *dq;
+                    acc = t[0][1].mul_add(*rm1, acc);
+                    acc = t[0][2].mul_add(*rm1.add(1), acc);
+                    acc = t[1][1].mul_add(*r0, acc);
+                    acc = t[1][2].mul_add(*r0.add(1), acc);
+                    acc = t[2][1].mul_add(*rp1, acc);
+                    acc = t[2][2].mul_add(*rp1.add(1), acc);
+                    *dq = acc;
+                    let last = w - 1;
+                    let dq = d[q].add(row + last);
+                    let mut acc = *dq;
+                    acc = t[0][0].mul_add(*rm1.add(last - 1), acc);
+                    acc = t[0][1].mul_add(*rm1.add(last), acc);
+                    acc = t[1][0].mul_add(*r0.add(last - 1), acc);
+                    acc = t[1][1].mul_add(*r0.add(last), acc);
+                    acc = t[2][0].mul_add(*rp1.add(last - 1), acc);
+                    acc = t[2][1].mul_add(*rp1.add(last), acc);
+                    *dq = acc;
+                }
+            }
+        }
+    }
+}
+
+/// True when the CPU can run the FMA stencil.
+#[inline]
+fn have_avx2_fma() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2") && std::arch::is_x86_feature_detected!("fma")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// FMA-accelerated variant of [`direct3x3_rows_body`]: same loop structure,
+/// intrinsic row stencil.
+#[cfg(target_arch = "x86_64")]
+#[allow(clippy::too_many_arguments)]
+fn direct3x3_rows_fma(
+    sample: &[f32],
+    wv: &[f32],
+    dst: &mut [f32],
+    ch0: usize,
+    rows: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) {
+    let spatial = h * w;
+    let zrow = arena::take_zeroed(w);
+    let mut r = 0;
+    while r + 4 <= rows {
+        let (p0, rest) = dst[r * spatial..(r + 4) * spatial].split_at_mut(spatial);
+        let (p1, rest) = rest.split_at_mut(spatial);
+        let (p2, p3) = rest.split_at_mut(spatial);
+        for ci in 0..c {
+            let plane = &sample[ci * spatial..(ci + 1) * spatial];
+            let mut wq = [[[0.0f32; 3]; 3]; 4];
+            for (q, taps) in wq.iter_mut().enumerate() {
+                let base = (((ch0 + r + q) * c + ci) * 3) * 3;
+                for (ki, row) in taps.iter_mut().enumerate() {
+                    row.copy_from_slice(&wv[base + 3 * ki..base + 3 * ki + 3]);
+                }
+            }
+            let d = [
+                p0.as_mut_ptr(),
+                p1.as_mut_ptr(),
+                p2.as_mut_ptr(),
+                p3.as_mut_ptr(),
+            ];
+            // SAFETY: avx2+fma verified by the dispatcher below; the four
+            // output planes come from disjoint `split_at_mut` regions and
+            // `plane`/`zrow` span `h*w` / `w` in-bounds f32s.
+            #[allow(unsafe_code)]
+            unsafe {
+                direct3x3_fma::stencil_plane_x4(d, plane.as_ptr(), zrow.as_ptr(), &wq, h, w);
+            }
+        }
+        r += 4;
+    }
+    if r < rows {
+        // Remainder channels reuse the portable path.
+        direct3x3_rows_body(
+            sample,
+            wv,
+            &mut dst[r * spatial..],
+            ch0 + r,
+            rows - r,
+            c,
+            h,
+            w,
+        );
+    }
+}
+
+/// Direct 3×3 dispatcher: FMA stencil when the CPU has it, portable
+/// stencil otherwise.
+#[allow(clippy::too_many_arguments)]
+fn direct3x3_rows(
+    sample: &[f32],
+    wv: &[f32],
+    dst: &mut [f32],
+    ch0: usize,
+    rows: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if have_avx2_fma() {
+        return direct3x3_rows_fma(sample, wv, dst, ch0, rows, c, h, w);
+    }
+    direct3x3_rows_body(sample, wv, dst, ch0, rows, c, h, w)
+}
+
+/// Forward kernel for output channels `ch0..ch0+rows` of one sample.
+/// `dst` is the `[rows, OH*OW]` output span, zero-initialized by the caller.
+fn forward_sample_rows(
+    sample: &[f32],
+    pv: &PackView<'_>,
+    g: &ConvGeom,
+    dst: &mut [f32],
+    ch0: usize,
+    rows: usize,
+    bias: Option<&[f32]>,
+) {
+    let spatial = g.spatial();
+    match g.path() {
+        ConvPath::MatmulOneByOne if g.stride == 1 => {
+            // The sample *is* the `[C, H*W]` patch matrix.
+            kernel_rows_with(|i, kk| pv.a_at(i, kk), sample, dst, ch0, rows, g.c, spatial);
+        }
+        ConvPath::MatmulOneByOne => {
+            // Strided 1×1: gather the subsampled `[C, OH*OW]` operand, then
+            // one matmul. Still no kh/kw unfold.
+            let mut cols = arena::take(g.c * spatial);
+            for ci in 0..g.c {
+                let plane = &sample[ci * g.h * g.w..(ci + 1) * g.h * g.w];
+                let dst_row = &mut cols[ci * spatial..(ci + 1) * spatial];
+                let mut t = 0;
+                for ohi in 0..g.oh {
+                    let in_row = &plane[ohi * g.stride * g.w..];
+                    for owi in 0..g.ow {
+                        dst_row[t] = in_row[owi * g.stride];
+                        t += 1;
+                    }
+                }
+            }
+            kernel_rows_with(|i, kk| pv.a_at(i, kk), &cols, dst, ch0, rows, g.c, spatial);
+        }
+        ConvPath::Direct3x3 => {
+            direct3x3_rows(sample, pv.weight, dst, ch0, rows, g.c, g.h, g.w);
+        }
+        ConvPath::Im2colPanels => {
+            let ckk = g.ckk();
+            let tile_rows = g.tile_rows();
+            for oh0 in (0..g.oh).step_by(tile_rows.max(1)) {
+                let oh1 = (oh0 + tile_rows).min(g.oh);
+                let t = (oh1 - oh0) * g.ow;
+                let mut panel = arena::take(ckk * t);
+                im2col_panel(
+                    sample, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, oh0, oh1, &mut panel,
+                )
+                .expect("conv geometry validated before dispatch");
+                let mut prod = arena::take_zeroed(rows * t);
+                kernel_rows_with(|i, kk| pv.a_at(i, kk), &panel, &mut prod, ch0, rows, ckk, t);
+                let t0 = oh0 * g.ow;
+                for r in 0..rows {
+                    dst[r * spatial + t0..r * spatial + t0 + t]
+                        .copy_from_slice(&prod[r * t..(r + 1) * t]);
+                }
+            }
+        }
+    }
+    if let Some(bv) = bias {
+        for r in 0..rows {
+            let b = bv[ch0 + r];
+            for x in &mut dst[r * spatial..(r + 1) * spatial] {
+                *x += b;
+            }
+        }
+    }
+}
+
+/// Picks the output-row chunk size for forward pool dispatch over the
+/// `[N*O, OH*OW]` row view: at least enough rows to clear the per-chunk
+/// work floor, at most `max_threads` chunks.
+fn conv_rows_per(total_rows: usize, flops_per_row: usize) -> usize {
+    let min_rows = MIN_PAR_FLOPS
+        .div_ceil(flops_per_row.max(1))
+        .clamp(1, total_rows.max(1));
+    total_rows.div_ceil(par::max_threads()).max(min_rows)
+}
+
+fn conv2d_forward_view(
+    input: &Tensor,
+    pv: &PackView<'_>,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let g = ConvGeom::validate(input, pv, stride, pad)?;
+    check_conv_bias(bias, g.o)?;
+    let mut out = Tensor::zeros(&[g.n, g.o, g.oh, g.ow]);
+    let spatial = g.spatial();
+    let iv = input.as_slice();
+    let bias_v = bias.map(Tensor::as_slice);
+    let rows_per = conv_rows_per(g.n * g.o, 2 * g.ckk() * spatial);
+    par::for_each_chunk_mut(
+        out.as_mut_slice(),
+        rows_per * spatial.max(1),
+        |ci, chunk| {
+            // A chunk is a span of output rows; split it at sample boundaries
+            // so each segment reads exactly one sample.
+            let mut row = ci * rows_per;
+            let mut off = 0;
+            while off < chunk.len() {
+                let (ni, ch0) = (row / g.o.max(1), row % g.o.max(1));
+                let rows = (g.o - ch0).min((chunk.len() - off) / spatial.max(1));
+                let sample = &iv[ni * g.in_sample()..(ni + 1) * g.in_sample()];
+                forward_sample_rows(
+                    sample,
+                    pv,
+                    &g,
+                    &mut chunk[off..off + rows * spatial],
+                    ch0,
+                    rows,
+                    bias_v,
+                );
+                row += rows;
+                off += rows * spatial.max(1);
             }
         },
     );
     Ok(out)
 }
 
+/// Fused forward over a cached [`PackedConv2dWeight`] — the steady-state
+/// layer path: zero heap allocations beyond the returned tensor.
+pub(crate) fn conv2d_forward_packed(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    conv2d_forward_view(input, &packed.view(), bias, stride, pad)
+}
+
+/// Fused forward from a raw weight tensor: packs into the arena for this
+/// one call (still allocation-free in steady state) and runs the same
+/// engine.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn conv2d_forward(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let (_, c, _, _, o, kh, kw) = check_conv_shapes(input, weight)?;
+    let ckk = c * kh * kw;
+    let wv = weight.as_slice();
+    let mut panels = arena::take_zeroed(packed_panel_len(o, ckk));
+    pack_panels_into(wv, o, ckk, &mut panels);
+    let mut transposed = arena::take(ckk * o);
+    pack_transposed_into(wv, o, ckk, &mut transposed);
+    let pv = PackView {
+        weight: wv,
+        panels: &panels,
+        transposed: &transposed,
+        o,
+        c,
+        kh,
+        kw,
+    };
+    conv2d_forward_view(input, &pv, bias, stride, pad)
+}
+
+/// Backward kernel for the samples of one chunk. `gi_chunk` is the chunk's
+/// `[samples, C*H*W]` grad-input span (zero-initialized), `gwt` the chunk's
+/// `[C*KH*KW, O]` transposed weight-gradient accumulator, `gb` its `[O]`
+/// bias accumulator (empty when the conv has no bias).
+#[allow(clippy::too_many_arguments)]
+fn backward_samples(
+    first: usize,
+    count: usize,
+    gi_chunk: &mut [f32],
+    gwt: &mut [f32],
+    gb: &mut [f32],
+    iv: &[f32],
+    gv: &[f32],
+    pv: &PackView<'_>,
+    g: &ConvGeom,
+) {
+    let spatial = g.spatial();
+    let ckk = g.ckk();
+    let o = g.o;
+    let ins = g.in_sample();
+    let one_by_one_s1 = g.path() == ConvPath::MatmulOneByOne && g.stride == 1;
+    for local in 0..count {
+        let gi = &mut gi_chunk[local * ins..(local + 1) * ins];
+        let ni = first + local;
+        let sample = &iv[ni * g.in_sample()..(ni + 1) * g.in_sample()];
+        let g_n = &gv[ni * g.out_sample()..(ni + 1) * g.out_sample()];
+        if one_by_one_s1 {
+            // col2im is the identity for 1×1/stride-1: the grad-input
+            // sample *is* `Wᵀ @ g_n`, and the patch matrix for the
+            // weight gradient is the input sample itself.
+            kernel_rows(pv.transposed, g_n, gi, 0, g.c, o, spatial);
+            let tile = PANEL_COLS.clamp(1, spatial.max(1));
+            for t0 in (0..spatial).step_by(tile) {
+                let t = (t0 + tile).min(spatial) - t0;
+                let mut g_npt = arena::take(t * o);
+                for oi in 0..o {
+                    for tt in 0..t {
+                        g_npt[tt * o + oi] = g_n[oi * spatial + t0 + tt];
+                    }
+                }
+                // gwᵀ[c, o] += sample[:, t0..t0+t] @ g_npt
+                kernel_rows_with(
+                    |i, kk| sample[i * spatial + t0 + kk],
+                    &g_npt,
+                    gwt,
+                    0,
+                    g.c,
+                    t,
+                    o,
+                );
+            }
+        } else {
+            let tile_rows = g.tile_rows();
+            for oh0 in (0..g.oh).step_by(tile_rows.max(1)) {
+                let oh1 = (oh0 + tile_rows).min(g.oh);
+                let t = (oh1 - oh0) * g.ow;
+                let t0 = oh0 * g.ow;
+                let mut panel = arena::take(ckk * t);
+                im2col_panel(
+                    sample, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, oh0, oh1, &mut panel,
+                )
+                .expect("conv geometry validated before dispatch");
+                // Gather the grad-out panel `[O, t]` (contiguous row
+                // segments) and its transpose `[t, O]`.
+                let mut g_np = arena::take(o * t);
+                for oi in 0..o {
+                    g_np[oi * t..(oi + 1) * t]
+                        .copy_from_slice(&g_n[oi * spatial + t0..oi * spatial + t0 + t]);
+                }
+                let mut g_npt = arena::take(t * o);
+                transpose_pack_into(&g_np, o, t, &mut g_npt);
+                // gwᵀ[ckk, o] += panel @ g_npᵀ — row-streaming, panel-local.
+                kernel_rows(&panel, &g_npt, gwt, 0, ckk, t, o);
+                // grad_cols panel = Wᵀ @ g_np (weight pre-transposed at
+                // pack time), folded straight back into the sample.
+                let mut gcols = arena::take_zeroed(ckk * t);
+                kernel_rows(pv.transposed, &g_np, &mut gcols, 0, ckk, o, t);
+                col2im_panel(
+                    &gcols, gi, g.c, g.h, g.w, g.kh, g.kw, g.stride, g.pad, oh0, oh1,
+                )
+                .expect("conv geometry validated before dispatch");
+            }
+        }
+        if !gb.is_empty() {
+            for (oi, acc) in gb.iter_mut().enumerate() {
+                let s: f32 = g_n[oi * spatial..(oi + 1) * spatial].iter().sum();
+                *acc += s;
+            }
+        }
+    }
+}
+
+fn conv2d_backward_view(
+    input: &Tensor,
+    pv: &PackView<'_>,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    has_bias: bool,
+) -> Result<Conv2dGrads> {
+    let g = ConvGeom::validate(input, pv, stride, pad)?;
+    let expected = [g.n, g.o, g.oh, g.ow];
+    if grad_out.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            got: grad_out.dims().to_vec(),
+            op: "conv2d_backward (grad_out)",
+        });
+    }
+    let ckk = g.ckk();
+    let o = g.o;
+    let mut grad_input = Tensor::zeros(&[g.n, g.c, g.h, g.w]);
+    let mut grad_weight = Tensor::zeros(&[o, g.c, g.kh, g.kw]);
+    let mut grad_bias = has_bias.then(|| Tensor::zeros(&[o]));
+    let iv = input.as_slice();
+    let gv = grad_out.as_slice();
+    let gb_len = if has_bias { o } else { 0 };
+
+    // Backward does ~2x the forward flops per output element; chunk over
+    // whole samples so grad-input writes stay disjoint.
+    let min_samples = MIN_PAR_FLOPS
+        .div_ceil((4 * ckk * g.spatial() * o.max(1)).max(1))
+        .clamp(1, g.n.max(1));
+    let samples_per = g.n.div_ceil(par::max_threads()).max(min_samples);
+    let parts = if grad_input.numel() == 0 {
+        1
+    } else {
+        g.n.div_ceil(samples_per.max(1)).max(1)
+    };
+
+    // Per-chunk weight/bias partials live in the caller's arena and fold in
+    // chunk order (deterministic for a fixed thread cap).
+    let mut gwt_acc = arena::take_zeroed(ckk * o);
+    let mut gb_acc = arena::take_zeroed(gb_len);
+    if parts <= 1 {
+        backward_samples(
+            0,
+            g.n,
+            grad_input.as_mut_slice(),
+            &mut gwt_acc,
+            &mut gb_acc,
+            iv,
+            gv,
+            pv,
+            &g,
+        );
+    } else {
+        let mut gw_parts: Vec<arena::Scratch> = (0..parts - 1)
+            .map(|_| arena::take_zeroed(ckk * o))
+            .collect();
+        let mut gb_parts: Vec<arena::Scratch> =
+            (0..parts - 1).map(|_| arena::take_zeroed(gb_len)).collect();
+        {
+            // (chunk index, grad-input span, gwᵀ partial, bias partial)
+            type BwdItem<'a> = (usize, &'a mut [f32], &'a mut [f32], &'a mut [f32]);
+            let mut items: Vec<BwdItem<'_>> = Vec::new();
+            let mut gi_chunks = grad_input
+                .as_mut_slice()
+                .chunks_mut(samples_per * g.in_sample().max(1));
+            let first_gi = gi_chunks.next().expect("at least one sample per part");
+            items.push((0, first_gi, &mut gwt_acc, &mut gb_acc));
+            for ((ci, gi), (gw, gb)) in gi_chunks
+                .enumerate()
+                .zip(gw_parts.iter_mut().zip(gb_parts.iter_mut()))
+            {
+                items.push((ci + 1, gi, gw, gb));
+            }
+            par::run(items, |_, (ci, gi, gw, gb)| {
+                let count = gi.len() / g.in_sample().max(1);
+                backward_samples(ci * samples_per, count, gi, gw, gb, iv, gv, pv, &g);
+            });
+        }
+        for gw in &gw_parts {
+            for (x, y) in gwt_acc.iter_mut().zip(gw.iter()) {
+                *x += y;
+            }
+        }
+        for gbp in &gb_parts {
+            for (x, y) in gb_acc.iter_mut().zip(gbp.iter()) {
+                *x += y;
+            }
+        }
+    }
+
+    // The accumulator holds gwᵀ `[ckk, o]`; write it transposed straight
+    // into the `[O, C, KH, KW]` gradient tensor.
+    let gw_out = grad_weight.as_mut_slice();
+    for kk in 0..ckk {
+        for i in 0..o {
+            gw_out[i * ckk + kk] = gwt_acc[kk * o + i];
+        }
+    }
+    if let Some(gb) = grad_bias.as_mut() {
+        gb.as_mut_slice().copy_from_slice(&gb_acc);
+    }
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    })
+}
+
+/// Fused backward over a cached [`PackedConv2dWeight`] — the steady-state
+/// layer path: zero heap allocations beyond the returned gradients.
+pub(crate) fn conv2d_backward_packed(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    has_bias: bool,
+) -> Result<Conv2dGrads> {
+    conv2d_backward_view(input, &packed.view(), grad_out, stride, pad, has_bias)
+}
+
+/// Fused backward from a raw weight tensor (packs into the arena for this
+/// one call).
 pub(crate) fn conv2d_backward(
     input: &Tensor,
     weight: &Tensor,
@@ -475,117 +1484,23 @@ pub(crate) fn conv2d_backward(
     pad: usize,
     has_bias: bool,
 ) -> Result<Conv2dGrads> {
-    let (n, c, h, w, o, kh, kw) = check_conv_shapes(input, weight)?;
-    let oh = conv_output_size(h, kh, stride, pad)?;
-    let ow = conv_output_size(w, kw, stride, pad)?;
-    let expected = [n, o, oh, ow];
-    if grad_out.dims() != expected {
-        return Err(TensorError::ShapeMismatch {
-            expected: expected.to_vec(),
-            got: grad_out.dims().to_vec(),
-            op: "conv2d_backward (grad_out)",
-        });
-    }
-    // Same work floor as the forward pass (backward does ~2x the flops).
-    if 2 * n * o * oh * ow * c * kh * kw < MIN_PAR_FLOPS {
-        return crate::ops::conv::conv2d_backward_naive(
-            input, weight, grad_out, stride, pad, has_bias,
-        );
-    }
-    let w2d = weight.reshape(&[o, c * kh * kw])?;
-    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
-    let in_sample = c * h * w;
-    let out_sample = o * oh * ow;
-    let spatial = oh * ow;
+    let (_, c, _, _, o, kh, kw) = check_conv_shapes(input, weight)?;
     let ckk = c * kh * kw;
-    let iv = input.as_slice();
-    let gv = grad_out.as_slice();
-    // One O(o*ckk) transpose of the weight makes the per-sample
-    // `grad_cols = weight^T @ g_n` products run on contiguous rows.
-    let wt = transpose_into(w2d.as_slice(), o, ckk);
-    let wtv = wt.as_slice();
-    let samples_per = n.div_ceil(par::max_threads()).max(1);
-
-    // Each chunk owns its samples' grad_input slice and accumulates local
-    // weight/bias partials; partials fold in chunk order below.
-    let worker = |ci: usize, gi_chunk: &mut [f32]| -> (Vec<f32>, Vec<f32>) {
-        let first = ci * samples_per;
-        let mut gw_local = vec![0.0f32; o * ckk];
-        let mut gb_local = vec![0.0f32; if has_bias { o } else { 0 }];
-        for (local, gi) in gi_chunk.chunks_mut(in_sample.max(1)).enumerate() {
-            let ni = first + local;
-            let cols = im2col(
-                &iv[ni * in_sample..(ni + 1) * in_sample],
-                c,
-                h,
-                w,
-                kh,
-                kw,
-                stride,
-                pad,
-            )
-            .expect("conv geometry validated before dispatch");
-            let g_n = &gv[ni * out_sample..(ni + 1) * out_sample];
-            // grad_w += g_n @ colsᵀ, computed transposed
-            // (gwᵀ += cols @ g_nᵀ) so the product streams rows
-            // instead of running unvectorizable dot reductions;
-            // transposing g_n is O(o·spatial), tiny next to the
-            // O(o·ckk·spatial) product.
-            let g_nt = transpose_into(g_n, o, spatial);
-            kernel_rows(cols.as_slice(), &g_nt, &mut gw_local, 0, ckk, spatial, o);
-            // grad_cols = weightᵀ @ g_n (weight pre-transposed)
-            let mut gcols = Tensor::zeros(&[ckk, spatial]);
-            kernel_rows(wtv, g_n, gcols.as_mut_slice(), 0, ckk, o, spatial);
-            col2im(&gcols, gi, c, h, w, kh, kw, stride, pad)
-                .expect("conv geometry validated before dispatch");
-            for (oi, gb) in gb_local.iter_mut().enumerate() {
-                let s: f32 = g_n[oi * spatial..(oi + 1) * spatial].iter().sum();
-                *gb += s;
-            }
-        }
-        (gw_local, gb_local)
+    let wv = weight.as_slice();
+    let mut panels = arena::take_zeroed(packed_panel_len(o, ckk));
+    pack_panels_into(wv, o, ckk, &mut panels);
+    let mut transposed = arena::take(ckk * o);
+    pack_transposed_into(wv, o, ckk, &mut transposed);
+    let pv = PackView {
+        weight: wv,
+        panels: &panels,
+        transposed: &transposed,
+        o,
+        c,
+        kh,
+        kw,
     };
-    // Single chunk → run inline; no point paying a scoped-thread spawn.
-    let partials: Vec<(Vec<f32>, Vec<f32>)> = if samples_per >= n {
-        vec![worker(0, grad_input.as_mut_slice())]
-    } else {
-        std::thread::scope(|s| {
-            let handles: Vec<_> = grad_input
-                .as_mut_slice()
-                .chunks_mut(samples_per * in_sample.max(1))
-                .enumerate()
-                .map(|(ci, gi_chunk)| {
-                    let worker = &worker;
-                    s.spawn(move || worker(ci, gi_chunk))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-    };
-
-    // Chunk partials hold gwᵀ; fold in chunk order, then transpose once.
-    let mut gwt = vec![0.0f32; ckk * o];
-    let mut grad_bias = if has_bias {
-        Some(Tensor::zeros(&[o]))
-    } else {
-        None
-    };
-    for (gw_local, gb_local) in &partials {
-        for (x, y) in gwt.iter_mut().zip(gw_local) {
-            *x += y;
-        }
-        if let Some(gb) = grad_bias.as_mut() {
-            for (x, y) in gb.as_mut_slice().iter_mut().zip(gb_local) {
-                *x += y;
-            }
-        }
-    }
-    let grad_w2d = Tensor::from_vec(transpose_into(&gwt, ckk, o), &[o, ckk])?;
-    Ok(Conv2dGrads {
-        grad_input,
-        grad_weight: grad_w2d.reshape(&[o, c, kh, kw])?,
-        grad_bias,
-    })
+    conv2d_backward_view(input, &pv, grad_out, stride, pad, has_bias)
 }
 
 // ---------------------------------------------------------------------------

@@ -7,7 +7,9 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tbnet_core::parallel::parallel_eval;
-use tbnet_tensor::ops::conv_output_size;
+use tbnet_tensor::ops::{
+    col2im, col2im_panel, conv_output_size, im2col, im2col_panel, PackedConv2dWeight,
+};
 use tbnet_tensor::{init, par, Backend, BackendKind, Tensor};
 
 /// Force multi-chunk code paths even on single-core hosts: with the
@@ -237,6 +239,179 @@ proptest! {
             &parallel().avgpool2d_global_backward(&gg, x.dims()).unwrap(),
             "gap bwd",
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The panel-wise unfold tiles exactly to the whole-matrix `im2col`,
+    /// and `col2im_panel` is its adjoint: `⟨im2col(x), y⟩ = ⟨x, col2im(y)⟩`
+    /// assembled panel by panel over an arbitrary row partition. Adjointness
+    /// is what makes the fused backward the true gradient of the fused
+    /// forward.
+    #[test]
+    fn panel_unfold_tiles_and_is_adjoint(
+        c in 1usize..4,
+        h in 3usize..9,
+        w in 3usize..9,
+        kern in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..3,
+        tile in 1usize..4,
+        seed in 0u64..1000,
+    ) {
+        if conv_output_size(h, kern, stride, pad).is_err()
+            || conv_output_size(w, kern, stride, pad).is_err()
+        {
+            return Ok(());
+        }
+        let oh = conv_output_size(h, kern, stride, pad).unwrap();
+        let ow = conv_output_size(w, kern, stride, pad).unwrap();
+        let ckk = c * kern * kern;
+        let spatial = oh * ow;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let x = init::randn(&[c, h, w], 1.0, &mut rng);
+        let y = init::randn(&[ckk, spatial], 1.0, &mut rng);
+
+        // Assemble the unfold panel by panel…
+        let mut assembled = vec![0.0f32; ckk * spatial];
+        let mut oh0 = 0;
+        while oh0 < oh {
+            let oh1 = (oh0 + tile).min(oh);
+            let t = (oh1 - oh0) * ow;
+            let mut panel = vec![0.0f32; ckk * t];
+            im2col_panel(x.as_slice(), c, h, w, kern, kern, stride, pad, oh0, oh1, &mut panel)
+                .unwrap();
+            for row in 0..ckk {
+                assembled[row * spatial + oh0 * ow..row * spatial + oh0 * ow + t]
+                    .copy_from_slice(&panel[row * t..(row + 1) * t]);
+            }
+            oh0 = oh1;
+        }
+        // …and it must equal the whole-matrix reference unfold.
+        let full = im2col(x.as_slice(), c, h, w, kern, kern, stride, pad).unwrap();
+        prop_assert_eq!(full.as_slice(), assembled.as_slice());
+
+        // Adjointness through the panel fold.
+        let lhs: f64 = assembled
+            .iter()
+            .zip(y.as_slice())
+            .map(|(a, b)| (a * b) as f64)
+            .sum();
+        let mut folded = vec![0.0f32; c * h * w];
+        let mut oh0 = 0;
+        while oh0 < oh {
+            let oh1 = (oh0 + tile).min(oh);
+            let t = (oh1 - oh0) * ow;
+            let mut y_panel = vec![0.0f32; ckk * t];
+            for row in 0..ckk {
+                y_panel[row * t..(row + 1) * t].copy_from_slice(
+                    &y.as_slice()[row * spatial + oh0 * ow..row * spatial + oh0 * ow + t],
+                );
+            }
+            col2im_panel(&y_panel, &mut folded, c, h, w, kern, kern, stride, pad, oh0, oh1)
+                .unwrap();
+            oh0 = oh1;
+        }
+        let rhs: f64 = folded
+            .iter()
+            .zip(x.as_slice())
+            .map(|(a, b)| (a * b) as f64)
+            .sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "⟨im2col x, y⟩ {lhs} vs ⟨x, col2im y⟩ {rhs}");
+
+        // Panel fold assembled over the partition equals the whole-matrix
+        // fold.
+        let mut folded_full = vec![0.0f32; c * h * w];
+        col2im(&y, &mut folded_full, c, h, w, kern, kern, stride, pad).unwrap();
+        for (i, (a, b)) in folded.iter().zip(&folded_full).enumerate() {
+            prop_assert!((a - b).abs() <= 1e-5 * (1.0 + a.abs()), "col2im[{i}]: {a} vs {b}");
+        }
+    }
+}
+
+/// Pins every shape-dispatch path of the fused conv engine (1×1 pure
+/// matmul, 1×1 strided, direct 3×3, panel-wise im2col fallback) to the
+/// naive oracle across stride/pad edge shapes, on both the raw-weight and
+/// the packed (layer steady-state) entry points.
+#[test]
+fn fused_dispatch_paths_match_oracle() {
+    pin_threads();
+    let mut rng = StdRng::seed_from_u64(77);
+    // (c, hw, o, kern, stride, pad, label)
+    let cases: &[(usize, usize, usize, usize, usize, usize, &str)] = &[
+        (8, 10, 12, 1, 1, 0, "1x1 pure matmul"),
+        (8, 10, 12, 1, 2, 0, "1x1 strided matmul"),
+        (8, 11, 12, 1, 3, 0, "1x1 stride 3"),
+        (8, 10, 12, 1, 1, 1, "1x1 padded (panel fallback)"),
+        (6, 10, 8, 3, 1, 1, "direct 3x3"),
+        (3, 9, 4, 3, 1, 1, "direct 3x3 odd width"),
+        (6, 10, 7, 3, 1, 1, "direct 3x3 remainder channels"),
+        (
+            64,
+            12,
+            64,
+            3,
+            1,
+            1,
+            "3x3 above direct flop ceiling (panels)",
+        ),
+        (6, 10, 8, 3, 2, 1, "3x3 strided (panel fallback)"),
+        (6, 10, 8, 3, 1, 0, "3x3 unpadded (panel fallback)"),
+        (6, 10, 8, 3, 1, 2, "3x3 over-padded (panel fallback)"),
+        (4, 12, 6, 5, 1, 2, "5x5 panels"),
+        (4, 12, 6, 5, 2, 2, "5x5 strided panels"),
+        (4, 9, 6, 4, 3, 1, "4x4 stride 3 panels"),
+        (2, 5, 3, 5, 1, 0, "kernel == input (single output)"),
+        (2, 4, 3, 7, 1, 2, "kernel larger than input, padded"),
+    ];
+    for &(c, hw, o, kern, stride, pad, label) in cases {
+        assert!(
+            conv_output_size(hw, kern, stride, pad).is_ok(),
+            "bad case {label}"
+        );
+        for n in [1usize, 3] {
+            let x = init::randn(&[n, c, hw, hw], 1.0, &mut rng);
+            let w = init::randn(&[o, c, kern, kern], 0.5, &mut rng);
+            let bias = init::randn(&[o], 0.1, &mut rng);
+            let packed = PackedConv2dWeight::new(&w).unwrap();
+
+            let fwd_n = naive()
+                .conv2d_forward(&x, &w, Some(&bias), stride, pad)
+                .unwrap();
+            let fwd_p = parallel()
+                .conv2d_forward(&x, &w, Some(&bias), stride, pad)
+                .unwrap();
+            close(&fwd_n, &fwd_p, &format!("{label} fwd (raw weight)"));
+            let fwd_pk = parallel()
+                .conv2d_forward_packed(&x, &packed, Some(&bias), stride, pad)
+                .unwrap();
+            close(&fwd_n, &fwd_pk, &format!("{label} fwd (packed)"));
+
+            let g = init::randn(fwd_n.dims(), 1.0, &mut rng);
+            let bwd_n = naive()
+                .conv2d_backward(&x, &w, &g, stride, pad, true)
+                .unwrap();
+            let bwd_pk = parallel()
+                .conv2d_backward_packed(&x, &packed, &g, stride, pad, true)
+                .unwrap();
+            close(
+                &bwd_n.grad_input,
+                &bwd_pk.grad_input,
+                &format!("{label} grad_input"),
+            );
+            close(
+                &bwd_n.grad_weight,
+                &bwd_pk.grad_weight,
+                &format!("{label} grad_weight"),
+            );
+            close(
+                bwd_n.grad_bias.as_ref().unwrap(),
+                bwd_pk.grad_bias.as_ref().unwrap(),
+                &format!("{label} grad_bias"),
+            );
+        }
     }
 }
 
