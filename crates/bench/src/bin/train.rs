@@ -1,9 +1,11 @@
-//! Training-engine report: times sequential victim training against the
-//! data-parallel engine at W ∈ {1, 2, 4} workers on a paper-shaped workload
-//! and writes `BENCH_train.json` at the repo root (or the path given as the
-//! first argument). Besides throughput, the report records the maximum
-//! per-epoch loss deviation from the sequential run — the determinism
-//! contract the parity tests pin at 1e-5.
+//! Training-engine report: times the sequential reference loops against the
+//! generic data-parallel engine at W ∈ {1, 2, 4} workers for all three
+//! training phases — victim training, knowledge transfer and the pruning
+//! fine-tune — on a paper-shaped workload, and writes `BENCH_train.json`
+//! at the repo root (or the path given as the first argument). Besides
+//! throughput, the report records the maximum per-epoch loss deviation
+//! from the sequential run — the determinism contract the parity tests pin
+//! at 1e-5.
 //!
 //! Run with `cargo run --release -p tbnet-bench --bin train`.
 
@@ -14,13 +16,19 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use tbnet_core::dp_train::train_victim_dp;
-use tbnet_core::train::{train_victim, EpochStats, TrainConfig};
-use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_core::pruning::{build_masks, composite_scores, prune_two_branch_once};
+use tbnet_core::train::{train_victim, TrainConfig};
+use tbnet_core::transfer::{
+    train_two_branch_seq, train_two_branch_with_workers, TransferConfig, TransferEpoch,
+};
+use tbnet_core::TwoBranchModel;
+use tbnet_data::{DatasetKind, ImageDataset, SyntheticCifar};
 use tbnet_models::{vgg, ChainNet};
 use tbnet_tensor::par;
 
 #[derive(Debug, Clone, Serialize)]
 struct TrainResult {
+    phase: String,
     engine: String,
     workers: usize,
     seconds: f64,
@@ -42,11 +50,68 @@ struct TrainReport {
     results: Vec<TrainResult>,
 }
 
-fn max_loss_delta(a: &[EpochStats], b: &[EpochStats]) -> f32 {
+fn max_ce_delta(a: &[TransferEpoch], b: &[TransferEpoch]) -> f32 {
     a.iter()
         .zip(b)
-        .map(|(x, y)| (x.train_loss - y.train_loss).abs())
+        .map(|(x, y)| (x.ce_loss - y.ce_loss).abs())
         .fold(0.0f32, f32::max)
+}
+
+/// Times the sequential transfer loop and the data-parallel engine at
+/// W ∈ {1, 2, 4} from identical initial state, appending one row per run.
+fn bench_two_branch_phase(
+    phase: &str,
+    model0: &TwoBranchModel,
+    data: &ImageDataset,
+    cfg: &TransferConfig,
+    results: &mut Vec<TrainResult>,
+) -> TwoBranchModel {
+    let samples = data.len() * cfg.epochs;
+    let t0 = Instant::now();
+    let mut seq_model = model0.clone();
+    let seq_hist =
+        train_two_branch_seq(&mut seq_model, data, cfg).expect("sequential two-branch training");
+    let seq_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "{phase:9} sequential         {seq_secs:7.2} s | {:8.1} samples/s | final ce {:.4}",
+        samples as f64 / seq_secs,
+        seq_hist.last().unwrap().ce_loss
+    );
+    results.push(TrainResult {
+        phase: phase.to_string(),
+        engine: "sequential".into(),
+        workers: 1,
+        seconds: seq_secs,
+        samples_per_sec: samples as f64 / seq_secs,
+        speedup_vs_sequential: 1.0,
+        max_epoch_loss_delta: 0.0,
+        final_loss: seq_hist.last().unwrap().ce_loss,
+    });
+
+    for workers in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let mut dp_model = model0.clone();
+        let hist = train_two_branch_with_workers(&mut dp_model, data, cfg, workers)
+            .expect("dp two-branch training");
+        let secs = t0.elapsed().as_secs_f64();
+        let delta = max_ce_delta(&seq_hist, &hist);
+        println!(
+            "{phase:9} data-parallel W={workers} {secs:7.2} s | {:8.1} samples/s | {:.2}x | max ce Δ {delta:.2e}",
+            samples as f64 / secs,
+            seq_secs / secs
+        );
+        results.push(TrainResult {
+            phase: phase.to_string(),
+            engine: "data-parallel".into(),
+            workers,
+            seconds: secs,
+            samples_per_sec: samples as f64 / secs,
+            speedup_vs_sequential: seq_secs / secs,
+            max_epoch_loss_delta: delta,
+            final_loss: hist.last().unwrap().ce_loss,
+        });
+    }
+    seq_model
 }
 
 fn main() {
@@ -75,16 +140,18 @@ fn main() {
 
     let mut results = Vec::new();
 
+    // Phase ⓪ — victim training.
     let t0 = Instant::now();
     let mut seq_net = net0.clone();
     let seq_hist = train_victim(&mut seq_net, data.train(), &cfg).expect("sequential training");
     let seq_secs = t0.elapsed().as_secs_f64();
     println!(
-        "sequential         {seq_secs:7.2} s | {:8.1} samples/s | final loss {:.4}",
+        "victim    sequential         {seq_secs:7.2} s | {:8.1} samples/s | final loss {:.4}",
         samples as f64 / seq_secs,
         seq_hist.last().unwrap().train_loss
     );
     results.push(TrainResult {
+        phase: "victim".into(),
         engine: "sequential".into(),
         workers: 1,
         seconds: seq_secs,
@@ -99,13 +166,18 @@ fn main() {
         let mut dp_net = net0.clone();
         let hist = train_victim_dp(&mut dp_net, data.train(), &cfg, workers).expect("dp training");
         let secs = t0.elapsed().as_secs_f64();
-        let delta = max_loss_delta(&seq_hist, &hist);
+        let delta = seq_hist
+            .iter()
+            .zip(&hist)
+            .map(|(x, y)| (x.train_loss - y.train_loss).abs())
+            .fold(0.0f32, f32::max);
         println!(
-            "data-parallel W={workers} {secs:7.2} s | {:8.1} samples/s | {:.2}x | max loss Δ {delta:.2e}",
+            "victim    data-parallel W={workers} {secs:7.2} s | {:8.1} samples/s | {:.2}x | max loss Δ {delta:.2e}",
             samples as f64 / secs,
             seq_secs / secs
         );
         results.push(TrainResult {
+            phase: "victim".into(),
             engine: "data-parallel".into(),
             workers,
             seconds: secs,
@@ -116,6 +188,25 @@ fn main() {
         });
     }
 
+    // Phase ② — knowledge transfer over the two-branch model (roughly 2×
+    // the victim's work per sample: both branches train).
+    let tb0 = TwoBranchModel::from_victim(&seq_net, &mut rng).expect("two-branch init");
+    let tcfg = TransferConfig {
+        epochs: 2,
+        batch_size: 32,
+        ..TransferConfig::paper_scaled(2)
+    };
+    let transferred = bench_two_branch_phase("transfer", &tb0, data.train(), &tcfg, &mut results);
+
+    // Phases ③–⑤ — the pruning fine-tune: one composite-weight pruning
+    // iteration, then the same engine on the narrowed model (mask-preserving
+    // steps).
+    let scores = composite_scores(&transferred).expect("composite scores");
+    let masks = build_masks(&transferred, &scores, 0.25, 2).expect("masks");
+    let mut pruned = transferred;
+    prune_two_branch_once(&mut pruned, &masks).expect("prune");
+    bench_two_branch_phase("finetune", &pruned, data.train(), &tcfg, &mut results);
+
     let report = TrainReport {
         report: "training-engine".to_string(),
         threads: par::max_threads(),
@@ -123,8 +214,10 @@ fn main() {
         epochs: cfg.epochs,
         batch_size: cfg.batch_size,
         train_samples: data.train().len(),
-        note: "wall clock per full training run; the data-parallel engine \
-               shards each minibatch across model replicas with synchronized \
+        note: "wall clock per full training run, for all three phases \
+               (victim / transfer / fine-tune on a pruned model); every \
+               phase rides the generic data-parallel engine, which shards \
+               each minibatch across model replicas with synchronized \
                BatchNorm statistics, so max_epoch_loss_delta stays within \
                f32 rounding of the sequential loss curve. Speedups require \
                multiple cores (threads=1 shows sync overhead only)."

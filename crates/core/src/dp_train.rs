@@ -1,9 +1,11 @@
-//! Data-parallel victim training with synchronized BatchNorm statistics.
+//! Model-generic data-parallel training with synchronized BatchNorm
+//! statistics.
 //!
-//! [`train_victim_dp`] reproduces [`crate::train::train_victim`]'s SGD loop
-//! across `W` model replicas: every minibatch is split into `W` contiguous
-//! shards, each replica runs forward/backward on its shard, and the two
-//! places where shards couple are synchronized between lockstep phases:
+//! [`DataParallelTrainer`] reproduces a sequential SGD loop across `W`
+//! replicas of any [`DpTrainable`] model: every minibatch is split into `W`
+//! contiguous shards, each replica runs forward/backward on its shard, and
+//! the two places where shards couple are synchronized between lockstep
+//! phases:
 //!
 //! * **BatchNorm batch statistics** — per-shard `(mean, var, count)` are
 //!   merged with the weighted parallel-variance formula
@@ -14,16 +16,30 @@
 //!   summed left-to-right across shards and fed back into each shard's
 //!   input-gradient computation over the global element count.
 //!
+//! A model describes its BatchNorm coupling as an ordered list of **sync
+//! points** (one per BN layer in execution order); the trainer drives the
+//! same schedule for every model: `forward_sync → stats merge →
+//! forward_resume` per point, the head/loss phase, then `backward_reduce →
+//! reduction fold → backward_resume` per point in reverse.
+//!
 //! Everything else in backward is linear in the loss gradient, so scaling
 //! each shard's loss gradient by the *global* minibatch size
 //! ([`tbnet_nn::loss::softmax_cross_entropy_scaled`]) makes the sum of
 //! per-shard parameter gradients equal the sequential whole-batch gradient.
 //! Gradients are merged with a fixed left-to-right fold over contiguous
-//! shards, the merged gradient is broadcast to every replica, and each
-//! replica takes the *same* SGD step — replicas therefore stay
-//! numerically identical, replica 0 is canonical, and a `W`-worker step
-//! matches the sequential step to f32 rounding (the parity suite pins
-//! 1e-5).
+//! shards, the merged gradient is broadcast to every replica, each replica
+//! applies any loss penalty subgradient (the transfer phase's L1 sparsity
+//! term) to the *merged* gradient, and all replicas take the *same*
+//! optimizer step — replicas therefore stay numerically identical, replica
+//! 0 is canonical, and a `W`-worker step matches the sequential step to f32
+//! rounding (the parity suites pin 1e-5).
+//!
+//! Three trainings ride this engine: victim training ([`train_victim_dp`]
+//! here), knowledge transfer ([`crate::transfer::train_two_branch`]) and
+//! the pruning fine-tune loop
+//! ([`crate::pruning::iterative_prune_with_workers`]) — the latter two via
+//! the [`crate::TwoBranchModel`] implementation of [`DpTrainable`] in
+//! `two_branch.rs`.
 //!
 //! All lockstep phases and the final optimizer fan-out run on the
 //! persistent worker pool in [`tbnet_tensor::par`] — the training hot path
@@ -38,53 +54,140 @@ use tbnet_nn::loss::softmax_cross_entropy_scaled;
 use tbnet_nn::merge_batch_stats;
 use tbnet_nn::metrics::{accuracy, RunningMean};
 use tbnet_nn::optim::{Sgd, StepLr};
-use tbnet_nn::{Layer, Mode};
-use tbnet_tensor::{ops, par, Tensor};
+use tbnet_nn::{Layer, Mode, Param};
+use tbnet_tensor::{ops, par, BackendKind, Tensor};
 
 use crate::train::{EpochStats, TrainConfig};
+use crate::transfer::apply_branch_sparsity;
 use crate::{CoreError, Result};
 
-/// Data-parallel SGD driver: `W` replicas of one [`ChainNet`] that stay
-/// numerically identical across steps (see the module docs for the
-/// synchronization contract). Most callers want [`train_victim_dp`]; the
-/// trainer is public so benches and future transfer-training work can step
-/// it batch by batch.
+/// Per-shard state threaded through the lockstep phases of one
+/// data-parallel step: the shard's slice of the minibatch, its loss and
+/// accuracy contributions, and the model-specific activation/gradient
+/// scratch.
 #[derive(Debug)]
-pub struct DataParallelTrainer {
-    replicas: Vec<ChainNet>,
+pub struct DpShard<S> {
+    /// This shard's contiguous slice of the global minibatch.
+    pub batch: Batch,
+    /// Loss contribution of this shard, scaled so the per-shard values sum
+    /// to the global-batch mean loss.
+    pub loss: f32,
+    /// Mean accuracy over this shard's samples.
+    pub acc: f32,
+    /// Model-specific per-shard scratch.
+    pub scratch: S,
 }
 
-/// Per-shard scratch state threaded through the lockstep phases of one
-/// training step.
-struct ShardCtx {
-    batch: Batch,
-    /// Conv output of the unit currently in flight (forward).
-    conv_out: Option<Tensor>,
-    /// Unit outputs, for skip connections (mirrors the sequential forward).
-    outs: Vec<Tensor>,
-    /// Pre-activation gradient of the unit currently in flight (backward).
-    grad_pre: Option<Tensor>,
-    /// Pending skip gradient of the unit currently in flight.
-    grad_skip: Option<Tensor>,
-    /// Per-unit output gradients (mirrors the sequential backward).
-    gouts: Vec<Option<Tensor>>,
-    loss: f32,
-    acc: f32,
+/// What one model replica must expose for the lockstep schedule of
+/// [`DataParallelTrainer`]. Implementations exist for [`ChainNet`] (victim
+/// training) and [`crate::TwoBranchModel`] (knowledge transfer and the
+/// pruning fine-tune loop).
+///
+/// The contract: a `W = 1` trainer step must be arithmetically identical to
+/// one step of the model's sequential training loop, and for `W > 1` the
+/// only cross-shard coupling may be the BatchNorm statistics/reductions the
+/// trainer synchronizes at the declared sync points.
+pub trait DpTrainable: Clone + Send {
+    /// Per-shard scratch (activations and pending gradients) carried across
+    /// the lockstep phases of one step.
+    type Scratch: Send;
+
+    /// Fresh scratch for one shard, created at the start of every step.
+    fn make_scratch(&self) -> Self::Scratch;
+
+    /// Number of BatchNorm synchronization points in one forward pass; the
+    /// backward pass revisits them in reverse order.
+    fn sync_points(&self) -> usize;
+
+    /// Backend the trainer's gradient folds should run on (kept identical
+    /// to the model's own accumulation arithmetic).
+    fn backend_kind(&self) -> BackendKind;
+
+    /// Clears all parameter gradients.
+    fn zero_grad(&mut self);
+
+    /// Local forward compute up to (and including) sync point `point`'s
+    /// BatchNorm input; returns this shard's per-channel
+    /// `(mean, var, element count)` for the statistics merge.
+    fn forward_sync(
+        &mut self,
+        point: usize,
+        shard: &mut DpShard<Self::Scratch>,
+    ) -> Result<(Tensor, Tensor, usize)>;
+
+    /// Resumes the forward pass at `point` with the globally merged batch
+    /// statistics.
+    fn forward_resume(
+        &mut self,
+        point: usize,
+        shard: &mut DpShard<Self::Scratch>,
+        mean: &Tensor,
+        var: &Tensor,
+    ) -> Result<()>;
+
+    /// Head forward, loss scaled to `global_batch` samples, and head
+    /// backward. Must fill `shard.loss` / `shard.acc` and seed the output
+    /// gradients in the scratch.
+    fn loss_phase(&mut self, shard: &mut DpShard<Self::Scratch>, global_batch: usize)
+        -> Result<()>;
+
+    /// Local backward compute down to sync point `point`'s BatchNorm;
+    /// returns this shard's `(Σ dy, Σ dy·x̂, element count)` for the
+    /// reduction fold.
+    fn backward_reduce(
+        &mut self,
+        point: usize,
+        shard: &mut DpShard<Self::Scratch>,
+    ) -> Result<(Tensor, Tensor, usize)>;
+
+    /// Resumes the backward pass at `point` with the globally summed
+    /// reductions over `total` elements per channel.
+    fn backward_resume(
+        &mut self,
+        point: usize,
+        shard: &mut DpShard<Self::Scratch>,
+        sum_dy: &Tensor,
+        sum_dy_xhat: &Tensor,
+        total: usize,
+    ) -> Result<()>;
+
+    /// Visits every trainable parameter in a deterministic order — the
+    /// order the trainer folds and broadcasts gradients in.
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param));
+
+    /// Adds the model's loss-penalty subgradient (scaled by `lambda`) to
+    /// the parameter gradients and returns the penalty value. Called once
+    /// per replica *after* the merged-gradient broadcast, immediately
+    /// before the optimizer step, so the penalty is applied exactly once to
+    /// the global gradient — matching a sequential loop that penalizes
+    /// after its whole-batch backward.
+    fn penalty(&mut self, lambda: f32) -> f32;
+
+    /// One optimizer step (must be identical on every replica).
+    fn optimizer_step(&mut self, sgd: &Sgd);
 }
 
-impl ShardCtx {
-    fn new(batch: Batch, n_units: usize) -> Self {
-        ShardCtx {
-            batch,
-            conv_out: None,
-            outs: Vec::with_capacity(n_units),
-            grad_pre: None,
-            grad_skip: None,
-            gouts: vec![None; n_units],
-            loss: 0.0,
-            acc: 0.0,
-        }
-    }
+/// Loss/accuracy/penalty of one data-parallel step, matching the values the
+/// sequential loop would report for the same minibatch to f32 rounding.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepStats {
+    /// Mean loss over the global minibatch (penalty excluded).
+    pub loss: f32,
+    /// Mean accuracy over the global minibatch.
+    pub acc: f32,
+    /// Penalty value (λ·Σ|γ| for the transfer phase; 0 when `lambda` is 0).
+    pub penalty: f32,
+}
+
+/// Data-parallel SGD driver: `W` replicas of one [`DpTrainable`] model that
+/// stay numerically identical across steps (see the module docs for the
+/// synchronization contract). [`train_victim_dp`],
+/// [`crate::transfer::train_two_branch_with_workers`] and
+/// [`crate::pruning::iterative_prune_with_workers`] drive it; it is public
+/// so benches and future phases can step it batch by batch.
+#[derive(Debug)]
+pub struct DataParallelTrainer<M: DpTrainable> {
+    replicas: Vec<M>,
 }
 
 /// Copies the samples of `range` out of `batch` (contiguous rows, so shard
@@ -105,14 +208,15 @@ fn shard_batch(batch: &Batch, range: &std::ops::Range<usize>) -> Batch {
 
 /// Runs `f` on every (replica, shard) pair via the persistent pool,
 /// propagating the first error in shard order.
-fn phase<R, F>(replicas: &mut [ChainNet], ctxs: &mut [ShardCtx], f: F) -> Result<Vec<R>>
+fn phase<M, R, F>(replicas: &mut [M], shards: &mut [DpShard<M::Scratch>], f: F) -> Result<Vec<R>>
 where
+    M: DpTrainable,
     R: Send,
-    F: Fn(usize, &mut ChainNet, &mut ShardCtx) -> Result<R> + Sync,
+    F: Fn(usize, &mut M, &mut DpShard<M::Scratch>) -> Result<R> + Sync,
 {
-    let items: Vec<(&mut ChainNet, &mut ShardCtx)> =
-        replicas.iter_mut().zip(ctxs.iter_mut()).collect();
-    par::run(items, |i, (net, ctx)| f(i, net, ctx))
+    let items: Vec<(&mut M, &mut DpShard<M::Scratch>)> =
+        replicas.iter_mut().zip(shards.iter_mut()).collect();
+    par::run(items, |i, (model, shard)| f(i, model, shard))
         .into_iter()
         .collect()
 }
@@ -132,13 +236,13 @@ fn fold_bn_sums(parts: Vec<(Tensor, Tensor, usize)>) -> Result<(Tensor, Tensor, 
     Ok((sum_dy, sum_dy_xhat, total))
 }
 
-impl DataParallelTrainer {
-    /// Clones `net` into `workers` replicas.
+impl<M: DpTrainable> DataParallelTrainer<M> {
+    /// Clones `model` into `workers` replicas.
     ///
     /// # Errors
     ///
     /// Returns [`CoreError::InvalidConfig`] for zero workers.
-    pub fn new(net: &ChainNet, workers: usize) -> Result<Self> {
+    pub fn new(model: &M, workers: usize) -> Result<Self> {
         if workers == 0 {
             return Err(CoreError::InvalidConfig {
                 field: "workers",
@@ -146,7 +250,7 @@ impl DataParallelTrainer {
             });
         }
         Ok(DataParallelTrainer {
-            replicas: vec![net.clone(); workers],
+            replicas: vec![model.clone(); workers],
         })
     }
 
@@ -156,25 +260,41 @@ impl DataParallelTrainer {
     }
 
     /// The canonical model state (replica 0).
-    pub fn into_net(mut self) -> ChainNet {
+    pub fn into_model(mut self) -> M {
         self.replicas.swap_remove(0)
     }
 
-    /// One data-parallel SGD step over `batch`, returning the batch's mean
-    /// loss and accuracy (both match the sequential step's values to f32
-    /// rounding).
+    /// One data-parallel SGD step over `batch` without a loss penalty.
+    ///
+    /// # Errors
+    ///
+    /// See [`DataParallelTrainer::step_with_penalty`].
+    pub fn step(&mut self, batch: &Batch, sgd: &Sgd) -> Result<StepStats> {
+        self.step_with_penalty(batch, sgd, 0.0)
+    }
+
+    /// One data-parallel SGD step over `batch`, applying the model's loss
+    /// penalty (e.g. the transfer phase's L1 sparsity term) at weight
+    /// `lambda`. The returned statistics match the sequential step's values
+    /// to f32 rounding.
     ///
     /// When the batch is smaller than the worker count, the surplus
     /// replicas skip the forward/backward but still receive the merged
-    /// gradient and the identical optimizer step, so all replicas keep the
-    /// same parameters and momentum buffers. (Their BatchNorm *running*
-    /// statistics may lag — those never feed training math, and replica 0
-    /// always owns a shard, so the canonical state stays sequential-exact.)
+    /// gradient, the penalty and the identical optimizer step, so all
+    /// replicas keep the same parameters and momentum buffers. (Their
+    /// BatchNorm *running* statistics may lag — those never feed training
+    /// math, and replica 0 always owns a shard, so the canonical state
+    /// stays sequential-exact.)
     ///
     /// # Errors
     ///
     /// Propagates shape/configuration errors from the shard phases.
-    pub fn step(&mut self, batch: &Batch, sgd: &Sgd) -> Result<(f32, f32)> {
+    pub fn step_with_penalty(
+        &mut self,
+        batch: &Batch,
+        sgd: &Sgd,
+        lambda: f32,
+    ) -> Result<StepStats> {
         let n_total = batch.len();
         if n_total == 0 {
             return Err(CoreError::InvalidConfig {
@@ -184,88 +304,48 @@ impl DataParallelTrainer {
         }
         let ranges = par::partition(n_total, self.replicas.len());
         let active = ranges.len();
-        let n_units = self.replicas[0].units().len();
-        let mut ctxs: Vec<ShardCtx> = ranges
+        let mut shards: Vec<DpShard<M::Scratch>> = ranges
             .iter()
-            .map(|r| ShardCtx::new(shard_batch(batch, r), n_units))
+            .map(|r| DpShard {
+                batch: shard_batch(batch, r),
+                loss: 0.0,
+                acc: 0.0,
+                scratch: self.replicas[0].make_scratch(),
+            })
             .collect();
         let (act, _idle) = self.replicas.split_at_mut(active);
 
-        phase(act, &mut ctxs, |_, net, _| {
-            net.zero_grad();
+        phase(act, &mut shards, |_, model, _| {
+            model.zero_grad();
             Ok(())
         })?;
 
-        // Forward, unit by unit, with a BN statistics barrier per unit.
-        for u in 0..n_units {
-            let stats = phase(act, &mut ctxs, |_, net, ctx| {
-                let input = if u == 0 {
-                    &ctx.batch.images
-                } else {
-                    &ctx.outs[u - 1]
-                };
-                let conv_out = net.units_mut()[u].forward_conv(input, Mode::Train)?;
-                let (mean, var) = ops::channel_mean_var(&conv_out)?;
-                let count = conv_out.dim(0) * conv_out.dim(2) * conv_out.dim(3);
-                ctx.conv_out = Some(conv_out);
-                Ok((mean, var, count))
+        // Forward, with a BN statistics barrier per sync point.
+        let points = act[0].sync_points();
+        for p in 0..points {
+            let stats = phase(act, &mut shards, |_, model, shard| {
+                model.forward_sync(p, shard)
             })?;
             let (mean, var) = merge_batch_stats(&stats)?;
-            phase(act, &mut ctxs, |_, net, ctx| {
-                let conv_out = ctx.conv_out.take().expect("set by the conv phase");
-                let skip = net.units()[u].spec().skip_from.map(|j| ctx.outs[j].clone());
-                let y = net.units_mut()[u].forward_from_conv(
-                    &conv_out,
-                    skip.as_ref(),
-                    Mode::Train,
-                    Some((&mean, &var)),
-                )?;
-                ctx.outs.push(y);
-                Ok(())
+            phase(act, &mut shards, |_, model, shard| {
+                model.forward_resume(p, shard, &mean, &var)
             })?;
         }
 
         // Head forward, loss (scaled by the global batch size), head
         // backward.
-        phase(act, &mut ctxs, |_, net, ctx| {
-            let logits = net
-                .head_mut()
-                .forward(&ctx.outs[n_units - 1], Mode::Train)?;
-            let out = softmax_cross_entropy_scaled(&logits, &ctx.batch.labels, n_total)?;
-            ctx.acc = accuracy(&logits, &ctx.batch.labels)?;
-            ctx.loss = out.loss;
-            let g = net.head_mut().backward(&out.grad)?;
-            ctx.gouts[n_units - 1] = Some(g);
-            Ok(())
+        phase(act, &mut shards, |_, model, shard| {
+            model.loss_phase(shard, n_total)
         })?;
 
-        // Backward, unit by unit, with a BN reduction barrier per unit.
-        for u in (0..n_units).rev() {
-            let sums = phase(act, &mut ctxs, |_, net, ctx| {
-                let g = ctx.gouts[u]
-                    .take()
-                    .expect("every unit output feeds the chain, so a gradient must exist");
-                let halfway = net.units_mut()[u].backward_to_bn(&g)?;
-                let count =
-                    halfway.grad_pre.dim(0) * halfway.grad_pre.dim(2) * halfway.grad_pre.dim(3);
-                ctx.grad_pre = Some(halfway.grad_pre);
-                ctx.grad_skip = halfway.grad_skip;
-                Ok((halfway.sum_dy, halfway.sum_dy_xhat, count))
+        // Backward, with a BN reduction barrier per sync point.
+        for p in (0..points).rev() {
+            let sums = phase(act, &mut shards, |_, model, shard| {
+                model.backward_reduce(p, shard)
             })?;
             let (sum_dy, sum_dy_xhat, total) = fold_bn_sums(sums)?;
-            phase(act, &mut ctxs, |_, net, ctx| {
-                let grad_pre = ctx.grad_pre.take().expect("set by the reduce phase");
-                let grad_input =
-                    net.units_mut()[u].backward_from_bn(&grad_pre, &sum_dy, &sum_dy_xhat, total)?;
-                let kind = net.backend_kind();
-                if let (Some(j), Some(gs)) = (net.units()[u].spec().skip_from, ctx.grad_skip.take())
-                {
-                    accumulate_grad(&mut ctx.gouts[j], gs, kind)?;
-                }
-                if u > 0 {
-                    accumulate_grad(&mut ctx.gouts[u - 1], grad_input, kind)?;
-                }
-                Ok(())
+            phase(act, &mut shards, |_, model, shard| {
+                model.backward_resume(p, shard, &sum_dy, &sum_dy_xhat, total)
             })?;
         }
 
@@ -278,9 +358,9 @@ impl DataParallelTrainer {
                 .split_first_mut()
                 .expect("trainer holds at least one replica");
             first.visit_params(&mut |p| merged.push(p.grad.clone()));
-            for net in rest[..active - 1].iter_mut() {
+            for model in rest[..active - 1].iter_mut() {
                 let mut idx = 0;
-                net.visit_params(&mut |p| {
+                model.visit_params(&mut |p| {
                     ops::add_assign(&mut merged[idx], &p.grad)
                         .expect("replica gradients share shapes");
                     idx += 1;
@@ -288,27 +368,186 @@ impl DataParallelTrainer {
             }
         }
 
-        // Broadcast the merged gradient and take the identical SGD step on
-        // every replica (active or not) so all replicas stay in sync.
+        // Broadcast the merged gradient, apply the penalty subgradient to
+        // it, and take the identical optimizer step on every replica
+        // (active or not) so all replicas stay in sync.
         let merged_ref = &merged;
-        let items: Vec<&mut ChainNet> = self.replicas.iter_mut().collect();
-        par::run(items, |_, net| {
+        let items: Vec<&mut M> = self.replicas.iter_mut().collect();
+        let penalties = par::run(items, |_, model| {
             let mut idx = 0;
-            net.visit_params(&mut |p| {
+            model.visit_params(&mut |p| {
                 p.grad
                     .as_mut_slice()
                     .copy_from_slice(merged_ref[idx].as_slice());
                 idx += 1;
             });
-            sgd.step(net);
+            let penalty = if lambda != 0.0 {
+                model.penalty(lambda)
+            } else {
+                0.0
+            };
+            model.optimizer_step(sgd);
+            penalty
         });
 
-        let loss: f32 = ctxs.iter().map(|c| c.loss).sum();
+        let loss: f32 = shards.iter().map(|s| s.loss).sum();
         let mut acc = RunningMean::new();
-        for c in &ctxs {
-            acc.add(c.acc, c.batch.len());
+        for s in &shards {
+            acc.add(s.acc, s.batch.len());
         }
-        Ok((loss, acc.mean()))
+        Ok(StepStats {
+            loss,
+            acc: acc.mean(),
+            penalty: penalties[0],
+        })
+    }
+}
+
+/// [`ChainNet`]'s per-shard scratch: the activation chain of the split
+/// forward and the pending per-unit gradients of the split backward
+/// (mirrors the sequential passes exactly).
+#[derive(Debug, Default)]
+pub struct ChainScratch {
+    /// Conv output of the unit currently in flight (forward).
+    conv_out: Option<Tensor>,
+    /// Unit outputs, for skip connections.
+    outs: Vec<Tensor>,
+    /// Pre-activation gradient of the unit currently in flight (backward).
+    grad_pre: Option<Tensor>,
+    /// Pending skip gradient of the unit currently in flight.
+    grad_skip: Option<Tensor>,
+    /// Per-unit output gradients.
+    gouts: Vec<Option<Tensor>>,
+}
+
+impl DpTrainable for ChainNet {
+    type Scratch = ChainScratch;
+
+    fn make_scratch(&self) -> ChainScratch {
+        let n = self.units().len();
+        ChainScratch {
+            conv_out: None,
+            outs: Vec::with_capacity(n),
+            grad_pre: None,
+            grad_skip: None,
+            gouts: vec![None; n],
+        }
+    }
+
+    fn sync_points(&self) -> usize {
+        self.units().len()
+    }
+
+    fn backend_kind(&self) -> BackendKind {
+        ChainNet::backend_kind(self)
+    }
+
+    fn zero_grad(&mut self) {
+        Layer::zero_grad(self);
+    }
+
+    fn forward_sync(
+        &mut self,
+        u: usize,
+        shard: &mut DpShard<ChainScratch>,
+    ) -> Result<(Tensor, Tensor, usize)> {
+        let DpShard { batch, scratch, .. } = shard;
+        let input = if u == 0 {
+            &batch.images
+        } else {
+            &scratch.outs[u - 1]
+        };
+        let conv_out = self.units_mut()[u].forward_conv(input, Mode::Train)?;
+        let (mean, var) = ops::channel_mean_var(&conv_out)?;
+        let count = conv_out.dim(0) * conv_out.dim(2) * conv_out.dim(3);
+        scratch.conv_out = Some(conv_out);
+        Ok((mean, var, count))
+    }
+
+    fn forward_resume(
+        &mut self,
+        u: usize,
+        shard: &mut DpShard<ChainScratch>,
+        mean: &Tensor,
+        var: &Tensor,
+    ) -> Result<()> {
+        let scratch = &mut shard.scratch;
+        let conv_out = scratch.conv_out.take().expect("set by the conv phase");
+        let skip = self.units()[u]
+            .spec()
+            .skip_from
+            .map(|j| scratch.outs[j].clone());
+        let y = self.units_mut()[u].forward_from_conv(
+            &conv_out,
+            skip.as_ref(),
+            Mode::Train,
+            Some((mean, var)),
+        )?;
+        scratch.outs.push(y);
+        Ok(())
+    }
+
+    fn loss_phase(&mut self, shard: &mut DpShard<ChainScratch>, global_batch: usize) -> Result<()> {
+        let n = self.units().len();
+        let logits = self
+            .head_mut()
+            .forward(&shard.scratch.outs[n - 1], Mode::Train)?;
+        let out = softmax_cross_entropy_scaled(&logits, &shard.batch.labels, global_batch)?;
+        shard.acc = accuracy(&logits, &shard.batch.labels)?;
+        shard.loss = out.loss;
+        let g = self.head_mut().backward(&out.grad)?;
+        shard.scratch.gouts[n - 1] = Some(g);
+        Ok(())
+    }
+
+    fn backward_reduce(
+        &mut self,
+        u: usize,
+        shard: &mut DpShard<ChainScratch>,
+    ) -> Result<(Tensor, Tensor, usize)> {
+        let scratch = &mut shard.scratch;
+        let g = scratch.gouts[u]
+            .take()
+            .expect("every unit output feeds the chain, so a gradient must exist");
+        let halfway = self.units_mut()[u].backward_to_bn(&g)?;
+        let count = halfway.grad_pre.dim(0) * halfway.grad_pre.dim(2) * halfway.grad_pre.dim(3);
+        scratch.grad_pre = Some(halfway.grad_pre);
+        scratch.grad_skip = halfway.grad_skip;
+        Ok((halfway.sum_dy, halfway.sum_dy_xhat, count))
+    }
+
+    fn backward_resume(
+        &mut self,
+        u: usize,
+        shard: &mut DpShard<ChainScratch>,
+        sum_dy: &Tensor,
+        sum_dy_xhat: &Tensor,
+        total: usize,
+    ) -> Result<()> {
+        let scratch = &mut shard.scratch;
+        let grad_pre = scratch.grad_pre.take().expect("set by the reduce phase");
+        let grad_input =
+            self.units_mut()[u].backward_from_bn(&grad_pre, sum_dy, sum_dy_xhat, total)?;
+        let kind = ChainNet::backend_kind(self);
+        if let (Some(j), Some(gs)) = (self.units()[u].spec().skip_from, scratch.grad_skip.take()) {
+            accumulate_grad(&mut scratch.gouts[j], gs, kind)?;
+        }
+        if u > 0 {
+            accumulate_grad(&mut scratch.gouts[u - 1], grad_input, kind)?;
+        }
+        Ok(())
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        Layer::visit_params(self, f);
+    }
+
+    fn penalty(&mut self, lambda: f32) -> f32 {
+        apply_branch_sparsity(self, lambda)
+    }
+
+    fn optimizer_step(&mut self, sgd: &Sgd) {
+        sgd.step(self);
     }
 }
 
@@ -339,9 +578,9 @@ pub fn train_victim_dp(
         let mut loss_acc = RunningMean::new();
         let mut acc_acc = RunningMean::new();
         for batch in data.minibatches(cfg.batch_size, &mut rng) {
-            let (loss, acc) = trainer.step(&batch, &sgd)?;
-            loss_acc.add(loss, batch.len());
-            acc_acc.add(acc, batch.len());
+            let stats = trainer.step(&batch, &sgd)?;
+            loss_acc.add(stats.loss, batch.len());
+            acc_acc.add(stats.acc, batch.len());
         }
         history.push(EpochStats {
             epoch,
@@ -349,7 +588,7 @@ pub fn train_victim_dp(
             train_acc: acc_acc.mean(),
         });
     }
-    *net = trainer.into_net();
+    *net = trainer.into_model();
     Ok(history)
 }
 
@@ -404,7 +643,21 @@ mod tests {
         let net = ChainNet::from_spec(&spec, &mut rng).unwrap();
         let trainer = DataParallelTrainer::new(&net, 3).unwrap();
         assert_eq!(trainer.workers(), 3);
-        let back = trainer.into_net();
+        let back = trainer.into_model();
         assert_eq!(back.units().len(), net.units().len());
+    }
+
+    #[test]
+    fn zero_lambda_step_reports_zero_penalty() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let spec = vgg::vgg_from_stages("v", &[(4, 1)], 4, 3, (8, 8));
+        let net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let data = tiny_data();
+        let sgd = Sgd::new(0.05, 0.9, 1e-4).unwrap();
+        let mut trainer = DataParallelTrainer::new(&net, 2).unwrap();
+        let batch = data.train().as_batch();
+        let stats = trainer.step(&batch, &sgd).unwrap();
+        assert_eq!(stats.penalty, 0.0);
+        assert!(stats.loss.is_finite());
     }
 }

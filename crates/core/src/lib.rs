@@ -30,6 +30,13 @@
 //!
 //! [`pipeline::run_pipeline`] chains all six steps and is what the benchmark
 //! harness calls to regenerate every table and figure of the paper.
+//!
+//! Every training phase — victim training, knowledge transfer and the
+//! pruning fine-tune — runs through the model-generic data-parallel engine
+//! in [`dp_train`]: [`dp_train::DpTrainable`] is implemented by both
+//! [`tbnet_models::ChainNet`] and [`TwoBranchModel`], and
+//! [`dp_train::DataParallelTrainer`] reproduces the sequential loops to
+//! f32 rounding at any worker count (pinned at 1e-5 by the parity suites).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -51,8 +58,9 @@ pub mod train;
 pub mod transfer;
 
 pub use channels::{gather_channels, scatter_add_channels, ChannelBook};
+pub use dp_train::{DataParallelTrainer, DpTrainable};
 pub use error::CoreError;
-pub use two_branch::TwoBranchModel;
+pub use two_branch::{TwoBranchModel, TwoBranchScratch};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, CoreError>;

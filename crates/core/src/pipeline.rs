@@ -4,6 +4,21 @@
 //! harness use: it trains the victim, builds and trains the two-branch
 //! substitution model, prunes it iteratively, applies rollback finalization
 //! and returns everything the evaluation needs.
+//!
+//! All three training phases — victim training, knowledge transfer and the
+//! per-iteration pruning fine-tune — run through the generic data-parallel
+//! engine in [`crate::dp_train`] with
+//! `tbnet_tensor::par::max_threads()` workers, so the whole pipeline scales
+//! with the available cores while reproducing the sequential reference
+//! loops to f32 rounding.
+//!
+//! A run is fully deterministic for a fixed worker count; across *different*
+//! worker counts results agree only to f32 rounding (the shard fold changes
+//! the summation order), so hosts with different core counts can diverge at
+//! the ~1e-6 level — enough, in principle, to flip a pruning keep/rollback
+//! decision that sits exactly on the drop budget. For bit-reproducible runs
+//! across machines, pin the worker count first (`TBNET_THREADS=N` or
+//! `tbnet_tensor::par::set_max_threads`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -11,9 +26,10 @@ use serde::{Deserialize, Serialize};
 
 use tbnet_data::SyntheticCifar;
 use tbnet_models::{ChainNet, ModelSpec};
+use tbnet_tensor::par;
 
 use crate::pruning::{iterative_prune, PruneConfig, PruneIteration};
-use crate::train::{train_victim, TrainConfig};
+use crate::train::{train_victim_with_workers, TrainConfig};
 use crate::transfer::{evaluate_two_branch, train_two_branch, TransferConfig, TransferEpoch};
 use crate::{Result, TwoBranchModel};
 
@@ -96,9 +112,10 @@ pub fn run_pipeline(
 ) -> Result<TbnetArtifacts> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-    // Step ⓪ — the vendor's well-trained victim.
+    // Step ⓪ — the vendor's well-trained victim (data-parallel when the
+    // host offers more than one thread).
     let mut victim = ChainNet::from_spec(spec, &mut rng)?;
-    train_victim(&mut victim, data.train(), &cfg.victim)?;
+    train_victim_with_workers(&mut victim, data.train(), &cfg.victim, par::max_threads())?;
     let victim_acc = crate::train::evaluate(&mut victim, data.test())?;
 
     // Step ① — two-branch initialization.

@@ -21,10 +21,10 @@ use serde::{Deserialize, Serialize};
 
 use tbnet_data::ImageDataset;
 use tbnet_models::{ChainNet, HeadSpec};
-use tbnet_tensor::Tensor;
+use tbnet_tensor::{par, Tensor};
 
 use crate::channels::ChannelBook;
-use crate::transfer::{evaluate_two_branch, train_two_branch, TransferConfig};
+use crate::transfer::{evaluate_two_branch, train_two_branch_with_workers, TransferConfig};
 use crate::{CoreError, Result, TwoBranchModel};
 
 /// Configuration of the iterative pruning loop.
@@ -370,7 +370,10 @@ pub fn total_channels(model: &TwoBranchModel) -> usize {
 /// Steps ③–⑤ — the full iterative prune/fine-tune/check loop of Alg. 1.
 ///
 /// `reference_acc` is the accuracy the drop budget is measured against
-/// (the victim's, per the paper's framing).
+/// (the victim's, per the paper's framing). The per-iteration fine-tune
+/// runs through the generic data-parallel engine with
+/// `tbnet_tensor::par::max_threads()` workers (see
+/// [`iterative_prune_with_workers`] for an explicit count).
 ///
 /// # Errors
 ///
@@ -381,6 +384,29 @@ pub fn iterative_prune(
     test: &ImageDataset,
     reference_acc: f32,
     cfg: &PruneConfig,
+) -> Result<PruneOutcome> {
+    iterative_prune_with_workers(model, train, test, reference_acc, cfg, par::max_threads())
+}
+
+/// [`iterative_prune`] with an explicit worker count for the fine-tune
+/// phase: after every mask application, the pruned two-branch model is
+/// fine-tuned through [`crate::dp_train::DataParallelTrainer`], which
+/// shards each minibatch across `workers` replicas with synchronized
+/// BatchNorm statistics. Pruned channels stay pruned: training never
+/// resizes layers, so the channel books, merge alignment and branch widths
+/// are invariant across data-parallel fine-tune steps (the parity suite
+/// asserts this).
+///
+/// # Errors
+///
+/// Returns configuration errors, or propagated training/shape errors.
+pub fn iterative_prune_with_workers(
+    model: &mut TwoBranchModel,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    reference_acc: f32,
+    cfg: &PruneConfig,
+    workers: usize,
 ) -> Result<PruneOutcome> {
     cfg.validate()?;
     let mut history = Vec::new();
@@ -400,7 +426,7 @@ pub fn iterative_prune(
             *model = snapshot;
             break;
         }
-        train_two_branch(model, train, &cfg.finetune)?;
+        train_two_branch_with_workers(model, train, &cfg.finetune, workers)?;
         let acc = evaluate_two_branch(model, test)?;
         let kept = (reference_acc - acc) <= cfg.drop_budget;
         history.push(PruneIteration {
@@ -430,6 +456,7 @@ pub fn iterative_prune(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transfer::train_two_branch;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use tbnet_data::{DatasetKind, SyntheticCifar};

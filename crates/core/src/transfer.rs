@@ -11,6 +11,14 @@
 //! penalty distributes the victim's knowledge across the branches *and*
 //! drives unimportant channels toward zero, preparing the composite-weight
 //! pruning of steps ③–⑤.
+//!
+//! Since the unification of all training phases on the generic engine in
+//! [`crate::dp_train`], [`train_two_branch`] runs through
+//! [`DataParallelTrainer`] (sharding every minibatch across
+//! `tbnet_tensor::par::max_threads()` model replicas with synchronized
+//! BatchNorm statistics); [`train_two_branch_seq`] keeps the plain
+//! sequential loop as the arithmetic reference the parity suite
+//! (`tests/transfer_parity.rs`) pins the engine against.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -22,7 +30,9 @@ use tbnet_nn::loss::{apply_bn_sparsity_penalty, softmax_cross_entropy};
 use tbnet_nn::metrics::{accuracy, RunningMean};
 use tbnet_nn::optim::{Sgd, StepLr};
 use tbnet_nn::Mode;
+use tbnet_tensor::par;
 
+use crate::dp_train::DataParallelTrainer;
 use crate::{CoreError, Result, TwoBranchModel};
 
 /// Hyper-parameters of the knowledge-transfer optimization.
@@ -120,10 +130,74 @@ pub fn apply_branch_sparsity(net: &mut ChainNet, lambda: f32) -> f32 {
 /// Runs the knowledge-transfer optimization (Eq. 1) over the two-branch
 /// model, updating both branches concurrently.
 ///
+/// Routes through the generic [`DataParallelTrainer`] with
+/// `tbnet_tensor::par::max_threads()` workers; results match
+/// [`train_two_branch_seq`] to f32 rounding (1e-5 in the parity suite) for
+/// any worker count.
+///
 /// # Errors
 ///
 /// Returns configuration or shape errors.
 pub fn train_two_branch(
+    model: &mut TwoBranchModel,
+    data: &ImageDataset,
+    cfg: &TransferConfig,
+) -> Result<Vec<TransferEpoch>> {
+    train_two_branch_with_workers(model, data, cfg, par::max_threads())
+}
+
+/// Knowledge transfer (Eq. 1) through the generic data-parallel engine at
+/// an explicit worker count: every minibatch is sharded across `workers`
+/// model replicas with synchronized BatchNorm statistics, gradients merge
+/// with a deterministic left-to-right fold, the sparsity subgradient is
+/// applied to the merged gradient, and every replica takes the identical
+/// SGD step.
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn train_two_branch_with_workers(
+    model: &mut TwoBranchModel,
+    data: &ImageDataset,
+    cfg: &TransferConfig,
+    workers: usize,
+) -> Result<Vec<TransferEpoch>> {
+    cfg.validate()?;
+    let mut trainer = DataParallelTrainer::new(model, workers)?;
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
+    let sched = StepLr::new(cfg.lr, cfg.lr_gamma, cfg.lr_step)?;
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        sgd.set_lr(sched.lr_at(epoch));
+        let mut ce = RunningMean::new();
+        let mut sparsity = RunningMean::new();
+        let mut acc = RunningMean::new();
+        for batch in data.minibatches(cfg.batch_size, &mut rng) {
+            let stats = trainer.step_with_penalty(&batch, &sgd, cfg.lambda)?;
+            ce.add(stats.loss, batch.len());
+            sparsity.add(stats.penalty, batch.len());
+            acc.add(stats.acc, batch.len());
+        }
+        history.push(TransferEpoch {
+            epoch,
+            ce_loss: ce.mean(),
+            sparsity_loss: sparsity.mean(),
+            train_acc: acc.mean(),
+        });
+    }
+    *model = trainer.into_model();
+    Ok(history)
+}
+
+/// The plain sequential knowledge-transfer loop — the arithmetic reference
+/// the data-parallel parity suite pins [`train_two_branch_with_workers`]
+/// against. Prefer [`train_two_branch`] everywhere else.
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn train_two_branch_seq(
     model: &mut TwoBranchModel,
     data: &ImageDataset,
     cfg: &TransferConfig,

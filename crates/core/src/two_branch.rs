@@ -16,11 +16,15 @@
 
 use rand::Rng;
 
-use tbnet_models::ChainNet;
+use tbnet_models::{accumulate_grad, ChainNet};
+use tbnet_nn::loss::softmax_cross_entropy_scaled;
+use tbnet_nn::metrics::accuracy;
+use tbnet_nn::optim::Sgd;
 use tbnet_nn::{Layer, Mode, Param};
-use tbnet_tensor::{backend, BackendKind, Tensor};
+use tbnet_tensor::{backend, ops, BackendKind, Tensor};
 
 use crate::channels::{gather_channels, scatter_add_channels, ChannelBook};
+use crate::dp_train::{DpShard, DpTrainable};
 use crate::{CoreError, Result};
 
 /// The TBNet two-branch substitution model.
@@ -157,6 +161,12 @@ impl TwoBranchModel {
         self.backend = kind;
         self.mr.set_backend(kind);
         self.mt.set_backend(kind);
+    }
+
+    /// The compute backend the merge and gradient-accumulation arithmetic
+    /// runs on (the data-parallel trainer mirrors the backward with it).
+    pub fn backend_kind(&self) -> BackendKind {
+        self.backend
     }
 
     /// The unsecured branch `M_R` (attacker-visible in deployment).
@@ -370,8 +380,8 @@ impl TwoBranchModel {
 
     /// Visits the trainable parameters of both branches.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
-        self.mr.visit_params(f);
-        self.mt.visit_params(f);
+        Layer::visit_params(&mut self.mr, f);
+        Layer::visit_params(&mut self.mt, f);
         // M_R's classifier head is *not* part of the TBNet computation graph
         // (the prediction comes from M_T), so its stale victim weights are
         // excluded from optimization on purpose: mr.visit_params covers it,
@@ -381,8 +391,8 @@ impl TwoBranchModel {
 
     /// Clears gradients in both branches.
     pub fn zero_grad(&mut self) {
-        self.mr.zero_grad();
-        self.mt.zero_grad();
+        Layer::zero_grad(&mut self.mr);
+        Layer::zero_grad(&mut self.mt);
     }
 
     /// Total trainable parameters across both branches.
@@ -401,6 +411,247 @@ fn accumulate(slot: &mut Option<Tensor>, grad: Tensor, kind: BackendKind) -> Res
         None => *slot = Some(grad),
     }
     Ok(())
+}
+
+/// Per-shard scratch of the two-branch data-parallel step: both branches'
+/// activation chains of the split forward and the pending per-unit
+/// gradients of the split backward (mirrors [`TwoBranchModel::forward`] /
+/// [`TwoBranchModel::backward`] exactly).
+#[derive(Debug, Default)]
+pub struct TwoBranchScratch {
+    /// Conv output of the branch unit currently in flight (forward).
+    conv_out: Option<Tensor>,
+    /// `M_R` unit outputs (pre-merge), for the merge gather and the
+    /// scatter shapes of the merge backward.
+    outs_r: Vec<Tensor>,
+    /// Merged unit outputs (`M_T`'s stream), for `M_T` skip connections.
+    outs_m: Vec<Tensor>,
+    /// Pre-activation gradient of the branch unit currently in flight
+    /// (backward).
+    grad_pre: Option<Tensor>,
+    /// Pending skip gradient of the `M_T` unit currently in flight.
+    grad_skip: Option<Tensor>,
+    /// Per-unit merged-output gradients.
+    gm: Vec<Option<Tensor>>,
+    /// Per-unit `M_R`-output gradients.
+    gr: Vec<Option<Tensor>>,
+}
+
+/// The two-branch model exposes **two sync points per unit** to the
+/// data-parallel trainer — `M_R`'s BatchNorm (even points) then `M_T`'s
+/// (odd points) — in the exact execution order of the sequential
+/// interleaved forward. The backward schedule revisits them in reverse, so
+/// every phase reproduces [`TwoBranchModel::backward`]'s accumulation
+/// order: the merge routes each unit's gradient to both branches, `M_T`'s
+/// unit backward feeds the merged stream (and its skip sources), and
+/// `M_R`'s backward feeds its private stream.
+impl DpTrainable for TwoBranchModel {
+    type Scratch = TwoBranchScratch;
+
+    fn make_scratch(&self) -> TwoBranchScratch {
+        let n = self.unit_count();
+        TwoBranchScratch {
+            conv_out: None,
+            outs_r: Vec::with_capacity(n),
+            outs_m: Vec::with_capacity(n),
+            grad_pre: None,
+            grad_skip: None,
+            gm: vec![None; n],
+            gr: vec![None; n],
+        }
+    }
+
+    fn sync_points(&self) -> usize {
+        2 * self.unit_count()
+    }
+
+    fn backend_kind(&self) -> BackendKind {
+        self.backend
+    }
+
+    fn zero_grad(&mut self) {
+        TwoBranchModel::zero_grad(self);
+    }
+
+    fn forward_sync(
+        &mut self,
+        point: usize,
+        shard: &mut DpShard<TwoBranchScratch>,
+    ) -> Result<(Tensor, Tensor, usize)> {
+        let DpShard { batch, scratch, .. } = shard;
+        let i = point / 2;
+        let conv_out = if point.is_multiple_of(2) {
+            // M_R unit i: consumes M_R's private stream (skips stripped).
+            let input = if i == 0 {
+                &batch.images
+            } else {
+                &scratch.outs_r[i - 1]
+            };
+            self.mr.units_mut()[i].forward_conv(input, Mode::Train)?
+        } else {
+            // M_T unit i: consumes the merged stream.
+            let input = if i == 0 {
+                &batch.images
+            } else {
+                &scratch.outs_m[i - 1]
+            };
+            self.mt.units_mut()[i].forward_conv(input, Mode::Train)?
+        };
+        let (mean, var) = ops::channel_mean_var(&conv_out)?;
+        let count = conv_out.dim(0) * conv_out.dim(2) * conv_out.dim(3);
+        scratch.conv_out = Some(conv_out);
+        Ok((mean, var, count))
+    }
+
+    fn forward_resume(
+        &mut self,
+        point: usize,
+        shard: &mut DpShard<TwoBranchScratch>,
+        mean: &Tensor,
+        var: &Tensor,
+    ) -> Result<()> {
+        let scratch = &mut shard.scratch;
+        let conv_out = scratch.conv_out.take().expect("set by the conv phase");
+        let i = point / 2;
+        if point.is_multiple_of(2) {
+            let r_out = self.mr.units_mut()[i].forward_from_conv(
+                &conv_out,
+                None,
+                Mode::Train,
+                Some((mean, var)),
+            )?;
+            scratch.outs_r.push(r_out);
+        } else {
+            let skip = self.mt.units()[i]
+                .spec()
+                .skip_from
+                .map(|j| scratch.outs_m[j].clone());
+            let t_out = self.mt.units_mut()[i].forward_from_conv(
+                &conv_out,
+                skip.as_ref(),
+                Mode::Train,
+                Some((mean, var)),
+            )?;
+            let r_sel = match &self.align[i] {
+                None => scratch.outs_r[i].clone(),
+                Some(idx) => gather_channels(&scratch.outs_r[i], idx)?,
+            };
+            let merged =
+                self.backend
+                    .imp()
+                    .add(&t_out, &r_sel)
+                    .map_err(|e| CoreError::BranchMismatch {
+                        reason: format!("merge at unit {i} failed: {e}"),
+                    })?;
+            scratch.outs_m.push(merged);
+        }
+        Ok(())
+    }
+
+    fn loss_phase(
+        &mut self,
+        shard: &mut DpShard<TwoBranchScratch>,
+        global_batch: usize,
+    ) -> Result<()> {
+        let n = self.unit_count();
+        let logits = self
+            .mt
+            .head_mut()
+            .forward(&shard.scratch.outs_m[n - 1], Mode::Train)?;
+        let out = softmax_cross_entropy_scaled(&logits, &shard.batch.labels, global_batch)?;
+        shard.acc = accuracy(&logits, &shard.batch.labels)?;
+        shard.loss = out.loss;
+        let g = self.mt.head_mut().backward(&out.grad)?;
+        shard.scratch.gm[n - 1] = Some(g);
+        Ok(())
+    }
+
+    fn backward_reduce(
+        &mut self,
+        point: usize,
+        shard: &mut DpShard<TwoBranchScratch>,
+    ) -> Result<(Tensor, Tensor, usize)> {
+        let scratch = &mut shard.scratch;
+        let i = point / 2;
+        let halfway = if point % 2 == 1 {
+            // M_T unit i. First route the merged gradient to M_R (the merge
+            // `m_i = t_i + select(r_i)` feeds both branches), exactly like
+            // the sequential backward does before M_T's unit backward.
+            let g_merged = scratch.gm[i]
+                .take()
+                .expect("merged output of every unit feeds the chain");
+            match &self.align[i] {
+                None => accumulate_grad(&mut scratch.gr[i], g_merged.clone(), self.backend)?,
+                Some(idx) => {
+                    let mut z = Tensor::zeros(scratch.outs_r[i].dims());
+                    scatter_add_channels(&mut z, &g_merged, idx)?;
+                    accumulate_grad(&mut scratch.gr[i], z, self.backend)?;
+                }
+            }
+            self.mt.units_mut()[i].backward_to_bn(&g_merged)?
+        } else {
+            // M_R unit i: consumes the routed + downstream gradient.
+            let g_r = scratch.gr[i]
+                .take()
+                .expect("every M_R output feeds the merge, so a gradient exists");
+            self.mr.units_mut()[i].backward_to_bn(&g_r)?
+        };
+        let count = halfway.grad_pre.dim(0) * halfway.grad_pre.dim(2) * halfway.grad_pre.dim(3);
+        scratch.grad_pre = Some(halfway.grad_pre);
+        scratch.grad_skip = halfway.grad_skip;
+        Ok((halfway.sum_dy, halfway.sum_dy_xhat, count))
+    }
+
+    fn backward_resume(
+        &mut self,
+        point: usize,
+        shard: &mut DpShard<TwoBranchScratch>,
+        sum_dy: &Tensor,
+        sum_dy_xhat: &Tensor,
+        total: usize,
+    ) -> Result<()> {
+        let scratch = &mut shard.scratch;
+        let grad_pre = scratch.grad_pre.take().expect("set by the reduce phase");
+        let i = point / 2;
+        if point % 2 == 1 {
+            let grad_input =
+                self.mt.units_mut()[i].backward_from_bn(&grad_pre, sum_dy, sum_dy_xhat, total)?;
+            if let (Some(j), Some(gs)) = (
+                self.mt.units()[i].spec().skip_from,
+                scratch.grad_skip.take(),
+            ) {
+                accumulate_grad(&mut scratch.gm[j], gs, self.backend)?;
+            }
+            if i > 0 {
+                accumulate_grad(&mut scratch.gm[i - 1], grad_input, self.backend)?;
+            }
+        } else {
+            let grad_input =
+                self.mr.units_mut()[i].backward_from_bn(&grad_pre, sum_dy, sum_dy_xhat, total)?;
+            if i > 0 {
+                accumulate_grad(&mut scratch.gr[i - 1], grad_input, self.backend)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        TwoBranchModel::visit_params(self, f);
+    }
+
+    fn penalty(&mut self, lambda: f32) -> f32 {
+        // The g(γ_R + γ_T) term of Eq. 1 separates across branches.
+        crate::transfer::apply_branch_sparsity(&mut self.mr, lambda)
+            + crate::transfer::apply_branch_sparsity(&mut self.mt, lambda)
+    }
+
+    fn optimizer_step(&mut self, sgd: &Sgd) {
+        // Exactly the sequential loop's `step_both`: the branches step as
+        // two separate layer trees (per-parameter updates are independent,
+        // so this equals one combined step — kept split for fidelity).
+        sgd.step(&mut self.mr as &mut dyn Layer);
+        sgd.step(&mut self.mt as &mut dyn Layer);
+    }
 }
 
 #[cfg(test)]

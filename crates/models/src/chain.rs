@@ -5,6 +5,14 @@
 //! public and individually drivable — `tbnet-core` runs the two branches of
 //! the TBNet substitution model unit-by-unit and injects the REE→TEE merge
 //! between units, something a closed `Sequential` could not express.
+//!
+//! The split-phase hooks ([`Unit::forward_conv`] / [`Unit::forward_from_conv`]
+//! and [`Unit::backward_to_bn`] / [`Unit::backward_from_bn`]) expose each
+//! unit's BatchNorm as a synchronization point: `tbnet-core`'s generic
+//! data-parallel trainer pauses there to merge batch statistics (forward)
+//! and per-channel reductions (backward) across minibatch shards. Both the
+//! plain victim network and the interleaved two-branch model build their
+//! lockstep schedules from these four hooks.
 
 use rand::Rng;
 

@@ -8,9 +8,10 @@ use crate::{Layer, Mode, NnError, Param, Result};
 /// 2-D convolution layer (`[N, C, H, W]` activations, `[O, C, KH, KW]`
 /// weight, optional bias).
 ///
-/// The TBNet networks follow every convolution with a [`BatchNorm2d`]
-/// (`crate::BatchNorm2d`), so the default constructors create bias-free
-/// convolutions; [`Conv2d::with_bias`] exists for classifier-adjacent uses.
+/// The TBNet networks follow every convolution with a
+/// [`BatchNorm2d`](crate::BatchNorm2d), so the default constructors create
+/// bias-free convolutions; [`Conv2d::with_bias`] exists for
+/// classifier-adjacent uses.
 ///
 /// # Example
 ///

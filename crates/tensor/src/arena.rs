@@ -1,6 +1,6 @@
 //! Thread-local scratch arena: reusable `f32` buffers for kernel internals.
 //!
-//! Every fused kernel in [`crate::ops::parallel`] draws its transient
+//! Every fused kernel in `ops::parallel` draws its transient
 //! buffers — im2col panels, transposed operand packs, per-chunk gradient
 //! accumulators — from this arena instead of the heap. A buffer is checked
 //! out with [`take`] / [`take_zeroed`], used for the duration of one kernel

@@ -49,7 +49,7 @@ pub(crate) const PACK_MR: usize = 8;
 /// computed once at pack time:
 ///
 /// * `panels` — the `[O, C*KH*KW]` GEMM operand in row-panel form: rows are
-///   grouped in blocks of [`PACK_MR`], each block stored column-major
+///   grouped in blocks of `PACK_MR`, each block stored column-major
 ///   (`panels[(block * k + kk) * PACK_MR + row_in_block]`), so the forward
 ///   microkernel's 4×4 register tiles load from consecutive cache lines.
 ///   Rows past `O` in the last block are zero padding.

@@ -1,7 +1,7 @@
 //! Elementwise tensor arithmetic.
 //!
 //! These functions validate shapes eagerly and return
-//! [`TensorError::ShapeMismatch`] on disagreement; the two-branch merge in
+//! [`TensorError::ShapeMismatch`](crate::TensorError) on disagreement; the two-branch merge in
 //! TBNet relies on `add` for the REE→TEE feature-map combination, so shape
 //! bugs there must surface immediately.
 
@@ -13,7 +13,7 @@ use crate::{Result, Tensor};
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+/// Returns [`TensorError::ShapeMismatch`](crate::TensorError) when the shapes differ.
 pub fn add(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     crate::backend::global().add(a, b)
 }
@@ -32,7 +32,7 @@ pub(crate) fn add_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+/// Returns [`TensorError::ShapeMismatch`](crate::TensorError) when the shapes differ.
 pub fn sub(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     crate::backend::global().sub(a, b)
 }
@@ -51,7 +51,7 @@ pub(crate) fn sub_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+/// Returns [`TensorError::ShapeMismatch`](crate::TensorError) when the shapes differ.
 pub fn hadamard(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     crate::backend::global().hadamard(a, b)
 }
@@ -70,7 +70,7 @@ pub(crate) fn hadamard_naive(a: &Tensor, b: &Tensor) -> Result<Tensor> {
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+/// Returns [`TensorError::ShapeMismatch`](crate::TensorError) when the shapes differ.
 pub fn add_assign(a: &mut Tensor, b: &Tensor) -> Result<()> {
     crate::backend::global().add_assign(a, b)
 }
@@ -88,7 +88,7 @@ pub(crate) fn add_assign_naive(a: &mut Tensor, b: &Tensor) -> Result<()> {
 ///
 /// # Errors
 ///
-/// Returns [`TensorError::ShapeMismatch`] when the shapes differ.
+/// Returns [`TensorError::ShapeMismatch`](crate::TensorError) when the shapes differ.
 pub fn add_scaled(a: &mut Tensor, b: &Tensor, alpha: f32) -> Result<()> {
     crate::backend::global().add_scaled(a, b, alpha)
 }

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Bench-regression gate for the CI bench smokes.
+
+Diffs a freshly generated BENCH_*.ci.json against a checked-in baseline and
+fails on per-kernel (or per-training-run) slowdowns. CI runners differ in
+absolute speed from the host that recorded the baseline and are individually
+noisy, so raw wall-clock is never compared directly; instead:
+
+1. every row is keyed (kernel+shape for backend reports, phase+engine+workers
+   for training reports) and its wall-clock ratio current/baseline computed;
+2. the *median* ratio across all shared rows is taken as the run calibration
+   — it absorbs the runner being uniformly faster/slower than the baseline
+   host and most shared noise;
+3. a row fails only when BOTH its calibrated slowdown (relative to the
+   other kernels of the same run) AND its raw current/baseline slowdown
+   exceed the threshold (default 25%).
+
+Requiring both guards against the two spurious-failure modes of
+cross-machine diffs: a uniformly slower runner inflates every raw ratio
+but leaves calibrated slowdowns near zero, while a runner whose core count
+differs from the baseline host's shifts the median through the
+parallelizable rows — there the non-parallel rows look calibrated-slow but
+their raw ratio stays near 1.0. A real regression recorded on comparable
+hardware trips both.
+
+Rows present in the baseline but missing from the current report fail too
+(a silent coverage regression); new rows are reported but allowed.
+
+Usage:
+    check_bench_regression.py BASELINE CURRENT [--threshold 0.25]
+
+Exit status: 0 = gate passed, 1 = regression or coverage loss, 2 = bad input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load_rows(path: str) -> dict[str, float]:
+    """Maps a stable row key to the row's wall-clock measurement."""
+    try:
+        with open(path, encoding="utf-8") as fh:
+            report = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+    rows: dict[str, float] = {}
+    for row in report.get("results", []):
+        if "kernel" in row:
+            # backend-comparison report: gate the Parallel backend's time.
+            key = f'{row["kernel"]}|{row.get("shape", "")}'
+            rows[key] = float(row["parallel_ms"])
+        elif "engine" in row:
+            # training-engine report: gate every phase/engine/worker cell.
+            key = f'{row.get("phase", "train")}|{row["engine"]}|W{row["workers"]}'
+            rows[key] = float(row["seconds"])
+    if not rows:
+        print(f"error: {path} contains no gateable results", file=sys.stderr)
+        sys.exit(2)
+    return rows
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline", help="checked-in baseline report (ci/bench-baselines/...)")
+    ap.add_argument("current", help="freshly generated BENCH_*.ci.json")
+    ap.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="maximum calibrated per-row slowdown (default 0.25 = 25%%)",
+    )
+    args = ap.parse_args()
+
+    base = load_rows(args.baseline)
+    cur = load_rows(args.current)
+
+    missing = sorted(set(base) - set(cur))
+    added = sorted(set(cur) - set(base))
+    shared = sorted(set(base) & set(cur))
+    if not shared:
+        print("error: baseline and current reports share no rows", file=sys.stderr)
+        return 2
+
+    ratios = {k: cur[k] / base[k] for k in shared if base[k] > 0.0}
+    calibration = statistics.median(ratios.values())
+    print(
+        f"gate: {len(shared)} shared rows, run calibration ×{calibration:.3f} "
+        f"(median current/baseline), threshold +{args.threshold:.0%}"
+    )
+
+    failures = []
+    for key in shared:
+        if base[key] <= 0.0:
+            continue
+        raw = ratios[key] - 1.0
+        calibrated = ratios[key] / calibration - 1.0
+        marker = ""
+        if calibrated > args.threshold and raw > args.threshold:
+            failures.append(key)
+            marker = "  <-- REGRESSION"
+        elif calibrated > args.threshold or raw > args.threshold:
+            marker = "  (one-sided, tolerated)"
+        print(
+            f"  {key:45} base {base[key]:10.3f}  cur {cur[key]:10.3f}  "
+            f"raw {raw:+7.1%}  calibrated {calibrated:+7.1%}{marker}"
+        )
+
+    for key in added:
+        print(f"  {key:45} (new row, not gated)")
+    for key in missing:
+        print(f"  {key:45} MISSING from current report")
+
+    if missing:
+        print(f"FAIL: {len(missing)} baseline row(s) missing — bench coverage regressed")
+    if failures:
+        print(
+            f"FAIL: {len(failures)} row(s) slower than {args.threshold:.0%} "
+            "both raw and calibrated"
+        )
+    if missing or failures:
+        return 1
+    print("PASS: no per-kernel regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

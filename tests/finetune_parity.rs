@@ -1,0 +1,235 @@
+//! Sequential-parity suite for the data-parallel pruning fine-tune (paper
+//! steps ③–⑤): after composite-weight pruning, fine-tuning the pruned
+//! two-branch model through the generic `DataParallelTrainer` at
+//! W ∈ {1, 2, 4} must match the sequential fine-tune loop within 1e-5
+//! (loss components, weights of both branches, BN running statistics) —
+//! and pruned channels must *stay* pruned: branch widths, channel books
+//! and merge alignment are invariant across data-parallel fine-tune steps.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use tbnet_core::pruning::{
+    build_masks, composite_scores, iterative_prune_with_workers, prune_two_branch_once,
+    total_channels, PruneConfig,
+};
+use tbnet_core::transfer::{
+    evaluate_two_branch, train_two_branch_seq, train_two_branch_with_workers, TransferConfig,
+};
+use tbnet_core::TwoBranchModel;
+use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_models::{vgg, ChainNet};
+use tbnet_tensor::{par, Tensor};
+
+const TOL: f32 = 1e-5;
+
+/// Forces multi-shard pool paths on few-core dev hosts, but respects an
+/// explicit `TBNET_THREADS` (the CI thread matrix runs this suite at both
+/// 1 and 4 threads — overriding it here would collapse the legs).
+fn pin_threads() {
+    if std::env::var("TBNET_THREADS").is_err() {
+        par::set_max_threads(4);
+    }
+}
+
+fn data() -> SyntheticCifar {
+    SyntheticCifar::generate(
+        DatasetKind::Cifar10Like
+            .config()
+            .with_classes(4)
+            .with_train_per_class(12)
+            .with_test_per_class(6)
+            .with_size(8, 8)
+            .with_noise_std(0.3),
+    )
+}
+
+fn cfg(epochs: usize) -> TransferConfig {
+    TransferConfig {
+        epochs,
+        batch_size: 16,
+        ..TransferConfig::paper_scaled(epochs)
+    }
+}
+
+/// A transferred-then-pruned two-branch model: the state the per-iteration
+/// fine-tune of Alg. 1 actually starts from.
+fn pruned_model(seed: u64) -> TwoBranchModel {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = vgg::vgg_from_stages("parity-ft", &[(8, 1), (8, 1)], 4, 3, (8, 8));
+    let victim = ChainNet::from_spec(&spec, &mut rng).unwrap();
+    let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+    let d = data();
+    // A short transfer shapes the γ so composite scores are meaningful.
+    train_two_branch_seq(&mut tb, d.train(), &cfg(2)).unwrap();
+    let scores = composite_scores(&tb).unwrap();
+    let masks = build_masks(&tb, &scores, 0.25, 2).unwrap();
+    prune_two_branch_once(&mut tb, &masks).unwrap();
+    tb
+}
+
+fn collect_params(model: &mut TwoBranchModel) -> Vec<Tensor> {
+    let mut out = Vec::new();
+    model.visit_params(&mut |p| out.push(p.value.clone()));
+    out
+}
+
+fn max_abs_diff(a: &Tensor, b: &Tensor) -> f32 {
+    assert_eq!(a.dims(), b.dims(), "shape drift between trainers");
+    a.as_slice()
+        .iter()
+        .zip(b.as_slice())
+        .map(|(x, y)| (x - y).abs())
+        .fold(0.0f32, f32::max)
+}
+
+/// Widths, books and alignment — everything pruning rewrote and fine-tuning
+/// must preserve.
+fn prune_fingerprint(model: &TwoBranchModel) -> (Vec<usize>, Vec<Vec<usize>>, Vec<Vec<usize>>) {
+    let widths = model
+        .mr()
+        .units()
+        .iter()
+        .chain(model.mt().units())
+        .map(|u| u.out_channels())
+        .collect();
+    let mr_book = (0..model.unit_count())
+        .map(|i| model.mr_book().unit(i).to_vec())
+        .collect();
+    let mt_book = (0..model.unit_count())
+        .map(|i| model.mt_book().unit(i).to_vec())
+        .collect();
+    (widths, mr_book, mt_book)
+}
+
+/// Fine-tunes the same pruned model sequentially and data-parallel and
+/// asserts full numeric parity plus mask preservation.
+fn assert_finetune_parity(workers: usize, seed: u64) {
+    let d = data();
+    let pruned = pruned_model(seed);
+    let before = prune_fingerprint(&pruned);
+    let mut seq = pruned.clone();
+    let mut dp = pruned;
+    let cfg = cfg(3).with_lambda(1e-4);
+
+    let seq_hist = train_two_branch_seq(&mut seq, d.train(), &cfg).unwrap();
+    let dp_hist = train_two_branch_with_workers(&mut dp, d.train(), &cfg, workers).unwrap();
+
+    for (s, p) in seq_hist.iter().zip(&dp_hist) {
+        assert!(
+            (s.ce_loss - p.ce_loss).abs() < TOL,
+            "W={workers} epoch {}: fine-tune ce {} vs {}",
+            s.epoch,
+            s.ce_loss,
+            p.ce_loss
+        );
+        assert!(
+            (s.sparsity_loss - p.sparsity_loss).abs() < TOL,
+            "W={workers} epoch {}: fine-tune sparsity diverged",
+            s.epoch
+        );
+    }
+    for (i, (s, p)) in collect_params(&mut seq)
+        .iter()
+        .zip(&collect_params(&mut dp))
+        .enumerate()
+    {
+        let diff = max_abs_diff(s, p);
+        assert!(diff < TOL, "W={workers} param {i}: max |Δ| = {diff}");
+    }
+    for (i, (su, pu)) in seq.mr().units().iter().zip(dp.mr().units()).enumerate() {
+        assert!(
+            max_abs_diff(su.bn().running_mean(), pu.bn().running_mean()) < TOL
+                && max_abs_diff(su.bn().running_var(), pu.bn().running_var()) < TOL,
+            "W={workers} M_R BN {i} running stats diverged"
+        );
+    }
+    for (i, (su, pu)) in seq.mt().units().iter().zip(dp.mt().units()).enumerate() {
+        assert!(
+            max_abs_diff(su.bn().running_mean(), pu.bn().running_mean()) < TOL
+                && max_abs_diff(su.bn().running_var(), pu.bn().running_var()) < TOL,
+            "W={workers} M_T BN {i} running stats diverged"
+        );
+    }
+
+    // Pruned masks are preserved across every data-parallel fine-tune
+    // step: widths, both channel books and the identity alignment are
+    // exactly what pruning left behind.
+    assert_eq!(
+        prune_fingerprint(&dp),
+        before,
+        "W={workers}: fine-tune must not disturb pruning state"
+    );
+    assert!(
+        dp.align().iter().all(|a| a.is_none()),
+        "W={workers}: iterative pruning keeps identity alignment"
+    );
+    let batch = d.test().as_batch();
+    let ys = seq.predict(&batch.images).unwrap();
+    let yp = dp.predict(&batch.images).unwrap();
+    assert!(max_abs_diff(&ys, &yp) < 1e-4, "W={workers} logits diverged");
+}
+
+#[test]
+fn one_worker_matches_sequential() {
+    pin_threads();
+    assert_finetune_parity(1, 60);
+}
+
+#[test]
+fn two_workers_match_sequential() {
+    pin_threads();
+    assert_finetune_parity(2, 61);
+}
+
+#[test]
+fn four_workers_match_sequential() {
+    pin_threads();
+    assert_finetune_parity(4, 62);
+}
+
+#[test]
+fn iterative_prune_with_workers_shrinks_and_preserves_masks() {
+    // The full Alg. 1 loop with a data-parallel fine-tune: channels shrink
+    // monotonically, every kept iteration's fine-tune leaves the books
+    // congruent with the live widths, and the final model still predicts.
+    pin_threads();
+    let d = data();
+    let mut rng = StdRng::seed_from_u64(63);
+    let spec = vgg::vgg_from_stages("prune-dp", &[(8, 1), (8, 1)], 4, 3, (8, 8));
+    let victim = ChainNet::from_spec(&spec, &mut rng).unwrap();
+    let mut tb = TwoBranchModel::from_victim(&victim, &mut rng).unwrap();
+    train_two_branch_with_workers(&mut tb, d.train(), &cfg(3), 4).unwrap();
+    let ref_acc = evaluate_two_branch(&mut tb, d.test()).unwrap();
+    let before = total_channels(&tb);
+    let cfg = PruneConfig {
+        ratio: 0.2,
+        min_channels: 2,
+        drop_budget: 1.0,
+        max_iterations: 2,
+        finetune: TransferConfig {
+            epochs: 2,
+            batch_size: 16,
+            ..TransferConfig::paper_scaled(2)
+        },
+    };
+    let outcome =
+        iterative_prune_with_workers(&mut tb, d.train(), d.test(), ref_acc, &cfg, 4).unwrap();
+    assert!(total_channels(&tb) < before);
+    assert!(!outcome.history.is_empty());
+    for (i, (ru, tu)) in tb.mr().units().iter().zip(tb.mt().units()).enumerate() {
+        assert_eq!(
+            tb.mr_book().unit(i).len(),
+            ru.out_channels(),
+            "M_R book/width mismatch at unit {i}"
+        );
+        assert_eq!(
+            tb.mt_book().unit(i).len(),
+            tu.out_channels(),
+            "M_T book/width mismatch at unit {i}"
+        );
+    }
+    let batch = d.test().as_batch();
+    let logits = tb.predict(&batch.images).unwrap();
+    assert_eq!(logits.dims(), &[batch.len(), 4]);
+}
