@@ -1,11 +1,12 @@
 //! Training-engine report: times the sequential reference loops against the
-//! generic data-parallel engine at W ∈ {1, 2, 4} workers for all three
-//! training phases — victim training, knowledge transfer and the pruning
-//! fine-tune — on a paper-shaped workload, and writes `BENCH_train.json`
-//! at the repo root (or the path given as the first argument). Besides
-//! throughput, the report records the maximum per-epoch loss deviation
-//! from the sequential run — the determinism contract the parity tests pin
-//! at 1e-5.
+//! generic data-parallel engine at W ∈ {1, 2, 4} workers for all four
+//! training phases — victim training, knowledge transfer, the pruning
+//! fine-tune and the attacker's fine-tune — on a paper-shaped workload, and
+//! writes `BENCH_train.json` at the repo root (or the path given as the
+//! first argument). Besides throughput, the report records the maximum
+//! per-epoch loss deviation from the sequential run — the determinism
+//! contract the parity tests pin at 1e-5 — and the worker count
+//! `WorkerPolicy::Auto` resolves to for each phase on this host.
 //!
 //! Run with `cargo run --release -p tbnet-bench --bin train`.
 
@@ -15,15 +16,17 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use tbnet_core::dp_train::train_victim_dp;
+use tbnet_core::attack::{attack_seq, attack_with_workers};
+use tbnet_core::dp_train::{clear_autotune_cache, train_victim_dp, DpTrainable, WorkerPolicy};
 use tbnet_core::pruning::{build_masks, composite_scores, prune_two_branch_once};
-use tbnet_core::train::{train_victim, TrainConfig};
+use tbnet_core::train::{train_victim, EpochStats, TrainConfig};
 use tbnet_core::transfer::{
     train_two_branch_seq, train_two_branch_with_workers, TransferConfig, TransferEpoch,
 };
 use tbnet_core::TwoBranchModel;
 use tbnet_data::{DatasetKind, ImageDataset, SyntheticCifar};
 use tbnet_models::{vgg, ChainNet};
+use tbnet_nn::optim::Sgd;
 use tbnet_tensor::par;
 
 #[derive(Debug, Clone, Serialize)]
@@ -38,6 +41,13 @@ struct TrainResult {
     final_loss: f32,
 }
 
+/// Worker count `WorkerPolicy::Auto` committed to for one phase.
+#[derive(Debug, Clone, Serialize)]
+struct AutoWorkers {
+    phase: String,
+    workers: usize,
+}
+
 #[derive(Debug, Serialize)]
 struct TrainReport {
     report: String,
@@ -47,6 +57,7 @@ struct TrainReport {
     batch_size: usize,
     train_samples: usize,
     note: String,
+    auto_workers: Vec<AutoWorkers>,
     results: Vec<TrainResult>,
 }
 
@@ -55,6 +66,87 @@ fn max_ce_delta(a: &[TransferEpoch], b: &[TransferEpoch]) -> f32 {
         .zip(b)
         .map(|(x, y)| (x.ce_loss - y.ce_loss).abs())
         .fold(0.0f32, f32::max)
+}
+
+/// Resolves `WorkerPolicy::Auto` for one phase and records the commitment.
+fn auto_choice<M: DpTrainable>(
+    phase: &str,
+    model: &M,
+    data: &ImageDataset,
+    batch_size: usize,
+    lambda: f32,
+) -> AutoWorkers {
+    let sgd = Sgd::new(0.05, 0.9, 1e-4).expect("probe optimizer");
+    let workers = WorkerPolicy::Auto
+        .resolve(model, data, batch_size, &sgd, lambda)
+        .expect("auto worker resolution");
+    println!("{phase:9} WorkerPolicy::Auto → W={workers}");
+    AutoWorkers {
+        phase: phase.to_string(),
+        workers,
+    }
+}
+
+/// Times a sequential `ChainNet` training loop against the data-parallel
+/// engine at W ∈ {1, 2, 4} from identical initial state, appending one row
+/// per run (the victim and attack phases share this shape).
+fn bench_chain_phase(
+    phase: &str,
+    net0: &ChainNet,
+    data: &ImageDataset,
+    cfg: &TrainConfig,
+    seq: impl Fn(&mut ChainNet) -> Vec<EpochStats>,
+    dp: impl Fn(&mut ChainNet, usize) -> Vec<EpochStats>,
+    results: &mut Vec<TrainResult>,
+) -> ChainNet {
+    let samples = data.len() * cfg.epochs;
+    let t0 = Instant::now();
+    let mut seq_net = net0.clone();
+    let seq_hist = seq(&mut seq_net);
+    let seq_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "{phase:9} sequential         {seq_secs:7.2} s | {:8.1} samples/s | final loss {:.4}",
+        samples as f64 / seq_secs,
+        seq_hist.last().unwrap().train_loss
+    );
+    results.push(TrainResult {
+        phase: phase.to_string(),
+        engine: "sequential".into(),
+        workers: 1,
+        seconds: seq_secs,
+        samples_per_sec: samples as f64 / seq_secs,
+        speedup_vs_sequential: 1.0,
+        max_epoch_loss_delta: 0.0,
+        final_loss: seq_hist.last().unwrap().train_loss,
+    });
+
+    for workers in [1usize, 2, 4] {
+        let t0 = Instant::now();
+        let mut dp_net = net0.clone();
+        let hist = dp(&mut dp_net, workers);
+        let secs = t0.elapsed().as_secs_f64();
+        let delta = seq_hist
+            .iter()
+            .zip(&hist)
+            .map(|(x, y)| (x.train_loss - y.train_loss).abs())
+            .fold(0.0f32, f32::max);
+        println!(
+            "{phase:9} data-parallel W={workers} {secs:7.2} s | {:8.1} samples/s | {:.2}x | max loss Δ {delta:.2e}",
+            samples as f64 / secs,
+            seq_secs / secs
+        );
+        results.push(TrainResult {
+            phase: phase.to_string(),
+            engine: "data-parallel".into(),
+            workers,
+            seconds: secs,
+            samples_per_sec: samples as f64 / secs,
+            speedup_vs_sequential: seq_secs / secs,
+            max_epoch_loss_delta: delta,
+            final_loss: hist.last().unwrap().train_loss,
+        });
+    }
+    seq_net
 }
 
 /// Times the sequential transfer loop and the data-parallel engine at
@@ -136,57 +228,26 @@ fn main() {
         batch_size: 32,
         ..TrainConfig::paper_scaled(2)
     };
-    let samples = data.train().len() * cfg.epochs;
-
     let mut results = Vec::new();
+    let mut auto = Vec::new();
 
     // Phase ⓪ — victim training.
-    let t0 = Instant::now();
-    let mut seq_net = net0.clone();
-    let seq_hist = train_victim(&mut seq_net, data.train(), &cfg).expect("sequential training");
-    let seq_secs = t0.elapsed().as_secs_f64();
-    println!(
-        "victim    sequential         {seq_secs:7.2} s | {:8.1} samples/s | final loss {:.4}",
-        samples as f64 / seq_secs,
-        seq_hist.last().unwrap().train_loss
+    auto.push(auto_choice(
+        "victim",
+        &net0,
+        data.train(),
+        cfg.batch_size,
+        0.0,
+    ));
+    let seq_net = bench_chain_phase(
+        "victim",
+        &net0,
+        data.train(),
+        &cfg,
+        |net| train_victim(net, data.train(), &cfg).expect("sequential training"),
+        |net, w| train_victim_dp(net, data.train(), &cfg, w).expect("dp training"),
+        &mut results,
     );
-    results.push(TrainResult {
-        phase: "victim".into(),
-        engine: "sequential".into(),
-        workers: 1,
-        seconds: seq_secs,
-        samples_per_sec: samples as f64 / seq_secs,
-        speedup_vs_sequential: 1.0,
-        max_epoch_loss_delta: 0.0,
-        final_loss: seq_hist.last().unwrap().train_loss,
-    });
-
-    for workers in [1usize, 2, 4] {
-        let t0 = Instant::now();
-        let mut dp_net = net0.clone();
-        let hist = train_victim_dp(&mut dp_net, data.train(), &cfg, workers).expect("dp training");
-        let secs = t0.elapsed().as_secs_f64();
-        let delta = seq_hist
-            .iter()
-            .zip(&hist)
-            .map(|(x, y)| (x.train_loss - y.train_loss).abs())
-            .fold(0.0f32, f32::max);
-        println!(
-            "victim    data-parallel W={workers} {secs:7.2} s | {:8.1} samples/s | {:.2}x | max loss Δ {delta:.2e}",
-            samples as f64 / secs,
-            seq_secs / secs
-        );
-        results.push(TrainResult {
-            phase: "victim".into(),
-            engine: "data-parallel".into(),
-            workers,
-            seconds: secs,
-            samples_per_sec: samples as f64 / secs,
-            speedup_vs_sequential: seq_secs / secs,
-            max_epoch_loss_delta: delta,
-            final_loss: hist.last().unwrap().train_loss,
-        });
-    }
 
     // Phase ② — knowledge transfer over the two-branch model (roughly 2×
     // the victim's work per sample: both branches train).
@@ -196,7 +257,18 @@ fn main() {
         batch_size: 32,
         ..TransferConfig::paper_scaled(2)
     };
+    auto.push(auto_choice(
+        "transfer",
+        &tb0,
+        data.train(),
+        tcfg.batch_size,
+        tcfg.lambda,
+    ));
     let transferred = bench_two_branch_phase("transfer", &tb0, data.train(), &tcfg, &mut results);
+
+    // The attacker's fine-tune — a ChainNet training of the stolen M_R —
+    // rides the same engine; timed here on the full training set.
+    let stolen0 = transferred.extract_unsecured_branch();
 
     // Phases ③–⑤ — the pruning fine-tune: one composite-weight pruning
     // iteration, then the same engine on the narrowed model (mask-preserving
@@ -205,7 +277,36 @@ fn main() {
     let masks = build_masks(&transferred, &scores, 0.25, 2).expect("masks");
     let mut pruned = transferred;
     prune_two_branch_once(&mut pruned, &masks).expect("prune");
+    auto.push(auto_choice(
+        "finetune",
+        &pruned,
+        data.train(),
+        tcfg.batch_size,
+        tcfg.lambda,
+    ));
     bench_two_branch_phase("finetune", &pruned, data.train(), &tcfg, &mut results);
+
+    // Attack phase (paper Fig. 2's attacker at 100% data availability).
+    auto.push(auto_choice(
+        "attack",
+        &stolen0,
+        data.train(),
+        cfg.batch_size,
+        0.0,
+    ));
+    bench_chain_phase(
+        "attack",
+        &stolen0,
+        data.train(),
+        &cfg,
+        |net| attack_seq(net, data.train(), &cfg).expect("sequential attack fine-tune"),
+        |net, w| attack_with_workers(net, data.train(), &cfg, w).expect("dp attack fine-tune"),
+        &mut results,
+    );
+
+    // The phase probes above warmed the autotune cache; drop it so a rerun
+    // of the binary in the same process (tests) re-measures.
+    clear_autotune_cache();
 
     let report = TrainReport {
         report: "training-engine".to_string(),
@@ -214,14 +315,18 @@ fn main() {
         epochs: cfg.epochs,
         batch_size: cfg.batch_size,
         train_samples: data.train().len(),
-        note: "wall clock per full training run, for all three phases \
-               (victim / transfer / fine-tune on a pruned model); every \
-               phase rides the generic data-parallel engine, which shards \
-               each minibatch across model replicas with synchronized \
-               BatchNorm statistics, so max_epoch_loss_delta stays within \
-               f32 rounding of the sequential loss curve. Speedups require \
-               multiple cores (threads=1 shows sync overhead only)."
+        note: "wall clock per full training run, for all four phases \
+               (victim / transfer / fine-tune on a pruned model / attacker \
+               fine-tune of the stolen branch); every phase rides the \
+               generic data-parallel engine, which shards each minibatch \
+               across model replicas with synchronized BatchNorm \
+               statistics, so max_epoch_loss_delta stays within f32 \
+               rounding of the sequential loss curve. auto_workers records \
+               what WorkerPolicy::Auto resolved to per phase on this host. \
+               Speedups require multiple cores (threads=1 shows sync \
+               overhead only)."
             .to_string(),
+        auto_workers: auto,
         results,
     };
     let json = serde_json::to_string_pretty(&report).expect("report serializes");

@@ -10,12 +10,27 @@
 //!   training data (Fig. 2);
 //! * [`retrain_secure_branch_alone`] — the defender-side ablation of §5.1 /
 //!   Table 2: how good can `M_T` get without `M_R`?
+//!
+//! The attacker's fine-tune is a plain [`ChainNet`] classifier training, so
+//! it rides the same unified data-parallel engine
+//! ([`crate::dp_train::DataParallelTrainer`]) as the defender's three
+//! pipeline phases: [`attack_with_workers`] is the engine-routed training
+//! loop (worker count chosen by a [`WorkerPolicy`], default autotuned), and
+//! [`attack_seq`] keeps the sequential loop as the arithmetic reference the
+//! parity suite (`tests/attack_parity.rs`) pins the engine against —
+//! W ∈ {1, 2, 4} loss curves, final weights and BatchNorm running
+//! statistics agree within 1e-5, W = 1 bit-identically.
+//!
+//! [`ChainNet`]: tbnet_models::ChainNet
 
 use serde::{Deserialize, Serialize};
 
 use tbnet_data::ImageDataset;
+use tbnet_models::ChainNet;
+use tbnet_nn::optim::Sgd;
 
-use crate::train::{evaluate, train_victim, TrainConfig};
+use crate::dp_train::{train_victim_dp, WorkerPolicy};
+use crate::train::{evaluate, train_victim, EpochStats, TrainConfig};
 use crate::{Result, TwoBranchModel};
 
 /// Outcome of a fine-tuning attack.
@@ -27,6 +42,75 @@ pub struct FineTuneOutcome {
     pub samples_used: usize,
     /// Test accuracy of the fine-tuned stolen model.
     pub accuracy: f32,
+    /// Data-parallel worker count the fine-tune resolved to (1 when the
+    /// attacker had no data to train on).
+    pub workers: usize,
+}
+
+/// The attacker's fine-tune loop, routed through the unified data-parallel
+/// engine: shards every minibatch across the resolved number of `stolen`
+/// replicas with synchronized BatchNorm statistics and a deterministic
+/// left-to-right gradient merge. A plain `usize` converts to
+/// [`WorkerPolicy::Fixed`]; [`WorkerPolicy::Auto`] autotunes from the
+/// stolen branch's live widths plus a memoized step-timing probe.
+///
+/// Unlike [`crate::train::train_victim_with_workers`], a resolved count of
+/// one still runs *through the engine* (a single whole-batch shard), which
+/// is bit-identical to [`attack_seq`] — the parity suite measures this —
+/// so every attack run exercises the exact code path that scales.
+///
+/// # Examples
+///
+/// ```no_run
+/// use tbnet_core::attack::attack_with_workers;
+/// use tbnet_core::dp_train::WorkerPolicy;
+/// use tbnet_core::train::TrainConfig;
+/// # fn demo(
+/// #     model: &tbnet_core::TwoBranchModel,
+/// #     data: &tbnet_data::ImageDataset,
+/// # ) -> tbnet_core::Result<()> {
+/// let mut stolen = model.extract_unsecured_branch();
+/// let history = attack_with_workers(
+///     &mut stolen,
+///     data,
+///     &TrainConfig::paper_scaled(4),
+///     WorkerPolicy::Auto,
+/// )?;
+/// assert!(!history.is_empty());
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn attack_with_workers(
+    stolen: &mut ChainNet,
+    data: &ImageDataset,
+    cfg: &TrainConfig,
+    workers: impl Into<WorkerPolicy>,
+) -> Result<Vec<EpochStats>> {
+    let sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
+    let workers = workers
+        .into()
+        .resolve(stolen, data, cfg.batch_size, &sgd, 0.0)?;
+    train_victim_dp(stolen, data, cfg, workers)
+}
+
+/// The plain sequential attacker fine-tune loop — the arithmetic reference
+/// the parity suite (`tests/attack_parity.rs`) pins
+/// [`attack_with_workers`] against. Prefer the engine-routed entry point
+/// everywhere else.
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn attack_seq(
+    stolen: &mut ChainNet,
+    data: &ImageDataset,
+    cfg: &TrainConfig,
+) -> Result<Vec<EpochStats>> {
+    train_victim(stolen, data, cfg)
 }
 
 /// Table 1's "Attack Acc.": the attacker extracts `M_R` from REE memory and
@@ -45,7 +129,9 @@ pub fn direct_use_attack(model: &TwoBranchModel, test: &ImageDataset) -> Result<
 }
 
 /// Fig. 2's attacker: extract `M_R`, then fine-tune all of it (classifier
-/// included) on `data_fraction` of the training set.
+/// included) on `data_fraction` of the training set. Routes through the
+/// unified data-parallel engine with an autotuned worker count — exactly
+/// [`fine_tune_attack_with_workers`] at [`WorkerPolicy::Auto`].
 ///
 /// # Errors
 ///
@@ -57,25 +143,81 @@ pub fn fine_tune_attack(
     data_fraction: f64,
     cfg: &TrainConfig,
 ) -> Result<FineTuneOutcome> {
+    fine_tune_attack_with_workers(model, train, test, data_fraction, cfg, WorkerPolicy::Auto)
+}
+
+/// [`fine_tune_attack`] under an explicit [`WorkerPolicy`]: the stolen
+/// branch trains through [`attack_with_workers`], and the resolved worker
+/// count is recorded in [`FineTuneOutcome::workers`].
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn fine_tune_attack_with_workers(
+    model: &TwoBranchModel,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    data_fraction: f64,
+    cfg: &TrainConfig,
+    workers: impl Into<WorkerPolicy>,
+) -> Result<FineTuneOutcome> {
     let mut stolen = model.extract_unsecured_branch();
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed ^ 0x5eed_a77a);
     let subset = train.stratified_fraction(data_fraction, &mut rng);
     let samples_used = subset.len();
+    let mut resolved = 1;
     if !subset.is_empty() {
-        train_victim(&mut stolen, &subset, cfg)?;
+        let sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
+        resolved = workers
+            .into()
+            .resolve(&stolen, &subset, cfg.batch_size, &sgd, 0.0)?;
+        attack_with_workers(&mut stolen, &subset, cfg, resolved)?;
     }
     let accuracy = evaluate(&mut stolen, test)?;
     Ok(FineTuneOutcome {
         data_fraction,
         samples_used,
         accuracy,
+        workers: resolved,
+    })
+}
+
+/// The sequential-reference variant of [`fine_tune_attack`] (stolen branch
+/// trained with [`attack_seq`]); exists so end-to-end attack outcomes can
+/// be pinned against the engine-routed path.
+///
+/// # Errors
+///
+/// Returns configuration or shape errors.
+pub fn fine_tune_attack_seq(
+    model: &TwoBranchModel,
+    train: &ImageDataset,
+    test: &ImageDataset,
+    data_fraction: f64,
+    cfg: &TrainConfig,
+) -> Result<FineTuneOutcome> {
+    let mut stolen = model.extract_unsecured_branch();
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed ^ 0x5eed_a77a);
+    let subset = train.stratified_fraction(data_fraction, &mut rng);
+    let samples_used = subset.len();
+    if !subset.is_empty() {
+        attack_seq(&mut stolen, &subset, cfg)?;
+    }
+    let accuracy = evaluate(&mut stolen, test)?;
+    Ok(FineTuneOutcome {
+        data_fraction,
+        samples_used,
+        accuracy,
+        workers: 1,
     })
 }
 
 /// §5.1 / Table 2: strip `M_R` entirely and retrain the remaining `M_T` as a
 /// standalone network on the full training set — the best possible
 /// `M_T`-only model. The paper finds it a few points *below* TBNet, showing
-/// the unsecured branch genuinely contributes.
+/// the unsecured branch genuinely contributes. Like the fine-tune attack,
+/// the retraining rides the data-parallel engine at an autotuned worker
+/// count.
 ///
 /// # Errors
 ///
@@ -87,7 +229,7 @@ pub fn retrain_secure_branch_alone(
     cfg: &TrainConfig,
 ) -> Result<f32> {
     let mut alone = model.mt().clone();
-    train_victim(&mut alone, train, cfg)?;
+    attack_with_workers(&mut alone, train, cfg, WorkerPolicy::Auto)?;
     evaluate(&mut alone, test)
 }
 

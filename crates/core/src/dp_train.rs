@@ -34,19 +34,32 @@
 //! 0 is canonical, and a `W`-worker step matches the sequential step to f32
 //! rounding (the parity suites pin 1e-5).
 //!
-//! Three trainings ride this engine: victim training ([`train_victim_dp`]
-//! here), knowledge transfer ([`crate::transfer::train_two_branch`]) and
-//! the pruning fine-tune loop
-//! ([`crate::pruning::iterative_prune_with_workers`]) — the latter two via
-//! the [`crate::TwoBranchModel`] implementation of [`DpTrainable`] in
-//! `two_branch.rs`.
+//! Four trainings ride this engine: victim training ([`train_victim_dp`]
+//! here), knowledge transfer ([`crate::transfer::train_two_branch`]), the
+//! pruning fine-tune loop
+//! ([`crate::pruning::iterative_prune_with_workers`]) and the attacker's
+//! fine-tuning attack ([`crate::attack::attack_with_workers`]) — transfer
+//! and fine-tune via the [`crate::TwoBranchModel`] implementation of
+//! [`DpTrainable`] in `two_branch.rs`, the other two via the [`ChainNet`]
+//! implementation below.
+//!
+//! Worker counts are chosen per phase through a [`WorkerPolicy`]:
+//! [`WorkerPolicy::Fixed`] pins an explicit count (what the parity suites
+//! use), while [`WorkerPolicy::Auto`] autotunes from the live layer widths
+//! plus a short, memoized step-timing probe — see the type's docs for the
+//! exact contract.
 //!
 //! All lockstep phases and the final optimizer fan-out run on the
 //! persistent worker pool in [`tbnet_tensor::par`] — the training hot path
 //! spawns no threads.
 
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
 
 use tbnet_data::{Batch, ImageDataset};
 use tbnet_models::{accumulate_grad, ChainNet};
@@ -83,10 +96,43 @@ pub struct DpShard<S> {
 /// training) and [`crate::TwoBranchModel`] (knowledge transfer and the
 /// pruning fine-tune loop).
 ///
-/// The contract: a `W = 1` trainer step must be arithmetically identical to
-/// one step of the model's sequential training loop, and for `W > 1` the
-/// only cross-shard coupling may be the BatchNorm statistics/reductions the
-/// trainer synchronizes at the declared sync points.
+/// The contract (specified in full in `ARCHITECTURE.md` at the repo root):
+///
+/// * a `W = 1` trainer step must be arithmetically identical to one step of
+///   the model's sequential training loop;
+/// * for `W > 1` the only cross-shard coupling may be the BatchNorm
+///   statistics/reductions the trainer synchronizes at the declared sync
+///   points, visited in forward order `0..sync_points()` and revisited in
+///   exact reverse order by the backward pass;
+/// * [`visit_params`](DpTrainable::visit_params) must enumerate parameters
+///   in one deterministic order — it defines the layout of the merged
+///   gradient — and [`penalty`](DpTrainable::penalty) must be a pure
+///   function of the current parameters and gradients, because the trainer
+///   calls it once per replica on the *merged* gradient;
+/// * [`optimizer_step`](DpTrainable::optimizer_step) must be a
+///   deterministic function of parameters + gradients so every replica
+///   stays bit-identical after the step.
+///
+/// # Examples
+///
+/// Any implementation can be driven batch by batch:
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use tbnet_core::dp_train::{DataParallelTrainer, DpTrainable};
+/// use tbnet_models::{vgg, ChainNet};
+///
+/// let spec = vgg::vgg_from_stages("doc", &[(4, 1)], 2, 3, (8, 8));
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = ChainNet::from_spec(&spec, &mut rng)?;
+/// // One BN sync point per unit, and one live width per sync point.
+/// assert_eq!(net.sync_points(), 1);
+/// assert_eq!(net.sync_widths(), vec![4]);
+/// let trainer = DataParallelTrainer::new(&net, 2)?;
+/// assert_eq!(trainer.workers(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub trait DpTrainable: Clone + Send {
     /// Per-shard scratch (activations and pending gradients) carried across
     /// the lockstep phases of one step.
@@ -98,6 +144,14 @@ pub trait DpTrainable: Clone + Send {
     /// Number of BatchNorm synchronization points in one forward pass; the
     /// backward pass revisits them in reverse order.
     fn sync_points(&self) -> usize;
+
+    /// Live channel width at every sync point, in forward order (length
+    /// must equal [`sync_points`](DpTrainable::sync_points)). The
+    /// [`WorkerPolicy::Auto`] autotuner reads these to bound the useful
+    /// worker count — per-step synchronization cost grows with the number
+    /// of barriers and their channel widths, so narrow (late-pruning)
+    /// models resolve to fewer workers.
+    fn sync_widths(&self) -> Vec<usize>;
 
     /// Backend the trainer's gradient folds should run on (kept identical
     /// to the model's own accumulation arithmetic).
@@ -179,12 +233,291 @@ pub struct StepStats {
     pub penalty: f32,
 }
 
+/// How a training phase chooses its data-parallel worker count.
+///
+/// Every training entry point (`train_victim_with_workers`,
+/// `train_two_branch_with_workers`, `iterative_prune_with_workers`,
+/// [`crate::attack::attack_with_workers`] and
+/// [`crate::pipeline::run_pipeline`] via `PipelineConfig::workers`) accepts
+/// `impl Into<WorkerPolicy>`, and a plain `usize` converts to
+/// [`WorkerPolicy::Fixed`] — existing call sites that pass a count keep
+/// their exact behavior.
+///
+/// # Resolution contract
+///
+/// [`WorkerPolicy::resolve`] turns a policy into a concrete worker count:
+///
+/// * `Fixed(w)` resolves to `w` unchanged (the parity suites rely on this
+///   to pin exact shard layouts);
+/// * `Auto` resolves per phase, in two stages:
+///   1. a **width prefilter** derived from the model's live
+///      [`sync_widths`](DpTrainable::sync_widths) and the minibatch size
+///      caps the candidate set — each shard must own enough channel×sample
+///      work to amortize its barrier crossings, so small late-pruning
+///      models resolve to few (often one) workers without any timing;
+///   2. when more than one candidate survives, a short **step-timing
+///      probe** runs a few data-parallel steps per candidate on *cloned*
+///      replicas (the caller's model state is never advanced) and commits
+///      to the fastest, ties broken toward fewer workers.
+///
+/// The resolved count never exceeds [`par::max_threads`], and the probe
+/// result is memoized per (model type, live widths, batch size, thread
+/// cap), so repeated resolutions inside one process are deterministic and
+/// the probe cost is amortized across epochs and pruning iterations. Under
+/// `TBNET_THREADS=1` the candidate set collapses to `{1}` and `Auto` is
+/// fully deterministic with zero probe overhead.
+///
+/// # Examples
+///
+/// ```
+/// use tbnet_core::dp_train::WorkerPolicy;
+///
+/// // usize → Fixed, for drop-in compatibility at explicit call sites.
+/// assert_eq!(WorkerPolicy::from(4), WorkerPolicy::Fixed(4));
+/// assert_eq!(WorkerPolicy::default(), WorkerPolicy::Auto);
+/// ```
+///
+/// Resolving against a live model:
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use tbnet_core::dp_train::WorkerPolicy;
+/// use tbnet_data::{DatasetKind, SyntheticCifar};
+/// use tbnet_models::{vgg, ChainNet};
+/// use tbnet_nn::optim::Sgd;
+/// use tbnet_tensor::par;
+///
+/// let data = SyntheticCifar::generate(
+///     DatasetKind::Cifar10Like
+///         .config()
+///         .with_classes(2)
+///         .with_train_per_class(4)
+///         .with_test_per_class(2)
+///         .with_size(8, 8),
+/// );
+/// let spec = vgg::vgg_from_stages("doc", &[(4, 1)], 2, 3, (8, 8));
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = ChainNet::from_spec(&spec, &mut rng)?;
+/// let sgd = Sgd::new(0.05, 0.9, 1e-4)?;
+/// let w = WorkerPolicy::Auto.resolve(&net, data.train(), 8, &sgd, 0.0)?;
+/// assert!(w >= 1 && w <= par::max_threads());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WorkerPolicy {
+    /// Exactly this many replicas, no tuning. `Fixed(0)` is rejected at
+    /// trainer construction, like an explicit zero count always was.
+    Fixed(usize),
+    /// Autotune per phase from live layer widths plus a memoized
+    /// step-timing probe, capped at [`par::max_threads`].
+    #[default]
+    Auto,
+}
+
+impl From<usize> for WorkerPolicy {
+    fn from(workers: usize) -> Self {
+        WorkerPolicy::Fixed(workers)
+    }
+}
+
+// The serde shim derives only unit-variant enums, so the JSON mapping is
+// hand-written: `Auto` ⇄ `"auto"`, `Fixed(w)` ⇄ `w`.
+impl Serialize for WorkerPolicy {
+    fn to_value(&self) -> serde::Value {
+        match self {
+            WorkerPolicy::Fixed(w) => serde::Value::Num(*w as f64),
+            WorkerPolicy::Auto => serde::Value::Str("auto".to_string()),
+        }
+    }
+}
+
+impl<'de> Deserialize<'de> for WorkerPolicy {
+    fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
+        match v {
+            // Absent field (older configs predate the policy): autotune.
+            serde::Value::Null => Ok(WorkerPolicy::Auto),
+            serde::Value::Num(n) => Ok(WorkerPolicy::Fixed(*n as usize)),
+            serde::Value::Str(s) if s == "auto" => Ok(WorkerPolicy::Auto),
+            other => Err(serde::DeError(format!(
+                "expected a worker count or \"auto\", got {other:?}"
+            ))),
+        }
+    }
+}
+
+impl WorkerPolicy {
+    /// Resolves the policy into a concrete worker count for one training
+    /// phase over `data` with minibatches of `batch_size` samples; see the
+    /// type-level docs for the full contract. `sgd` and `lambda` are what
+    /// the phase will train with — the probe steps use them so the timed
+    /// work matches the real steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/configuration errors from the probe steps.
+    pub fn resolve<M: DpTrainable>(
+        self,
+        model: &M,
+        data: &ImageDataset,
+        batch_size: usize,
+        sgd: &Sgd,
+        lambda: f32,
+    ) -> Result<usize> {
+        match self {
+            WorkerPolicy::Fixed(w) => Ok(w),
+            WorkerPolicy::Auto => {
+                autotune_workers(model, data, batch_size, sgd, lambda, par::max_threads())
+            }
+        }
+    }
+}
+
+/// Channel×sample work one shard must own per step for another worker to
+/// pay for its barrier crossings; calibrated against the training bench's
+/// sync-overhead rows (`BENCH_train.json`, W > 1 at one thread).
+const MIN_SHARD_CHANNEL_SAMPLES: usize = 128;
+
+/// Timed data-parallel steps per probe candidate (after one warm-up step
+/// that absorbs pool spin-up and arena growth).
+const PROBE_STEPS: usize = 2;
+
+/// Width prefilter of the autotuner: the largest worker count for which
+/// every shard still owns at least [`MIN_SHARD_CHANNEL_SAMPLES`] of
+/// channel×sample work per step, additionally capped by the batch size
+/// (emptier shards than samples are pure overhead) and `cap`.
+fn width_worker_cap(widths: &[usize], batch_size: usize, cap: usize) -> usize {
+    let per_sample: usize = widths.iter().sum::<usize>().max(1);
+    let total = per_sample.saturating_mul(batch_size.max(1));
+    (total / MIN_SHARD_CHANNEL_SAMPLES).clamp(1, cap.max(1).min(batch_size.max(1)))
+}
+
+/// Candidate worker counts: powers of two up to `cap`, plus `cap` itself.
+fn worker_candidates(cap: usize) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut w = 1;
+    while w <= cap {
+        out.push(w);
+        w *= 2;
+    }
+    if out.last() != Some(&cap) {
+        out.push(cap);
+    }
+    out
+}
+
+fn autotune_cache() -> &'static Mutex<HashMap<String, usize>> {
+    static CACHE: OnceLock<Mutex<HashMap<String, usize>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Drops every memoized [`WorkerPolicy::Auto`] probe result, forcing the
+/// next resolution to re-probe. Benches use this between reports; ordinary
+/// training never needs it.
+pub fn clear_autotune_cache() {
+    autotune_cache().lock().unwrap().clear();
+}
+
+/// [`WorkerPolicy::Auto`]'s resolver with an explicit thread `cap` (the
+/// public path passes [`par::max_threads`]); split out so the cap logic is
+/// testable without mutating the process-wide thread setting.
+fn autotune_workers<M: DpTrainable>(
+    model: &M,
+    data: &ImageDataset,
+    batch_size: usize,
+    sgd: &Sgd,
+    lambda: f32,
+    cap: usize,
+) -> Result<usize> {
+    if data.is_empty() || batch_size == 0 || cap <= 1 {
+        return Ok(1);
+    }
+    let widths = model.sync_widths();
+    let probe_batch_len = batch_size.min(data.len());
+    let candidates = worker_candidates(width_worker_cap(&widths, probe_batch_len, cap));
+    if candidates.len() == 1 {
+        return Ok(candidates[0]);
+    }
+
+    let key = format!(
+        "{}|{:?}|b{}|c{}",
+        std::any::type_name::<M>(),
+        widths,
+        probe_batch_len,
+        cap
+    );
+    if let Some(&w) = autotune_cache().lock().unwrap().get(&key) {
+        return Ok(w);
+    }
+
+    // Probe on a real leading minibatch so shard shapes match training.
+    let indices: Vec<usize> = (0..probe_batch_len).collect();
+    let batch = data.gather(&indices);
+    let mut best = (candidates[0], f64::INFINITY);
+    for &w in &candidates {
+        let mut trainer = DataParallelTrainer::new(model, w)?;
+        trainer.step_with_penalty(&batch, sgd, lambda)?; // warm-up
+        let t0 = Instant::now();
+        for _ in 0..PROBE_STEPS {
+            trainer.step_with_penalty(&batch, sgd, lambda)?;
+        }
+        let secs = t0.elapsed().as_secs_f64();
+        // Strict `<`: ties commit to the smaller worker count.
+        if secs < best.1 {
+            best = (w, secs);
+        }
+    }
+    // First writer wins: concurrent first resolutions of the same key probe
+    // under each other's load and can disagree, so every caller — the
+    // losing prober included — returns whatever landed in the cache first,
+    // keeping in-process resolutions deterministic.
+    Ok(*autotune_cache()
+        .lock()
+        .unwrap()
+        .entry(key)
+        .or_insert(best.0))
+}
+
 /// Data-parallel SGD driver: `W` replicas of one [`DpTrainable`] model that
 /// stay numerically identical across steps (see the module docs for the
 /// synchronization contract). [`train_victim_dp`],
-/// [`crate::transfer::train_two_branch_with_workers`] and
-/// [`crate::pruning::iterative_prune_with_workers`] drive it; it is public
-/// so benches and future phases can step it batch by batch.
+/// [`crate::transfer::train_two_branch_with_workers`],
+/// [`crate::pruning::iterative_prune_with_workers`] and
+/// [`crate::attack::attack_with_workers`] drive it; it is public so benches
+/// and future phases can step it batch by batch.
+///
+/// # Examples
+///
+/// Stepping a [`ChainNet`] replica set directly:
+///
+/// ```
+/// use rand::rngs::StdRng;
+/// use rand::SeedableRng;
+/// use tbnet_core::dp_train::DataParallelTrainer;
+/// use tbnet_data::{DatasetKind, SyntheticCifar};
+/// use tbnet_models::{vgg, ChainNet};
+/// use tbnet_nn::optim::Sgd;
+///
+/// let data = SyntheticCifar::generate(
+///     DatasetKind::Cifar10Like
+///         .config()
+///         .with_classes(2)
+///         .with_train_per_class(4)
+///         .with_test_per_class(2)
+///         .with_size(8, 8),
+/// );
+/// let spec = vgg::vgg_from_stages("doc", &[(4, 1)], 2, 3, (8, 8));
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let net = ChainNet::from_spec(&spec, &mut rng)?;
+/// let sgd = Sgd::new(0.05, 0.9, 1e-4)?;
+///
+/// let mut trainer = DataParallelTrainer::new(&net, 2)?;
+/// let stats = trainer.step(&data.train().as_batch(), &sgd)?;
+/// assert!(stats.loss.is_finite());
+/// let trained: ChainNet = trainer.into_model(); // replica 0 is canonical
+/// # let _ = trained;
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 #[derive(Debug)]
 pub struct DataParallelTrainer<M: DpTrainable> {
     replicas: Vec<M>,
@@ -285,6 +618,39 @@ impl<M: DpTrainable> DataParallelTrainer<M> {
     /// BatchNorm *running* statistics may lag — those never feed training
     /// math, and replica 0 always owns a shard, so the canonical state
     /// stays sequential-exact.)
+    ///
+    /// # Invariants
+    ///
+    /// * The penalty subgradient is applied to the **merged** gradient,
+    ///   once per step per replica, after the broadcast — matching a
+    ///   sequential loop that penalizes after its whole-batch backward.
+    /// * Shard gradients fold left-to-right over contiguous shards, so the
+    ///   result is deterministic for a fixed worker count regardless of
+    ///   pool scheduling.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// # use rand::rngs::StdRng;
+    /// # use rand::SeedableRng;
+    /// # use tbnet_core::dp_train::DataParallelTrainer;
+    /// # use tbnet_data::{DatasetKind, SyntheticCifar};
+    /// # use tbnet_models::{vgg, ChainNet};
+    /// # use tbnet_nn::optim::Sgd;
+    /// # let data = SyntheticCifar::generate(
+    /// #     DatasetKind::Cifar10Like.config().with_classes(2)
+    /// #         .with_train_per_class(4).with_test_per_class(2).with_size(8, 8),
+    /// # );
+    /// # let spec = vgg::vgg_from_stages("doc", &[(4, 1)], 2, 3, (8, 8));
+    /// # let mut rng = StdRng::seed_from_u64(0);
+    /// # let net = ChainNet::from_spec(&spec, &mut rng)?;
+    /// # let sgd = Sgd::new(0.05, 0.9, 1e-4)?;
+    /// let mut trainer = DataParallelTrainer::new(&net, 2)?;
+    /// // λ = 0 ⇒ the reported penalty is exactly zero.
+    /// let stats = trainer.step_with_penalty(&data.train().as_batch(), &sgd, 0.0)?;
+    /// assert_eq!(stats.penalty, 0.0);
+    /// # Ok::<(), Box<dyn std::error::Error>>(())
+    /// ```
     ///
     /// # Errors
     ///
@@ -436,6 +802,10 @@ impl DpTrainable for ChainNet {
 
     fn sync_points(&self) -> usize {
         self.units().len()
+    }
+
+    fn sync_widths(&self) -> Vec<usize> {
+        self.units().iter().map(|u| u.out_channels()).collect()
     }
 
     fn backend_kind(&self) -> BackendKind {
@@ -645,6 +1015,62 @@ mod tests {
         assert_eq!(trainer.workers(), 3);
         let back = trainer.into_model();
         assert_eq!(back.units().len(), net.units().len());
+    }
+
+    #[test]
+    fn width_cap_bounds_and_candidates() {
+        // Narrow model + small batch: sync-dominated, capped to one worker.
+        assert_eq!(width_worker_cap(&[4, 4], 8, 8), 1);
+        // Wide model: capped only by the explicit cap / batch size.
+        assert_eq!(width_worker_cap(&[256, 256], 32, 8), 8);
+        assert_eq!(width_worker_cap(&[256, 256], 4, 8), 4);
+        // Degenerate inputs stay sane.
+        assert_eq!(width_worker_cap(&[], 0, 0), 1);
+        assert_eq!(worker_candidates(1), vec![1]);
+        assert_eq!(worker_candidates(4), vec![1, 2, 4]);
+        assert_eq!(worker_candidates(6), vec![1, 2, 4, 6]);
+    }
+
+    #[test]
+    fn autotune_respects_explicit_cap_and_memoizes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // Wide enough that the width prefilter leaves several candidates.
+        let spec = vgg::vgg_from_stages("v", &[(16, 1), (16, 1)], 4, 3, (8, 8));
+        let net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let data = tiny_data();
+        let sgd = Sgd::new(0.05, 0.9, 1e-4).unwrap();
+        for cap in [1usize, 2, 3] {
+            let w = autotune_workers(&net, data.train(), 16, &sgd, 0.0, cap).unwrap();
+            assert!(w >= 1 && w <= cap, "cap {cap} resolved to {w}");
+            // Memoized: the second resolution must repeat the first even
+            // though step timings are noisy.
+            let again = autotune_workers(&net, data.train(), 16, &sgd, 0.0, cap).unwrap();
+            assert_eq!(w, again);
+        }
+        clear_autotune_cache();
+    }
+
+    #[test]
+    fn empty_data_or_single_thread_resolve_to_one_worker() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let spec = vgg::vgg_from_stages("v", &[(16, 1)], 4, 3, (8, 8));
+        let net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let data = tiny_data();
+        let sgd = Sgd::new(0.05, 0.9, 1e-4).unwrap();
+        assert_eq!(
+            autotune_workers(&net, data.train(), 16, &sgd, 0.0, 1).unwrap(),
+            1
+        );
+        assert_eq!(
+            autotune_workers(&net, data.train(), 0, &sgd, 0.0, 4).unwrap(),
+            1
+        );
+        assert_eq!(
+            WorkerPolicy::from(3)
+                .resolve(&net, data.train(), 16, &sgd, 0.0)
+                .unwrap(),
+            3
+        );
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod train;
 pub mod transfer;
 
 pub use channels::{gather_channels, scatter_add_channels, ChannelBook};
-pub use dp_train::{DataParallelTrainer, DpTrainable};
+pub use dp_train::{DataParallelTrainer, DpTrainable, WorkerPolicy};
 pub use error::CoreError;
 pub use two_branch::{TwoBranchModel, TwoBranchScratch};
 

@@ -7,18 +7,25 @@
 //!
 //! All three training phases — victim training, knowledge transfer and the
 //! per-iteration pruning fine-tune — run through the generic data-parallel
-//! engine in [`crate::dp_train`] with
-//! `tbnet_tensor::par::max_threads()` workers, so the whole pipeline scales
-//! with the available cores while reproducing the sequential reference
-//! loops to f32 rounding.
+//! engine in [`crate::dp_train`] under the [`WorkerPolicy`] in
+//! [`PipelineConfig::workers`] (default: [`WorkerPolicy::Auto`], which
+//! tunes a worker count per phase — and per pruning iteration — from the
+//! live layer widths plus a memoized step-timing probe, capped at
+//! `tbnet_tensor::par::max_threads()`), so the whole pipeline scales with
+//! the available cores while reproducing the sequential reference loops to
+//! f32 rounding.
 //!
-//! A run is fully deterministic for a fixed worker count; across *different*
-//! worker counts results agree only to f32 rounding (the shard fold changes
-//! the summation order), so hosts with different core counts can diverge at
-//! the ~1e-6 level — enough, in principle, to flip a pruning keep/rollback
-//! decision that sits exactly on the drop budget. For bit-reproducible runs
-//! across machines, pin the worker count first (`TBNET_THREADS=N` or
-//! `tbnet_tensor::par::set_max_threads`).
+//! A run is fully deterministic for a fixed worker count, and `Auto` probe
+//! results are memoized per phase shape, so repeated runs in one process
+//! repeat their worker choices exactly. Across *different* worker counts
+//! results agree only to f32 rounding (the shard fold changes the summation
+//! order), so hosts with different core counts — or separate processes
+//! whose `Auto` probes commit differently — can diverge at the ~1e-6 level:
+//! enough, in principle, to flip a pruning keep/rollback decision that sits
+//! exactly on the drop budget. For bit-reproducible runs across machines,
+//! pin both the thread count (`TBNET_THREADS=N` or
+//! `tbnet_tensor::par::set_max_threads`) and the policy
+//! (`cfg.workers = WorkerPolicy::Fixed(W)`).
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -26,11 +33,13 @@ use serde::{Deserialize, Serialize};
 
 use tbnet_data::SyntheticCifar;
 use tbnet_models::{ChainNet, ModelSpec};
-use tbnet_tensor::par;
 
-use crate::pruning::{iterative_prune, PruneConfig, PruneIteration};
+use crate::dp_train::WorkerPolicy;
+use crate::pruning::{iterative_prune_with_workers, PruneConfig, PruneIteration};
 use crate::train::{train_victim_with_workers, TrainConfig};
-use crate::transfer::{evaluate_two_branch, train_two_branch, TransferConfig, TransferEpoch};
+use crate::transfer::{
+    evaluate_two_branch, train_two_branch_with_workers, TransferConfig, TransferEpoch,
+};
 use crate::{Result, TwoBranchModel};
 
 /// Configuration of the full pipeline.
@@ -42,6 +51,11 @@ pub struct PipelineConfig {
     pub transfer: TransferConfig,
     /// Iterative-pruning settings (steps ③–⑤).
     pub prune: PruneConfig,
+    /// Worker policy shared by every training phase. [`WorkerPolicy::Auto`]
+    /// (the default) autotunes per phase — and per pruning iteration, on
+    /// the live post-prune widths; [`WorkerPolicy::Fixed`] pins the shard
+    /// layout for bit-reproducibility across hosts.
+    pub workers: WorkerPolicy,
     /// Seed for model initialization.
     pub seed: u64,
 }
@@ -57,6 +71,7 @@ impl PipelineConfig {
             victim: TrainConfig::paper_scaled(victim_epochs),
             transfer: TransferConfig::paper_scaled(transfer_epochs),
             prune: PruneConfig::paper_scaled(finetune_epochs),
+            workers: WorkerPolicy::Auto,
             seed: 2024,
         }
     }
@@ -112,25 +127,29 @@ pub fn run_pipeline(
 ) -> Result<TbnetArtifacts> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
 
-    // Step ⓪ — the vendor's well-trained victim (data-parallel when the
-    // host offers more than one thread).
+    // Step ⓪ — the vendor's well-trained victim (data-parallel under the
+    // configured worker policy).
     let mut victim = ChainNet::from_spec(spec, &mut rng)?;
-    train_victim_with_workers(&mut victim, data.train(), &cfg.victim, par::max_threads())?;
+    train_victim_with_workers(&mut victim, data.train(), &cfg.victim, cfg.workers)?;
     let victim_acc = crate::train::evaluate(&mut victim, data.test())?;
 
     // Step ① — two-branch initialization.
     let mut model = TwoBranchModel::from_victim(&victim, &mut rng)?;
 
-    // Step ② — knowledge transfer (Eq. 1).
-    let transfer_history = train_two_branch(&mut model, data.train(), &cfg.transfer)?;
+    // Step ② — knowledge transfer (Eq. 1), re-resolving the policy on the
+    // two-branch model's widths.
+    let transfer_history =
+        train_two_branch_with_workers(&mut model, data.train(), &cfg.transfer, cfg.workers)?;
 
-    // Steps ③–⑤ — iterative two-branch pruning (Alg. 1).
-    let outcome = iterative_prune(
+    // Steps ③–⑤ — iterative two-branch pruning (Alg. 1); the fine-tune
+    // policy re-resolves per iteration on the post-prune widths.
+    let outcome = iterative_prune_with_workers(
         &mut model,
         data.train(),
         data.test(),
         victim_acc,
         &cfg.prune,
+        cfg.workers,
     )?;
 
     // Step ⑥ — rollback finalization: M_R reverts one iteration.

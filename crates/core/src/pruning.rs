@@ -24,6 +24,7 @@ use tbnet_models::{ChainNet, HeadSpec};
 use tbnet_tensor::{par, Tensor};
 
 use crate::channels::ChannelBook;
+use crate::dp_train::WorkerPolicy;
 use crate::transfer::{evaluate_two_branch, train_two_branch_with_workers, TransferConfig};
 use crate::{CoreError, Result, TwoBranchModel};
 
@@ -388,14 +389,17 @@ pub fn iterative_prune(
     iterative_prune_with_workers(model, train, test, reference_acc, cfg, par::max_threads())
 }
 
-/// [`iterative_prune`] with an explicit worker count for the fine-tune
-/// phase: after every mask application, the pruned two-branch model is
-/// fine-tuned through [`crate::dp_train::DataParallelTrainer`], which
-/// shards each minibatch across `workers` replicas with synchronized
-/// BatchNorm statistics. Pruned channels stay pruned: training never
-/// resizes layers, so the channel books, merge alignment and branch widths
-/// are invariant across data-parallel fine-tune steps (the parity suite
-/// asserts this).
+/// [`iterative_prune`] with an explicit [`WorkerPolicy`] for the fine-tune
+/// phase (a plain `usize` converts to [`WorkerPolicy::Fixed`]): after every
+/// mask application, the pruned two-branch model is fine-tuned through
+/// [`crate::dp_train::DataParallelTrainer`], which shards each minibatch
+/// across the resolved number of replicas with synchronized BatchNorm
+/// statistics. The policy is re-resolved on every iteration against the
+/// *post-prune* branch widths, so [`WorkerPolicy::Auto`] backs off to fewer
+/// workers as the model narrows and synchronization starts to dominate.
+/// Pruned channels stay pruned: training never resizes layers, so the
+/// channel books, merge alignment and branch widths are invariant across
+/// data-parallel fine-tune steps (the parity suite asserts this).
 ///
 /// # Errors
 ///
@@ -406,9 +410,10 @@ pub fn iterative_prune_with_workers(
     test: &ImageDataset,
     reference_acc: f32,
     cfg: &PruneConfig,
-    workers: usize,
+    workers: impl Into<WorkerPolicy>,
 ) -> Result<PruneOutcome> {
     cfg.validate()?;
+    let workers = workers.into();
     let mut history = Vec::new();
     let mut rollback_mr = model.mr().clone();
     let mut rollback_mr_book = model.mr_book().clone();

@@ -19,6 +19,7 @@ use tbnet_nn::metrics::{accuracy, RunningMean};
 use tbnet_nn::optim::{Sgd, StepLr};
 use tbnet_nn::{Layer, Mode};
 
+use crate::dp_train::WorkerPolicy;
 use crate::{CoreError, Result};
 
 /// Hyper-parameters for plain classifier training.
@@ -124,13 +125,14 @@ pub fn train_victim(
     Ok(history)
 }
 
-/// Trains with `workers`-way data parallelism when `workers > 1`, falling
-/// back to the plain sequential loop for a single worker. The data-parallel
-/// engine ([`crate::dp_train`]) synchronizes BatchNorm statistics across
-/// shards and merges gradients deterministically, so every worker count
-/// produces the same loss curve, weights and running statistics to f32
-/// rounding — pick `workers` from `tbnet_tensor::par::max_threads()` for
-/// throughput without changing results.
+/// Trains with data parallelism under a [`WorkerPolicy`] (a plain `usize`
+/// converts to [`WorkerPolicy::Fixed`]), falling back to the plain
+/// sequential loop when the policy resolves to a single worker. The
+/// data-parallel engine ([`crate::dp_train`]) synchronizes BatchNorm
+/// statistics across shards and merges gradients deterministically, so
+/// every worker count produces the same loss curve, weights and running
+/// statistics to f32 rounding — pass [`WorkerPolicy::Auto`] for a per-phase
+/// autotuned count, or a fixed count to pin the shard layout.
 ///
 /// # Errors
 ///
@@ -139,11 +141,18 @@ pub fn train_victim_with_workers(
     net: &mut ChainNet,
     data: &ImageDataset,
     cfg: &TrainConfig,
-    workers: usize,
+    workers: impl Into<WorkerPolicy>,
 ) -> Result<Vec<EpochStats>> {
-    if workers <= 1 {
+    cfg.validate()?;
+    let sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
+    let workers = workers
+        .into()
+        .resolve(net, data, cfg.batch_size, &sgd, 0.0)?;
+    if workers == 1 {
         train_victim(net, data, cfg)
     } else {
+        // workers == 0 reaches the trainer and is rejected there, keeping
+        // the Fixed(0) contract identical across all four entry points.
         crate::dp_train::train_victim_dp(net, data, cfg, workers)
     }
 }
@@ -194,6 +203,17 @@ mod tests {
         cfg.epochs = 1;
         cfg.batch_size = 0;
         assert!(train_victim(&mut net, data.train(), &cfg).is_err());
+    }
+
+    #[test]
+    fn zero_workers_rejected_like_every_other_entry_point() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let spec = vgg::vgg_from_stages("v", &[(4, 1)], 4, 3, (8, 8));
+        let mut net = ChainNet::from_spec(&spec, &mut rng).unwrap();
+        let data = tiny_data();
+        let cfg = TrainConfig::paper_scaled(1);
+        assert!(train_victim_with_workers(&mut net, data.train(), &cfg, 0).is_err());
+        assert!(train_victim_with_workers(&mut net, data.train(), &cfg, 1).is_ok());
     }
 
     #[test]

@@ -32,7 +32,7 @@ use tbnet_nn::optim::{Sgd, StepLr};
 use tbnet_nn::Mode;
 use tbnet_tensor::par;
 
-use crate::dp_train::DataParallelTrainer;
+use crate::dp_train::{DataParallelTrainer, WorkerPolicy};
 use crate::{CoreError, Result, TwoBranchModel};
 
 /// Hyper-parameters of the knowledge-transfer optimization.
@@ -146,12 +146,15 @@ pub fn train_two_branch(
     train_two_branch_with_workers(model, data, cfg, par::max_threads())
 }
 
-/// Knowledge transfer (Eq. 1) through the generic data-parallel engine at
-/// an explicit worker count: every minibatch is sharded across `workers`
-/// model replicas with synchronized BatchNorm statistics, gradients merge
-/// with a deterministic left-to-right fold, the sparsity subgradient is
-/// applied to the merged gradient, and every replica takes the identical
-/// SGD step.
+/// Knowledge transfer (Eq. 1) through the generic data-parallel engine
+/// under a [`WorkerPolicy`] (a plain `usize` converts to
+/// [`WorkerPolicy::Fixed`]): every minibatch is sharded across the resolved
+/// number of model replicas with synchronized BatchNorm statistics,
+/// gradients merge with a deterministic left-to-right fold, the sparsity
+/// subgradient is applied to the merged gradient, and every replica takes
+/// the identical SGD step. [`WorkerPolicy::Auto`] resolves against the
+/// model's *live* branch widths, so repeated fine-tunes of a shrinking
+/// model (the pruning loop) re-tune per iteration.
 ///
 /// # Errors
 ///
@@ -160,12 +163,15 @@ pub fn train_two_branch_with_workers(
     model: &mut TwoBranchModel,
     data: &ImageDataset,
     cfg: &TransferConfig,
-    workers: usize,
+    workers: impl Into<WorkerPolicy>,
 ) -> Result<Vec<TransferEpoch>> {
     cfg.validate()?;
+    let mut sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
+    let workers = workers
+        .into()
+        .resolve(model, data, cfg.batch_size, &sgd, cfg.lambda)?;
     let mut trainer = DataParallelTrainer::new(model, workers)?;
     let mut rng = StdRng::seed_from_u64(cfg.seed);
-    let mut sgd = Sgd::new(cfg.lr, cfg.momentum, cfg.weight_decay)?;
     let sched = StepLr::new(cfg.lr, cfg.lr_gamma, cfg.lr_step)?;
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {

@@ -465,6 +465,17 @@ impl DpTrainable for TwoBranchModel {
         2 * self.unit_count()
     }
 
+    fn sync_widths(&self) -> Vec<usize> {
+        // Sync point 2i is M_R unit i's BN, 2i+1 is M_T unit i's — report
+        // the live width of each in that exact order.
+        self.mr()
+            .units()
+            .iter()
+            .zip(self.mt().units())
+            .flat_map(|(ru, tu)| [ru.out_channels(), tu.out_channels()])
+            .collect()
+    }
+
     fn backend_kind(&self) -> BackendKind {
         self.backend
     }

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Dead-path check for the prose docs (ARCHITECTURE.md, README.md).
+
+The architecture docs anchor their explanations to concrete repo paths
+(`crates/core/src/dp_train.rs`, `tests/attack_parity.rs`, ...). A rename or
+move silently strands those references; this script fails CI when it finds
+one. Two kinds of references are checked, both resolved against the repo
+root (the directory containing the checked file):
+
+1. relative markdown link targets — ``[text](path)`` where the target has
+   no URL scheme and no leading ``#``; an in-page anchor suffix is stripped;
+2. backtick-quoted repo paths — `` `crates/...` `` tokens that start with a
+   known top-level directory and contain a ``/``. Tokens with glob or
+   placeholder characters (``*``, ``<``, ``{``) are skipped, and a
+   ``path:line`` suffix is stripped.
+
+Usage:
+    check_doc_links.py FILE.md [FILE.md ...]
+
+Exit status: 0 = all references resolve, 1 = dangling reference, 2 = a
+checked file itself is missing.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+# Top-level directories whose backtick-quoted mentions are treated as paths.
+PATH_ROOTS = ("crates/", "tests/", "scripts/", "ci/", "src/", "examples/", ".github/")
+
+MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+BACKTICK = re.compile(r"`([^`\n]+)`")
+
+
+def candidate_paths(text: str) -> set[str]:
+    """Extracts every checkable path reference from a markdown document."""
+    refs: set[str] = set()
+    for target in MD_LINK.findall(text):
+        if "://" in target or target.startswith(("#", "mailto:")):
+            continue
+        refs.add(target.split("#", 1)[0])
+    for token in BACKTICK.findall(text):
+        if not token.startswith(PATH_ROOTS) or "/" not in token:
+            continue
+        if any(ch in token for ch in "*<{ "):
+            continue
+        # Strip a `path:line` location suffix and trailing punctuation.
+        refs.add(token.split(":", 1)[0].rstrip("/."))
+    refs.discard("")
+    return refs
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    failures = 0
+    for doc in sys.argv[1:]:
+        try:
+            with open(doc, encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"error: cannot read {doc}: {exc}", file=sys.stderr)
+            return 2
+        root = os.path.dirname(os.path.abspath(doc))
+        for ref in sorted(candidate_paths(text)):
+            if not os.path.exists(os.path.join(root, ref)):
+                print(f"{doc}: dangling path reference `{ref}`")
+                failures += 1
+    if failures:
+        print(f"{failures} dangling reference(s)", file=sys.stderr)
+        return 1
+    print("all path references resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
