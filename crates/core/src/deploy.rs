@@ -12,6 +12,8 @@
 //!   and classifies. Its logits must match [`TwoBranchModel::predict`]
 //!   exactly, which the tests assert.
 
+use std::time::Instant;
+
 use serde::{Deserialize, Serialize};
 
 use tbnet_models::ModelSpec;
@@ -129,6 +131,29 @@ impl DeploymentPlan {
     }
 }
 
+/// Wall-clock breakdown of a [`run_split_inference`] call, shaped like the
+/// analytical [`LatencyReport`] so the simulator (Table 3) and the real
+/// execution become directly comparable: `ree_ms` ↔ `ree_compute_s`,
+/// `tee_ms` ↔ `tee_compute_s`, `transfer_ms` ↔ `transfer_s`,
+/// `merge_ms` ↔ `merge_s` (there is no switch cost in-process).
+///
+/// `merge_ms` covers the TEE-side channel extraction (the step-⑥ gather);
+/// the elementwise add itself rides inside `tee_ms` whenever `M_T`'s unit
+/// fuses it into its conv epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SplitTimings {
+    /// REE-side `M_R` unit forwards.
+    pub ree_ms: f64,
+    /// One-way channel sends and receives (payload clones included).
+    pub transfer_ms: f64,
+    /// TEE-side `M_T` unit forwards (fused merges included) and the head.
+    pub tee_ms: f64,
+    /// TEE-side aligned-channel extraction before each merge.
+    pub merge_ms: f64,
+    /// End-to-end wall clock of the split execution.
+    pub total_ms: f64,
+}
+
 /// Result of a functional split inference.
 #[derive(Debug, Clone)]
 pub struct SplitInference {
@@ -136,11 +161,16 @@ pub struct SplitInference {
     pub logits: Tensor,
     /// Traffic that crossed the one-way channel.
     pub channel: ChannelStats,
+    /// Per-stage wall-clock breakdown.
+    pub timings: SplitTimings,
 }
 
 /// Executes the finalized model as it would deploy: the REE side runs `M_R`
 /// and streams feature maps through a one-way channel; the TEE side runs
-/// `M_T`, extracting aligned channels and merging.
+/// `M_T`, extracting aligned channels and merging. Both sides run the
+/// BN-folded fused inference path ([`tbnet_models::Unit::forward_inference`]);
+/// `M_T` fuses each merge into its conv epilogue where its unit geometry
+/// allows.
 ///
 /// The data flow is exactly the paper's: nothing is ever sent TEE→REE (the
 /// channel type has no such method), and the TEE performs the per-unit
@@ -155,46 +185,74 @@ pub struct SplitInference {
 pub fn run_split_inference(model: &mut TwoBranchModel, images: &Tensor) -> Result<SplitInference> {
     let n = model.unit_count();
     let (tx, rx) = one_way::<Tensor>();
+    let t_start = Instant::now();
+    let (mut ree_ms, mut transfer_ms, mut tee_ms, mut merge_ms) = (0.0, 0.0, 0.0, 0.0);
 
     // ---- REE side: run M_R and stream every feature map. ----
     {
         let mr = model.mr_mut();
         let mut r = images.clone();
+        let t = Instant::now();
         tx.send(images.clone(), images.numel() * 4);
+        transfer_ms += ms_since(t);
         for i in 0..n {
-            r = mr.units_mut()[i].forward(&r, None, Mode::Eval)?;
+            let t = Instant::now();
+            r = mr.units_mut()[i].forward_inference(&r, None, None)?;
+            ree_ms += ms_since(t);
+            let t = Instant::now();
             tx.send(r.clone(), r.numel() * 4);
+            transfer_ms += ms_since(t);
         }
     }
 
     // ---- TEE side: run M_T over merged feature maps. ----
     let align: Vec<Option<Vec<usize>>> = model.align().to_vec();
     let mt = model.mt_mut();
+    let t = Instant::now();
     let mut m = rx.recv().ok_or_else(|| CoreError::BranchMismatch {
         reason: "channel underflow: missing input payload".into(),
     })?;
+    transfer_ms += ms_since(t);
     let mut merged_outs: Vec<Tensor> = Vec::with_capacity(n);
     for i in 0..n {
-        let skip = mt.units()[i]
-            .spec()
-            .skip_from
-            .map(|j| merged_outs[j].clone());
-        let t_out = mt.units_mut()[i].forward(&m, skip.as_ref(), Mode::Eval)?;
+        let t = Instant::now();
         let r_out = rx.recv().ok_or_else(|| CoreError::BranchMismatch {
             reason: format!("channel underflow at unit {i}"),
         })?;
+        transfer_ms += ms_since(t);
+        let t = Instant::now();
         let r_sel = match &align[i] {
             None => r_out,
             Some(idx) => gather_channels(&r_out, idx)?,
         };
-        m = tbnet_tensor::ops::add(&t_out, &r_sel)?;
+        merge_ms += ms_since(t);
+        let skip = mt.units()[i]
+            .spec()
+            .skip_from
+            .map(|j| merged_outs[j].clone());
+        let t = Instant::now();
+        m = mt.units_mut()[i].forward_inference(&m, skip.as_ref(), Some(&r_sel))?;
+        tee_ms += ms_since(t);
         merged_outs.push(m.clone());
     }
+    let t = Instant::now();
     let logits = mt.head_mut().forward(&m, Mode::Eval)?;
+    tee_ms += ms_since(t);
     Ok(SplitInference {
         logits,
         channel: tx.stats(),
+        timings: SplitTimings {
+            ree_ms,
+            transfer_ms,
+            tee_ms,
+            merge_ms,
+            total_ms: ms_since(t_start),
+        },
     })
+}
+
+fn ms_since(t: Instant) -> f64 {
+    t.elapsed().as_secs_f64() * 1e3
 }
 
 #[cfg(test)]
@@ -281,5 +339,46 @@ mod tests {
             artifacts.model.unit_count() as u64 + 1
         );
         assert!(split.channel.bytes > 0);
+        // Per-stage wall clock: every stage ran, and the stages cannot
+        // exceed the end-to-end clock.
+        let t = split.timings;
+        assert!(t.ree_ms > 0.0 && t.tee_ms > 0.0);
+        assert!(t.transfer_ms >= 0.0 && t.merge_ms >= 0.0);
+        assert!(t.ree_ms + t.transfer_ms + t.tee_ms + t.merge_ms <= t.total_ms);
+    }
+
+    #[test]
+    fn fused_and_int8_predictions_track_reference() {
+        let (mut artifacts, data) = finalized_artifacts();
+        let batch = data.test().gather(&[0, 1, 2, 3, 4]);
+        let reference = artifacts.model.predict(&batch.images).unwrap();
+        let fused = artifacts.model.predict_fused(&batch.images).unwrap();
+        for (a, b) in fused.as_slice().iter().zip(reference.as_slice()) {
+            assert!((a - b).abs() < 1e-4, "fused {a} vs reference {b}");
+        }
+        let int8 = artifacts.model.predict_int8(&batch.images).unwrap();
+        assert_eq!(int8.dims(), reference.dims());
+        // Quantization shifts logits but must preserve the decisions on
+        // this easy synthetic batch.
+        let classes = reference.dim(1);
+        for (qr, rr) in int8
+            .as_slice()
+            .chunks(classes)
+            .zip(reference.as_slice().chunks(classes))
+        {
+            let qa = qr
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            let ra = rr
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .unwrap()
+                .0;
+            assert_eq!(qa, ra, "int8 top-1 diverged: {qr:?} vs {rr:?}");
+        }
     }
 }

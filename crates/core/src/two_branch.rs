@@ -16,7 +16,7 @@
 
 use rand::Rng;
 
-use tbnet_models::{accumulate_grad, ChainNet};
+use tbnet_models::{accumulate_grad, ChainNet, QuantBranch};
 use tbnet_nn::loss::softmax_cross_entropy_scaled;
 use tbnet_nn::metrics::accuracy;
 use tbnet_nn::optim::Sgd;
@@ -42,6 +42,11 @@ pub struct TwoBranchModel {
     r_dims: Vec<Vec<usize>>,
     finalized: bool,
     backend: BackendKind,
+    /// Int8 snapshot of `M_R` for [`TwoBranchModel::predict_int8`], built
+    /// lazily and dropped whenever `M_R`'s weights or statistics may change
+    /// (training forwards, `visit_params`, `mr_mut`, backend switches,
+    /// rollback finalization).
+    qmr: Option<QuantBranch>,
 }
 
 impl TwoBranchModel {
@@ -73,6 +78,7 @@ impl TwoBranchModel {
             align: vec![None; n],
             r_dims: vec![Vec::new(); n],
             finalized: false,
+            qmr: None,
         })
     }
 
@@ -152,6 +158,7 @@ impl TwoBranchModel {
             align,
             r_dims: vec![Vec::new(); n],
             finalized,
+            qmr: None,
         })
     }
 
@@ -161,6 +168,7 @@ impl TwoBranchModel {
         self.backend = kind;
         self.mr.set_backend(kind);
         self.mt.set_backend(kind);
+        self.qmr = None;
     }
 
     /// The compute backend the merge and gradient-accumulation arithmetic
@@ -174,8 +182,10 @@ impl TwoBranchModel {
         &self.mr
     }
 
-    /// Mutable access to `M_R` (pruning rewrites it).
+    /// Mutable access to `M_R` (pruning rewrites it). Drops the cached int8
+    /// snapshot — the caller may mutate weights through the reference.
     pub fn mr_mut(&mut self) -> &mut ChainNet {
+        self.qmr = None;
         &mut self.mr
     }
 
@@ -271,6 +281,7 @@ impl TwoBranchModel {
         self.mr = previous_mr;
         self.mr_book = previous_mr_book;
         self.finalized = true;
+        self.qmr = None;
         Ok(())
     }
 
@@ -288,6 +299,11 @@ impl TwoBranchModel {
     /// Returns shape errors if the branches were rewritten inconsistently.
     #[allow(clippy::needless_range_loop)] // i indexes two branches and the align table
     pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
+        if mode.is_train() {
+            // Training forwards update BN running statistics, which the int8
+            // snapshot bakes in.
+            self.qmr = None;
+        }
         let n = self.unit_count();
         let mut merged_outs: Vec<Tensor> = Vec::with_capacity(n);
         let mut r = input.clone();
@@ -327,6 +343,119 @@ impl TwoBranchModel {
     /// See [`TwoBranchModel::forward`].
     pub fn predict(&mut self, input: &Tensor) -> Result<Tensor> {
         self.forward(input, Mode::Eval)
+    }
+
+    /// Inference fast path: both branches run BN-folded packed convolutions
+    /// with fused bias/ReLU epilogues, `M_T` additionally fuses the
+    /// two-branch merge into its conv epilogue whenever its unit has no
+    /// pooling, and pooling runs index-free. Equivalent to
+    /// [`TwoBranchModel::predict`] up to f32 rounding of the folded
+    /// weights.
+    ///
+    /// # Errors
+    ///
+    /// See [`TwoBranchModel::forward`].
+    #[allow(clippy::needless_range_loop)] // i indexes two branches and the align table
+    pub fn predict_fused(&mut self, input: &Tensor) -> Result<Tensor> {
+        let n = self.unit_count();
+        let mut is_skip_src = vec![false; n];
+        for u in self.mt.units() {
+            if let Some(j) = u.spec().skip_from {
+                is_skip_src[j] = true;
+            }
+        }
+        let mut merged_outs: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let mut r = input.clone();
+        let mut m = input.clone();
+        for i in 0..n {
+            let r_out = self.mr.units_mut()[i].forward_inference(&r, None, None)?;
+            let r_sel = match &self.align[i] {
+                None => None,
+                Some(idx) => Some(gather_channels(&r_out, idx)?),
+            };
+            let merge = r_sel.as_ref().unwrap_or(&r_out);
+            let skip = self.mt.units()[i].spec().skip_from;
+            let skip = skip.and_then(|j| merged_outs[j].as_ref()).cloned();
+            let merged = self.mt.units_mut()[i]
+                .forward_inference(&m, skip.as_ref(), Some(merge))
+                .map_err(|e| CoreError::BranchMismatch {
+                    reason: format!("fused merge at unit {i} failed: {e}"),
+                })?;
+            if is_skip_src[i] {
+                merged_outs[i] = Some(merged.clone());
+            }
+            r = r_out;
+            m = merged;
+        }
+        Ok(self.mt.head_mut().forward(&m, Mode::Eval)?)
+    }
+
+    /// Inference with the int8 rich branch: `M_R` runs as a quantized
+    /// [`QuantBranch`] snapshot (built lazily, invalidated by anything that
+    /// can change `M_R`), while the secure branch and the merge stay in
+    /// f32 exactly as in [`TwoBranchModel::predict_fused`]. The TEE-side
+    /// arithmetic is untouched — only the attacker-visible branch trades
+    /// precision for speed.
+    ///
+    /// # Errors
+    ///
+    /// See [`TwoBranchModel::forward`].
+    pub fn predict_int8(&mut self, input: &Tensor) -> Result<Tensor> {
+        if self.qmr.is_none() {
+            self.qmr = Some(QuantBranch::from_chain(&self.mr)?);
+        }
+        let q = self.qmr.take().expect("quantized branch just ensured");
+        let result = self.predict_int8_with(&q, input);
+        self.qmr = Some(q);
+        result
+    }
+
+    /// The quantized `M_R` snapshot used by [`TwoBranchModel::predict_int8`],
+    /// building it if absent (e.g. to report its size).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors for inconsistent layer state.
+    pub fn quantized_branch(&mut self) -> Result<&QuantBranch> {
+        if self.qmr.is_none() {
+            self.qmr = Some(QuantBranch::from_chain(&self.mr)?);
+        }
+        Ok(self.qmr.as_ref().expect("just ensured"))
+    }
+
+    #[allow(clippy::needless_range_loop)] // i indexes two branches and the align table
+    fn predict_int8_with(&mut self, q: &QuantBranch, input: &Tensor) -> Result<Tensor> {
+        let n = self.unit_count();
+        let mut is_skip_src = vec![false; n];
+        for u in self.mt.units() {
+            if let Some(j) = u.spec().skip_from {
+                is_skip_src[j] = true;
+            }
+        }
+        let mut merged_outs: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let mut r = input.clone();
+        let mut m = input.clone();
+        for i in 0..n {
+            let r_out = q.forward_unit(i, &r, None)?;
+            let r_sel = match &self.align[i] {
+                None => None,
+                Some(idx) => Some(gather_channels(&r_out, idx)?),
+            };
+            let merge = r_sel.as_ref().unwrap_or(&r_out);
+            let skip = self.mt.units()[i].spec().skip_from;
+            let skip = skip.and_then(|j| merged_outs[j].as_ref()).cloned();
+            let merged = self.mt.units_mut()[i]
+                .forward_inference(&m, skip.as_ref(), Some(merge))
+                .map_err(|e| CoreError::BranchMismatch {
+                    reason: format!("int8 merge at unit {i} failed: {e}"),
+                })?;
+            if is_skip_src[i] {
+                merged_outs[i] = Some(merged.clone());
+            }
+            r = r_out;
+            m = merged;
+        }
+        Ok(self.mt.head_mut().forward(&m, Mode::Eval)?)
     }
 
     /// Backward pass through both branches, accumulating parameter
@@ -380,6 +509,8 @@ impl TwoBranchModel {
 
     /// Visits the trainable parameters of both branches.
     pub fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
+        // Visitors (optimizer steps) may mutate M_R's weights.
+        self.qmr = None;
         Layer::visit_params(&mut self.mr, f);
         Layer::visit_params(&mut self.mt, f);
         // M_R's classifier head is *not* part of the TBNet computation graph
@@ -489,6 +620,10 @@ impl DpTrainable for TwoBranchModel {
         point: usize,
         shard: &mut DpShard<TwoBranchScratch>,
     ) -> Result<(Tensor, Tensor, usize)> {
+        // Data-parallel training mutates BN statistics outside
+        // `TwoBranchModel::forward`, so the int8 snapshot goes stale here
+        // too.
+        self.qmr = None;
         let DpShard { batch, scratch, .. } = shard;
         let i = point / 2;
         let conv_out = if point.is_multiple_of(2) {

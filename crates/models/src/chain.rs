@@ -19,6 +19,7 @@ use rand::Rng;
 use tbnet_nn::{
     BatchNorm2d, Conv2d, Flatten, GlobalAvgPool, Layer, Linear, MaxPool2d, Mode, Param, Relu,
 };
+use tbnet_tensor::ops::Epilogue;
 use tbnet_tensor::{backend, BackendKind, Tensor};
 
 use crate::{HeadSpec, ModelError, ModelSpec, Result, UnitSpec};
@@ -208,6 +209,50 @@ impl Unit {
             Some(p) => p.forward(&act, mode)?,
             None => act,
         };
+        Ok(out)
+    }
+
+    /// Inference fast path: BN-folded packed convolution with bias, ReLU
+    /// and (when fusable) the elementwise adds applied as a single fused
+    /// epilogue while output tiles are cache-hot, plus index-free pooling.
+    ///
+    /// Equivalent to `forward(input, skip, Mode::Eval)` followed by adding
+    /// `merge` — up to f32 rounding of the folded weights. `merge` is the
+    /// other branch's (aligned) unit output in the two-branch forward and
+    /// must be shaped like this unit's *output*; it fuses into the conv
+    /// epilogue when the unit has no pooling and no skip, and is applied as
+    /// a separate add otherwise (pooling sits between ReLU and the merge,
+    /// and a skip already occupies the epilogue's add slot).
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `input`, `skip` or `merge` disagree with
+    /// the unit's geometry.
+    pub fn forward_inference(
+        &mut self,
+        input: &Tensor,
+        skip: Option<&Tensor>,
+        merge: Option<&Tensor>,
+    ) -> Result<Tensor> {
+        let (scale, shift) = self.bn.inference_scale_shift();
+        let stride = self.conv.stride();
+        let pad = self.conv.pad();
+        let imp = self.backend.imp();
+        let (pack, bias) = self.conv.packed_inference(&scale, &shift)?;
+        let epilogue = match (skip, merge, self.pool.is_some()) {
+            (Some(s), _, _) => Epilogue::AddRelu(s),
+            (None, Some(m), false) => Epilogue::ReluAdd(m),
+            _ => Epilogue::Relu,
+        };
+        let merge_fused = matches!(epilogue, Epilogue::ReluAdd(_));
+        let act = imp.conv2d_forward_fused(input, pack, Some(bias), stride, pad, epilogue)?;
+        let mut out = match self.pool.as_ref() {
+            Some(p) => imp.maxpool2d_eval(&act, p.window())?,
+            None => act,
+        };
+        if let (Some(m), false) = (merge, merge_fused) {
+            imp.add_assign(&mut out, m)?;
+        }
         Ok(out)
     }
 
@@ -519,6 +564,36 @@ impl ChainNet {
         let mut count = 0;
         self.visit_params(&mut |p| count += p.numel());
         count
+    }
+
+    /// Whole-chain inference fast path: every unit runs its BN-folded fused
+    /// forward ([`Unit::forward_inference`]), then the head. Equivalent to
+    /// `forward(input, Mode::Eval)` up to f32 rounding of the folded
+    /// weights. Unit outputs are only retained when a later unit consumes
+    /// them through a skip connection.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors when `input` disagrees with the network.
+    pub fn predict_inference(&mut self, input: &Tensor) -> Result<Tensor> {
+        let n = self.units.len();
+        let mut is_skip_src = vec![false; n];
+        for u in &self.units {
+            if let Some(j) = u.spec.skip_from {
+                is_skip_src[j] = true;
+            }
+        }
+        let mut outs: Vec<Option<Tensor>> = (0..n).map(|_| None).collect();
+        let mut x = input.clone();
+        for i in 0..n {
+            let skip = self.units[i].spec.skip_from.and_then(|j| outs[j].as_ref());
+            let y = self.units[i].forward_inference(&x, skip, None)?;
+            if is_skip_src[i] {
+                outs[i] = Some(y.clone());
+            }
+            x = y;
+        }
+        self.head.forward(&x, Mode::Eval)
     }
 }
 

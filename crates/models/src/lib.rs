@@ -40,12 +40,14 @@ mod chain;
 mod descriptor;
 mod error;
 
+pub mod quant;
 pub mod resnet;
 pub mod vgg;
 
 pub use chain::{accumulate_grad, ChainNet, Head, Unit, UnitBnBackward};
 pub use descriptor::{HeadSpec, ModelSpec, UnitSpec, UnitTrace};
 pub use error::ModelError;
+pub use quant::{QuantBranch, QuantUnit};
 
 /// Convenience alias for results produced by this crate.
 pub type Result<T> = std::result::Result<T, ModelError>;

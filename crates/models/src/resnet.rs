@@ -87,6 +87,92 @@ pub fn resnet_from_stages(
     }
 }
 
+/// Builds a bottleneck-residual spec: a 3×3 stem, then per stage `blocks`
+/// blocks of `1×1 reduce (w/2) → 3×3 → 1×1 expand (w)`, with an identity
+/// skip around every block whose shapes match (stride 1, equal widths).
+/// Stages after the first enter with a stride-2 downsampling reduce and no
+/// shortcut, like [`resnet_from_stages`].
+///
+/// This is the geometry where the fused inference path pays off most: the
+/// 1×1 convolutions do little arithmetic per activation, so the separate
+/// BN/ReLU/skip-merge sweeps of the training-shaped forward are a large
+/// fraction of its runtime.
+///
+/// # Panics
+///
+/// Panics if `widths` is empty, any width is odd, or `blocks` is zero.
+pub fn bottleneck_from_stages(
+    name: &str,
+    widths: &[usize],
+    blocks: usize,
+    classes: usize,
+    in_channels: usize,
+    input_hw: (usize, usize),
+) -> ModelSpec {
+    assert!(!widths.is_empty(), "need at least one stage");
+    assert!(blocks > 0, "need at least one block per stage");
+    assert!(
+        widths.iter().all(|w| w % 2 == 0),
+        "bottleneck widths must be even (mid width is w/2)"
+    );
+
+    let mut units: Vec<UnitSpec> = Vec::new();
+    let mut next_group = 0usize;
+    let mut fresh_group = || {
+        let g = next_group;
+        next_group += 1;
+        g
+    };
+
+    // Stem joins the stage-1 residual chain (its output feeds the first
+    // block's shortcut), so it shares that chain's pruning group.
+    let stage1_chain = fresh_group();
+    units.push(UnitSpec::conv3x3(widths[0], stage1_chain));
+    let mut block_input_unit = 0usize;
+
+    for (s, &width) in widths.iter().enumerate() {
+        let chain = if s == 0 { stage1_chain } else { fresh_group() };
+        let mid = width / 2;
+        for b in 0..blocks {
+            let downsample = s > 0 && b == 0;
+            let stride = if downsample { 2 } else { 1 };
+            units.push(UnitSpec {
+                out_channels: mid,
+                kernel: 1,
+                stride,
+                pad: 0,
+                pool_after: None,
+                group: fresh_group(),
+                skip_from: None,
+            });
+            units.push(UnitSpec::conv3x3(mid, fresh_group()));
+            let mut expand = UnitSpec {
+                out_channels: width,
+                kernel: 1,
+                stride: 1,
+                pad: 0,
+                pool_after: None,
+                group: chain,
+                skip_from: None,
+            };
+            if !downsample {
+                expand = expand.with_skip_from(block_input_unit);
+            }
+            units.push(expand);
+            block_input_unit = units.len() - 1;
+        }
+    }
+
+    ModelSpec {
+        name: name.to_string(),
+        in_channels,
+        input_hw,
+        classes,
+        units,
+        head: HeadSpec::GapLinear,
+    }
+}
+
 /// The paper's ResNet-20 at CIFAR scale: widths (16, 32, 64), three blocks
 /// per stage, 32×32 inputs.
 pub fn resnet20(classes: usize, in_channels: usize, input_hw: (usize, usize)) -> ModelSpec {
@@ -192,5 +278,37 @@ mod tests {
     #[should_panic(expected = "at least one block")]
     fn zero_blocks_panics() {
         resnet_from_stages("x", &[8], 0, 10, 3, (16, 16));
+    }
+
+    #[test]
+    fn bottleneck_traces_and_skips() {
+        let spec = bottleneck_from_stages("bn", &[32, 64], 2, 10, 3, (32, 32));
+        // Stem + 2 stages × 2 blocks × 3 convs.
+        assert_eq!(spec.units.len(), 13);
+        let t = spec.trace().unwrap();
+        assert_eq!(t.last().unwrap().out_channels, 64);
+        assert_eq!(t.last().unwrap().out_hw, (16, 16));
+        let skips: Vec<Option<usize>> = spec.units.iter().map(|u| u.skip_from).collect();
+        // Stage 1: both blocks skip (stem → expand 3 → expand 6); stage 2's
+        // entry block downsamples (no skip), its second block skips.
+        assert_eq!(skips[3], Some(0));
+        assert_eq!(skips[6], Some(3));
+        assert_eq!(skips[9], None);
+        assert_eq!(skips[12], Some(9));
+        // Kernel mix: 1×1 reduce/expand around each 3×3.
+        assert_eq!(spec.units[1].kernel, 1);
+        assert_eq!(spec.units[2].kernel, 3);
+        assert_eq!(spec.units[3].kernel, 1);
+        // Residual endpoints share the chain group per stage.
+        assert_eq!(spec.units[3].group, spec.units[0].group);
+        assert_eq!(spec.units[6].group, spec.units[0].group);
+        assert_eq!(spec.units[9].group, spec.units[12].group);
+        assert_ne!(spec.units[9].group, spec.units[0].group);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be even")]
+    fn bottleneck_odd_width_panics() {
+        bottleneck_from_stages("x", &[9], 1, 10, 3, (16, 16));
     }
 }

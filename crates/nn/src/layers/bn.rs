@@ -79,6 +79,38 @@ impl BatchNorm2d {
         &self.running_var
     }
 
+    /// Numerical-stability epsilon added to the variance.
+    pub fn eps(&self) -> f32 {
+        self.eps
+    }
+
+    /// The per-channel affine this layer applies at inference, as
+    /// `(scale, shift)` with `y = scale · x + shift`:
+    /// `scale = gamma / sqrt(running_var + eps)`,
+    /// `shift = beta − running_mean · scale`.
+    ///
+    /// This is the fold target for BN-folded inference: multiplying the
+    /// preceding convolution's weight rows by `scale` and adding `shift` to
+    /// its bias makes the convolution output the post-BN activation
+    /// directly.
+    pub fn inference_scale_shift(&self) -> (Vec<f32>, Vec<f32>) {
+        let g = self.gamma.value.as_slice();
+        let b = self.beta.value.as_slice();
+        let rm = self.running_mean.as_slice();
+        let rv = self.running_var.as_slice();
+        let scale: Vec<f32> = g
+            .iter()
+            .zip(rv)
+            .map(|(&gi, &vi)| gi / (vi + self.eps).sqrt())
+            .collect();
+        let shift: Vec<f32> = b
+            .iter()
+            .zip(rm.iter().zip(&scale))
+            .map(|(&bi, (&mi, &si))| bi - mi * si)
+            .collect();
+        (scale, shift)
+    }
+
     fn check_input(&self, input: &Tensor, op_channels: &'static str) -> Result<usize> {
         if input.rank() != 4 {
             return Err(NnError::Tensor(TensorError::RankMismatch {

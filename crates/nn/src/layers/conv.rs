@@ -41,6 +41,21 @@ pub struct Conv2d {
     /// dropped on every path that may mutate the weight (`visit_params`,
     /// `weight_mut`, `set_weight`, `set_backend`), so it can never go stale.
     packed: Option<PackedConv2dWeight>,
+    /// BN-folded inference pack (see [`Conv2d::packed_inference`]),
+    /// invalidated by the same hooks as `packed` plus a per-call
+    /// scale/shift comparison that catches BatchNorm-side drift.
+    folded: Option<FoldedConv>,
+}
+
+/// The inference-time weight pack with a downstream BatchNorm folded in:
+/// weight rows scaled by `gamma / sqrt(var + eps)` per output channel, bias
+/// carrying the affine shift.
+#[derive(Debug, Clone)]
+struct FoldedConv {
+    pack: PackedConv2dWeight,
+    bias: Tensor,
+    scale: Vec<f32>,
+    shift: Vec<f32>,
 }
 
 impl Conv2d {
@@ -62,6 +77,7 @@ impl Conv2d {
             cache_input: None,
             backend: backend::global_kind(),
             packed: None,
+            folded: None,
         }
     }
 
@@ -114,6 +130,7 @@ impl Conv2d {
     /// mutate the tensor through the returned reference.
     pub fn weight_mut(&mut self) -> &mut Param {
         self.packed = None;
+        self.folded = None;
         &mut self.weight
     }
 
@@ -128,6 +145,7 @@ impl Conv2d {
         self.weight.set_value(weight);
         self.cache_input = None;
         self.packed = None;
+        self.folded = None;
     }
 
     /// The weight pack for the current weight-update epoch, (re)built on
@@ -137,6 +155,46 @@ impl Conv2d {
             self.packed = Some(PackedConv2dWeight::new(&self.weight.value)?);
         }
         Ok(self.packed.as_ref().expect("packed just ensured"))
+    }
+
+    /// The BN-folded inference pack for a downstream BatchNorm whose
+    /// per-channel affine is `y = scale · conv(x) + shift` (see
+    /// [`BatchNorm2d::inference_scale_shift`](crate::BatchNorm2d::inference_scale_shift)).
+    ///
+    /// Conv-side staleness is handled by the same invalidation hooks as the
+    /// training pack; BN-side staleness (running-stat updates, `gamma`/`beta`
+    /// steps) is caught by comparing the cached fold coefficients against the
+    /// ones passed in — an O(C) check per call, against an O(O·C·K²) refold.
+    ///
+    /// # Errors
+    ///
+    /// Returns shape errors if `scale`/`shift` don't match the output
+    /// channel count.
+    pub fn packed_inference(
+        &mut self,
+        scale: &[f32],
+        shift: &[f32],
+    ) -> Result<(&PackedConv2dWeight, &Tensor)> {
+        let stale = match &self.folded {
+            Some(f) => f.scale != scale || f.shift != shift,
+            None => true,
+        };
+        if stale {
+            let (pack, bias) = PackedConv2dWeight::fold_bn(
+                &self.weight.value,
+                self.bias.as_ref().map(|b| &b.value),
+                scale,
+                shift,
+            )?;
+            self.folded = Some(FoldedConv {
+                pack,
+                bias,
+                scale: scale.to_vec(),
+                shift: shift.to_vec(),
+            });
+        }
+        let f = self.folded.as_ref().expect("folded just ensured");
+        Ok((&f.pack, &f.bias))
     }
 }
 
@@ -185,8 +243,9 @@ impl Layer for Conv2d {
 
     fn visit_params(&mut self, f: &mut dyn FnMut(&mut Param)) {
         // Visitors (optimizer steps, regularizers) may mutate the weight:
-        // drop the pack so the next forward repacks the new epoch.
+        // drop the packs so the next forward repacks the new epoch.
         self.packed = None;
+        self.folded = None;
         f(&mut self.weight);
         if let Some(b) = self.bias.as_mut() {
             f(b);
@@ -200,6 +259,7 @@ impl Layer for Conv2d {
     fn set_backend(&mut self, kind: BackendKind) {
         self.backend = kind;
         self.packed = None;
+        self.folded = None;
     }
 }
 

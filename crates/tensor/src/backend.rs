@@ -25,7 +25,7 @@ use std::sync::atomic::{AtomicU8, Ordering};
 use serde::{Deserialize, Serialize};
 
 use crate::ops::pool::MaxPoolIndices;
-use crate::ops::{Conv2dGrads, PackedConv2dWeight};
+use crate::ops::{Conv2dGrads, Epilogue, PackedConv2dWeight};
 use crate::{ops, Result, Tensor};
 
 /// The kernel contract every compute backend implements.
@@ -115,6 +115,29 @@ pub trait Backend: fmt::Debug + Send + Sync {
         pad: usize,
     ) -> Result<Tensor> {
         self.conv2d_forward(input, packed.weight(), bias, stride, pad)
+    }
+
+    /// Packed convolution forward with a fused [`Epilogue`] (bias +
+    /// activation + optional elementwise merge applied while output tiles
+    /// are cache-hot). The default body composes the packed forward with
+    /// the naive epilogue applier, so it stays the bit-exact reference the
+    /// fused engines are tested against.
+    ///
+    /// # Errors
+    ///
+    /// Shape/geometry errors as documented on [`ops::conv2d_forward_fused`].
+    fn conv2d_forward_fused(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+        epilogue: Epilogue<'_>,
+    ) -> Result<Tensor> {
+        let mut out = self.conv2d_forward_packed(input, packed, bias, stride, pad)?;
+        ops::conv::apply_epilogue(&mut out, epilogue)?;
+        Ok(out)
     }
 
     /// 2-D convolution backward over a pre-packed weight; see
@@ -288,6 +311,16 @@ pub trait Backend: fmt::Debug + Send + Sync {
         ops::pool::maxpool2d_forward_naive(input, k)
     }
 
+    /// Inference max pooling: forward without argmax bookkeeping; see
+    /// [`ops::maxpool2d_eval`].
+    ///
+    /// # Errors
+    ///
+    /// Rank/geometry errors as documented on [`ops::maxpool2d_forward`].
+    fn maxpool2d_eval(&self, input: &Tensor, k: usize) -> Result<Tensor> {
+        ops::pool::maxpool2d_eval_naive(input, k)
+    }
+
     /// Max pooling backward; see [`ops::maxpool2d_backward`].
     ///
     /// # Errors
@@ -384,6 +417,18 @@ impl Backend for Parallel {
         ops::parallel::conv2d_forward_packed(input, packed, bias, stride, pad)
     }
 
+    fn conv2d_forward_fused(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+        epilogue: Epilogue<'_>,
+    ) -> Result<Tensor> {
+        ops::parallel::conv2d_forward_packed_fused(input, packed, bias, stride, pad, epilogue)
+    }
+
     fn conv2d_backward_packed(
         &self,
         input: &Tensor,
@@ -470,6 +515,10 @@ impl Backend for Parallel {
 
     fn maxpool2d_forward(&self, input: &Tensor, k: usize) -> Result<(Tensor, MaxPoolIndices)> {
         ops::parallel::maxpool2d_forward(input, k)
+    }
+
+    fn maxpool2d_eval(&self, input: &Tensor, k: usize) -> Result<Tensor> {
+        ops::parallel::maxpool2d_eval(input, k)
     }
 
     fn maxpool2d_backward(&self, grad_out: &Tensor, indices: &MaxPoolIndices) -> Result<Tensor> {

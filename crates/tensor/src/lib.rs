@@ -25,10 +25,11 @@
 //! # }
 //! ```
 
-// Unsafe is denied everywhere except one audited lifetime-erasure point in
-// `par` (the persistent thread pool's scoped-task transmute — the same trick
-// `std::thread::scope` performs internally), which carries a local
-// `#[allow]` and a SAFETY argument.
+// Unsafe is denied everywhere except audited points that carry a local
+// `#[allow]` and a SAFETY argument: the persistent thread pool's scoped-task
+// transmute in `par` (the same trick `std::thread::scope` performs
+// internally) and the explicit-SIMD microkernels in `ops::parallel` and
+// `ops::qconv`.
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 

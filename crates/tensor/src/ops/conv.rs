@@ -107,6 +107,77 @@ impl PackedConv2dWeight {
         self.weight.dim(1) * self.weight.dim(2) * self.weight.dim(3)
     }
 
+    /// Packs a weight with a BatchNorm fold applied: output channel `oc` of
+    /// the packed weight is `weight[oc] * scale[oc]`, and the returned bias
+    /// is `shift[oc] + scale[oc] * conv_bias[oc]`.
+    ///
+    /// With `scale = γ / √(running_var + ε)` and
+    /// `shift = β − running_mean · scale`, the packed convolution computes
+    /// `BN(conv(x))` exactly — inference drops BatchNorm as a separate pass
+    /// and pays the fold once per repack epoch instead.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 weights and
+    /// [`TensorError::LengthMismatch`] when `scale`/`shift`/`conv_bias`
+    /// disagree with the weight's output-channel count.
+    pub fn fold_bn(
+        weight: &Tensor,
+        conv_bias: Option<&Tensor>,
+        scale: &[f32],
+        shift: &[f32],
+    ) -> Result<(Self, Tensor)> {
+        if weight.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: weight.rank(),
+                op: "fold_bn",
+            });
+        }
+        let o = weight.dim(0);
+        for (len, what) in [
+            (scale.len(), "fold_bn (scale)"),
+            (shift.len(), "fold_bn (shift)"),
+        ] {
+            if len != o {
+                return Err(TensorError::LengthMismatch {
+                    expected: o,
+                    got: len,
+                    op: what,
+                });
+            }
+        }
+        if let Some(b) = conv_bias {
+            if b.numel() != o {
+                return Err(TensorError::LengthMismatch {
+                    expected: o,
+                    got: b.numel(),
+                    op: "fold_bn (conv bias)",
+                });
+            }
+        }
+        let ckk = weight.dim(1) * weight.dim(2) * weight.dim(3);
+        let mut folded = weight.clone();
+        let fv = folded.as_mut_slice();
+        for oc in 0..o {
+            let s = scale[oc];
+            for x in &mut fv[oc * ckk..(oc + 1) * ckk] {
+                *x *= s;
+            }
+        }
+        let bias: Vec<f32> = match conv_bias {
+            Some(b) => b
+                .as_slice()
+                .iter()
+                .enumerate()
+                .map(|(oc, &cb)| shift[oc] + scale[oc] * cb)
+                .collect(),
+            None => shift.to_vec(),
+        };
+        let pack = PackedConv2dWeight::new(&folded)?;
+        Ok((pack, Tensor::from_vec(bias, &[o])?))
+    }
+
     /// Borrowed view over the packed layouts, shared with the transient
     /// (pack-on-the-fly, arena-backed) path in `ops::parallel`.
     pub(crate) fn view(&self) -> PackView<'_> {
@@ -120,6 +191,87 @@ impl PackedConv2dWeight {
             kw: self.weight.dim(3),
         }
     }
+}
+
+/// Elementwise epilogue fused into a convolution's output while the tiles
+/// are still register/cache-hot, so inference never pays a separate
+/// activation or merge sweep.
+///
+/// The operand of the fused-add variants must have exactly the output's
+/// `[N, O, OH, OW]` shape. The two add orders cover the two fusions the
+/// two-branch model needs:
+///
+/// * [`Epilogue::AddRelu`] — `y = max(y + t, 0)`: a residual skip added
+///   *before* the activation (ResNet-style `M_T` units);
+/// * [`Epilogue::ReluAdd`] — `y = max(y, 0) + t`: the branch merge
+///   `m = relu(bn(conv(x))) + select(r)` added *after* the activation.
+#[derive(Debug, Clone, Copy, Default)]
+pub enum Epilogue<'a> {
+    /// Plain convolution output.
+    #[default]
+    None,
+    /// `y = max(y, 0)`.
+    Relu,
+    /// `y = max(y + t, 0)` (add before activation).
+    AddRelu(&'a Tensor),
+    /// `y = max(y, 0) + t` (add after activation).
+    ReluAdd(&'a Tensor),
+}
+
+impl Epilogue<'_> {
+    /// The fused-add operand, when one is present.
+    pub(crate) fn operand(&self) -> Option<&Tensor> {
+        match self {
+            Epilogue::AddRelu(t) | Epilogue::ReluAdd(t) => Some(t),
+            _ => None,
+        }
+    }
+
+    /// Validates the fused-add operand against the output dims.
+    pub(crate) fn check(&self, out_dims: &[usize]) -> Result<()> {
+        if let Some(t) = self.operand() {
+            if t.dims() != out_dims {
+                return Err(TensorError::LengthMismatch {
+                    expected: out_dims.iter().product(),
+                    got: t.numel(),
+                    op: "conv epilogue operand",
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Reference epilogue application: a plain elementwise sweep over a
+/// finished convolution output. The fused engine folds the same arithmetic
+/// into its output tiles; backends without a fused path compose this after
+/// the unfused convolution, which keeps the naive backend the parity
+/// oracle.
+///
+/// # Errors
+///
+/// Returns a shape error when the fused-add operand does not match `out`.
+pub fn apply_epilogue(out: &mut Tensor, epilogue: Epilogue<'_>) -> Result<()> {
+    epilogue.check(out.dims())?;
+    match epilogue {
+        Epilogue::None => {}
+        Epilogue::Relu => {
+            for x in out.as_mut_slice() {
+                *x = x.max(0.0);
+            }
+        }
+        Epilogue::AddRelu(t) => {
+            for (x, &tv) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {
+                *x = (*x + tv).max(0.0);
+            }
+        }
+        Epilogue::ReluAdd(t) => {
+            for (x, &tv) in out.as_mut_slice().iter_mut().zip(t.as_slice()) {
+                *x = x.max(0.0) + tv;
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Borrowed packed-weight operands: either slices into a cached
@@ -522,6 +674,25 @@ pub fn conv2d_forward(
     pad: usize,
 ) -> Result<Tensor> {
     crate::backend::global().conv2d_forward(input, weight, bias, stride, pad)
+}
+
+/// Packed-weight convolution forward with a fused epilogue: bias, activation
+/// and (for the two-branch merge) the elementwise add are applied while the
+/// output tile is still cache-hot, instead of as separate full-tensor sweeps.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent operands, including
+/// an epilogue operand whose shape differs from the convolution output.
+pub fn conv2d_forward_fused(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    epilogue: Epilogue<'_>,
+) -> Result<Tensor> {
+    crate::backend::global().conv2d_forward_fused(input, packed, bias, stride, pad, epilogue)
 }
 
 pub(crate) fn conv2d_forward_naive(

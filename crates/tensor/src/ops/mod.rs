@@ -11,17 +11,19 @@ pub(crate) mod elementwise;
 pub(crate) mod matmul;
 pub(crate) mod parallel;
 pub(crate) mod pool;
+pub(crate) mod qconv;
 pub(crate) mod reduce;
 
 pub use channel::{bn_backward_reduce, bn_input_grad, bn_normalize, channel_affine};
 pub use conv::{
-    col2im, col2im_panel, conv2d_backward, conv2d_forward, conv_output_size, im2col, im2col_panel,
-    Conv2dGrads, PackedConv2dWeight,
+    apply_epilogue, col2im, col2im_panel, conv2d_backward, conv2d_forward, conv2d_forward_fused,
+    conv_output_size, im2col, im2col_panel, Conv2dGrads, Epilogue, PackedConv2dWeight,
 };
 pub use elementwise::{add, add_assign, add_bias_rows, add_scaled, hadamard, scale, sub, unary};
 pub use matmul::{matmul, matmul_transpose_a, matmul_transpose_b, transpose2d};
 pub use pool::{
-    avgpool2d_global_backward, avgpool2d_global_forward, maxpool2d_backward, maxpool2d_forward,
-    MaxPoolIndices,
+    avgpool2d_global_backward, avgpool2d_global_forward, maxpool2d_backward, maxpool2d_eval,
+    maxpool2d_forward, MaxPoolIndices,
 };
+pub use qconv::{conv2d_forward_q8, ActQuant, QuantConv2dWeight};
 pub use reduce::{channel_mean_var, channel_sum, softmax_rows, sum_axis0};

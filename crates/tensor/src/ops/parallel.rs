@@ -36,7 +36,7 @@ use crate::arena;
 use crate::ops::channel::{check_channel_vec, check_nchw};
 use crate::ops::conv::{
     check_conv_shapes, col2im_panel, conv_output_size, im2col_panel, pack_panels_into,
-    pack_transposed_into, packed_panel_len, Conv2dGrads, PackView, PackedConv2dWeight,
+    pack_transposed_into, packed_panel_len, Conv2dGrads, Epilogue, PackView, PackedConv2dWeight,
 };
 use crate::ops::elementwise::check_bias_rows;
 use crate::ops::matmul::check_rank2;
@@ -1095,8 +1095,21 @@ fn direct3x3_rows(
     direct3x3_rows_body(sample, wv, dst, ch0, rows, c, h, w)
 }
 
+/// Per-segment epilogue operand: the same variants as
+/// [`Epilogue`](crate::ops::conv::Epilogue), with the fused-add tensor
+/// already narrowed to the slice aligned with the `[rows, OH*OW]` output
+/// span being computed.
+#[derive(Clone, Copy)]
+enum RowEpilogue<'a> {
+    None,
+    Relu,
+    AddRelu(&'a [f32]),
+    ReluAdd(&'a [f32]),
+}
+
 /// Forward kernel for output channels `ch0..ch0+rows` of one sample.
 /// `dst` is the `[rows, OH*OW]` output span, zero-initialized by the caller.
+#[allow(clippy::too_many_arguments)] // internal kernel plumbing, not public API
 fn forward_sample_rows(
     sample: &[f32],
     pv: &PackView<'_>,
@@ -1105,6 +1118,7 @@ fn forward_sample_rows(
     ch0: usize,
     rows: usize,
     bias: Option<&[f32]>,
+    epilogue: RowEpilogue<'_>,
 ) {
     let spatial = g.spatial();
     match g.path() {
@@ -1154,11 +1168,35 @@ fn forward_sample_rows(
             }
         }
     }
-    if let Some(bv) = bias {
-        for r in 0..rows {
-            let b = bv[ch0 + r];
-            for x in &mut dst[r * spatial..(r + 1) * spatial] {
-                *x += b;
+    // Bias and epilogue fold into one sweep while the tile is cache-hot:
+    // the per-channel bias add, the activation and the fused elementwise
+    // merge never become separate passes over a cold output.
+    if bias.is_none() && matches!(epilogue, RowEpilogue::None) {
+        return;
+    }
+    for r in 0..rows {
+        let b = bias.map_or(0.0, |bv| bv[ch0 + r]);
+        let row = &mut dst[r * spatial..(r + 1) * spatial];
+        match epilogue {
+            RowEpilogue::None => {
+                for x in row {
+                    *x += b;
+                }
+            }
+            RowEpilogue::Relu => {
+                for x in row {
+                    *x = (*x + b).max(0.0);
+                }
+            }
+            RowEpilogue::AddRelu(t) => {
+                for (x, &tv) in row.iter_mut().zip(&t[r * spatial..(r + 1) * spatial]) {
+                    *x = (*x + b + tv).max(0.0);
+                }
+            }
+            RowEpilogue::ReluAdd(t) => {
+                for (x, &tv) in row.iter_mut().zip(&t[r * spatial..(r + 1) * spatial]) {
+                    *x = (*x + b).max(0.0) + tv;
+                }
             }
         }
     }
@@ -1180,13 +1218,19 @@ fn conv2d_forward_view(
     bias: Option<&Tensor>,
     stride: usize,
     pad: usize,
+    epilogue: Epilogue<'_>,
 ) -> Result<Tensor> {
     let g = ConvGeom::validate(input, pv, stride, pad)?;
     check_conv_bias(bias, g.o)?;
-    let mut out = Tensor::zeros(&[g.n, g.o, g.oh, g.ow]);
+    let out_dims = [g.n, g.o, g.oh, g.ow];
+    epilogue.check(&out_dims)?;
+    let mut out = Tensor::zeros(&out_dims);
     let spatial = g.spatial();
     let iv = input.as_slice();
     let bias_v = bias.map(Tensor::as_slice);
+    // The fused-add operand shares the output's layout, so every
+    // `[rows, OH*OW]` segment of it is addressable by the same row offsets.
+    let epi_v = epilogue.operand().map(Tensor::as_slice);
     let rows_per = conv_rows_per(g.n * g.o, 2 * g.ckk() * spatial);
     par::for_each_chunk_mut(
         out.as_mut_slice(),
@@ -1200,6 +1244,14 @@ fn conv2d_forward_view(
                 let (ni, ch0) = (row / g.o.max(1), row % g.o.max(1));
                 let rows = (g.o - ch0).min((chunk.len() - off) / spatial.max(1));
                 let sample = &iv[ni * g.in_sample()..(ni + 1) * g.in_sample()];
+                let seg = row * spatial..(row + rows) * spatial;
+                let row_epi = match (&epilogue, epi_v) {
+                    (Epilogue::None, _) => RowEpilogue::None,
+                    (Epilogue::Relu, _) => RowEpilogue::Relu,
+                    (Epilogue::AddRelu(_), Some(ev)) => RowEpilogue::AddRelu(&ev[seg]),
+                    (Epilogue::ReluAdd(_), Some(ev)) => RowEpilogue::ReluAdd(&ev[seg]),
+                    _ => unreachable!("fused-add epilogues carry an operand"),
+                };
                 forward_sample_rows(
                     sample,
                     pv,
@@ -1208,6 +1260,7 @@ fn conv2d_forward_view(
                     ch0,
                     rows,
                     bias_v,
+                    row_epi,
                 );
                 row += rows;
                 off += rows * spatial.max(1);
@@ -1226,7 +1279,20 @@ pub(crate) fn conv2d_forward_packed(
     stride: usize,
     pad: usize,
 ) -> Result<Tensor> {
-    conv2d_forward_view(input, &packed.view(), bias, stride, pad)
+    conv2d_forward_view(input, &packed.view(), bias, stride, pad, Epilogue::None)
+}
+
+/// [`conv2d_forward_packed`] with a fused bias + epilogue applied while the
+/// output tiles are hot — the inference fast path.
+pub(crate) fn conv2d_forward_packed_fused(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    epilogue: Epilogue<'_>,
+) -> Result<Tensor> {
+    conv2d_forward_view(input, &packed.view(), bias, stride, pad, epilogue)
 }
 
 /// Fused forward from a raw weight tensor: packs into the arena for this
@@ -1256,7 +1322,7 @@ pub(crate) fn conv2d_forward(
         kh,
         kw,
     };
-    conv2d_forward_view(input, &pv, bias, stride, pad)
+    conv2d_forward_view(input, &pv, bias, stride, pad, Epilogue::None)
 }
 
 /// Backward kernel for the samples of one chunk. `gi_chunk` is the chunk's
@@ -1949,6 +2015,49 @@ pub(crate) fn maxpool2d_forward(input: &Tensor, k: usize) -> Result<(Tensor, Max
             input_dims: vec![n, c, h, w],
         },
     ))
+}
+
+/// Inference max pooling: no argmax bookkeeping, so the only allocation is
+/// the pooled output tensor (the training variant also builds a
+/// full-output-size winner index).
+pub(crate) fn maxpool2d_eval(input: &Tensor, k: usize) -> Result<Tensor> {
+    let (n, c, h, w) = check_nchw(input, "maxpool2d")?;
+    let oh = conv_output_size(h, k, k, 0)?;
+    let ow = conv_output_size(w, k, k, 0)?;
+    if n * c * h * w < MIN_PAR_ELEMS {
+        return crate::ops::pool::maxpool2d_eval_naive(input, k);
+    }
+    let planes = n * c;
+    let out_plane = oh * ow;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let iv = input.as_slice();
+    let planes_per = planes.div_ceil(par::max_threads()).max(1);
+    par::for_each_chunk_mut(
+        out.as_mut_slice(),
+        planes_per * out_plane.max(1),
+        |chunk_i, oc| {
+            let p0 = chunk_i * planes_per;
+            for (local, op) in oc.chunks_mut(out_plane.max(1)).enumerate() {
+                let plane_base = (p0 + local) * h * w;
+                let mut oidx = 0usize;
+                for ohi in 0..oh {
+                    for owi in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        for ki in 0..k {
+                            let ih = ohi * k + ki;
+                            for kj in 0..k {
+                                let off = plane_base + ih * w + owi * k + kj;
+                                best = best.max(iv[off]);
+                            }
+                        }
+                        op[oidx] = best;
+                        oidx += 1;
+                    }
+                }
+            }
+        },
+    );
+    Ok(out)
 }
 
 pub(crate) fn maxpool2d_backward(grad_out: &Tensor, indices: &MaxPoolIndices) -> Result<Tensor> {

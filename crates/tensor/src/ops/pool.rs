@@ -87,6 +87,50 @@ pub(crate) fn maxpool2d_forward_naive(
     ))
 }
 
+/// Inference max pooling: [`maxpool2d_forward`] without the argmax
+/// bookkeeping, so steady-state inference allocates only the pooled output.
+///
+/// # Errors
+///
+/// Returns rank/geometry errors for inconsistent operands.
+pub fn maxpool2d_eval(input: &Tensor, k: usize) -> Result<Tensor> {
+    crate::backend::global().maxpool2d_eval(input, k)
+}
+
+pub(crate) fn maxpool2d_eval_naive(input: &Tensor, k: usize) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op: "maxpool2d",
+        });
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let oh = conv_output_size(h, k, k, 0)?;
+    let ow = conv_output_size(w, k, k, 0)?;
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let iv = input.as_slice();
+    let ov = out.as_mut_slice();
+    let mut oidx = 0usize;
+    for plane in 0..n * c {
+        let plane_base = plane * h * w;
+        for ohi in 0..oh {
+            for owi in 0..ow {
+                let mut best = f32::NEG_INFINITY;
+                for ki in 0..k {
+                    let ih = ohi * k + ki;
+                    for kj in 0..k {
+                        best = best.max(iv[plane_base + ih * w + owi * k + kj]);
+                    }
+                }
+                ov[oidx] = best;
+                oidx += 1;
+            }
+        }
+    }
+    Ok(out)
+}
+
 /// Backward pass of [`maxpool2d_forward`]: routes each output gradient to the
 /// input element that won the max.
 ///

@@ -1,0 +1,764 @@
+//! Int8 quantized convolution for the exposed REE branch.
+//!
+//! The TBNet threat model deliberately exposes the rich branch `M_R` in
+//! normal-world memory, so its inference precision is a pure speed/accuracy
+//! trade with no security budget attached. This module quantizes a
+//! (BN-folded) convolution weight **symmetrically per output channel** to
+//! signed 7-bit integers and runs the forward pass as a u8×i8 integer GEMM
+//! over quantized activations:
+//!
+//! * weights: `q_w = round(w / s_w[oc])`, `s_w[oc] = max|w[oc]| / 64`. The
+//!   ±64 range (instead of ±127) guarantees that a pair-sum
+//!   `a₀·w₀ + a₁·w₁ ≤ 2 · 255 · 64 = 32640` never saturates the i16 lanes
+//!   of the AVX2 `maddubs` microkernel, so the SIMD and portable paths
+//!   compute bit-identical integer accumulators;
+//! * activations: affine u8, `q_a = clamp(round(x / s_a) + zp, 0, 255)`.
+//!   Padded positions store `zp` (the quantized value of real 0.0), which
+//!   keeps the zero-point correction exact:
+//!   `Σ (q_a − zp) · q_w = Σ q_a·q_w − zp · Σ q_w`, with `Σ q_w` per output
+//!   channel precomputed at quantization time.
+//!
+//! # Data layout
+//!
+//! Both operands are packed in **tap quads**: the reduction dimension is
+//! grouped as `(ci, ki, jb)` where each quad holds the 4 kernel-row taps
+//! `kj = 4·jb .. 4·jb+3` (taps past `kw` carry zero weight, so whatever
+//! activation byte sits under them contributes nothing). The activation
+//! panel stores, per quad, 4 consecutive input-row bytes for each of 8
+//! output positions — 32 bytes, exactly one AVX2 register — so one
+//! `maddubs` + `madd(ones)` pair accumulates a whole quad for 8 positions
+//! straight into i32 lanes.
+//!
+//! That layout is what makes the im2col cheap: the sample is quantized once
+//! into a zero-point-padded image, and each 32-byte panel block is built
+//! with a single sliding-window byte shuffle of an input row (stride 1 and
+//! 2), instead of per-byte gather loops with bounds arithmetic.
+//!
+//! Activation ranges come from the *preceding* unit's BatchNorm running
+//! statistics (post-BN activations distribute like `β + γ·x̂`, and ReLU
+//! clamps the low side to zero), so deployment needs no calibration pass;
+//! the network input, which has no BN upstream, falls back to a dynamic
+//! per-tensor min/max scan.
+//!
+//! Scratch buffers (the padded quantized image and the panel) come from a
+//! thread-local byte arena that mirrors [`crate::arena`]'s power-of-two
+//! size classes, so steady-state quantized inference allocates only the
+//! output tensor.
+
+use std::cell::RefCell;
+use std::ops::{Deref, DerefMut};
+
+use crate::ops::conv::conv_output_size;
+use crate::par;
+use crate::{Result, Tensor, TensorError};
+
+/// Largest magnitude a quantized weight may take: headroom for the AVX2
+/// `maddubs` pair-sum (see module docs).
+const W_QMAX: f32 = 64.0;
+
+/// Output positions per GEMM block: one AVX2 register of i32 lanes.
+const POS_BLOCK: usize = 8;
+
+// ---------------------------------------------------------------------------
+// Thread-local byte arena (u8 twin of `crate::arena`).
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    static BYTE_FREE: RefCell<Vec<Vec<u8>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// A checked-out byte scratch buffer; returns to the owning thread's free
+/// list on drop.
+struct ByteScratch {
+    buf: Vec<u8>,
+}
+
+impl Deref for ByteScratch {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.buf
+    }
+}
+
+impl DerefMut for ByteScratch {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
+    }
+}
+
+impl Drop for ByteScratch {
+    fn drop(&mut self) {
+        let buf = std::mem::take(&mut self.buf);
+        if buf.capacity() > 0 {
+            BYTE_FREE.with(|f| f.borrow_mut().push(buf));
+        }
+    }
+}
+
+/// Checks out `len` bytes of scratch with arbitrary contents. Best-fit
+/// reuse with power-of-two growth classes, exactly like [`crate::arena`]:
+/// once every size class exists, checkouts stop touching the allocator.
+fn take_bytes(len: usize) -> ByteScratch {
+    if len == 0 {
+        return ByteScratch { buf: Vec::new() };
+    }
+    let reclaimed = BYTE_FREE.with(|f| {
+        let mut free = f.borrow_mut();
+        let best = free
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i)
+            .or_else(|| {
+                free.iter()
+                    .enumerate()
+                    .max_by_key(|(_, b)| b.capacity())
+                    .map(|(i, _)| i)
+            });
+        best.map(|i| free.swap_remove(i))
+    });
+    let mut buf = reclaimed.unwrap_or_default();
+    if buf.capacity() < len {
+        buf.clear();
+        buf.reserve_exact(len.next_power_of_two());
+    }
+    buf.resize(len, 0);
+    ByteScratch { buf }
+}
+
+// ---------------------------------------------------------------------------
+// Quantized operand types.
+// ---------------------------------------------------------------------------
+
+/// A convolution weight quantized symmetrically per output channel, packed
+/// in tap quads for the u8×i8 GEMM: row-major `[O, QUADS, 4]` with each
+/// quad covering 4 kernel-row taps of one `(ci, ki)` slice (taps past `kw`
+/// are zero).
+#[derive(Debug, Clone)]
+pub struct QuantConv2dWeight {
+    q: Vec<i8>,
+    scales: Vec<f32>,
+    wsum: Vec<i32>,
+    o: usize,
+    c: usize,
+    kh: usize,
+    kw: usize,
+    /// Quads per kernel row: `ceil(kw / 4)`.
+    row_quads: usize,
+    /// Total quads per output channel: `c * kh * row_quads`.
+    quads: usize,
+}
+
+impl QuantConv2dWeight {
+    /// Quantizes a `[O, C, KH, KW]` weight (typically the BN-folded
+    /// inference weight) to per-output-channel symmetric int8.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for non-rank-4 weights.
+    pub fn quantize(weight: &Tensor) -> Result<Self> {
+        if weight.rank() != 4 {
+            return Err(TensorError::RankMismatch {
+                expected: 4,
+                got: weight.rank(),
+                op: "quantize_conv2d_weight",
+            });
+        }
+        let (o, c, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+        let ckk = c * kh * kw;
+        let row_quads = kw.div_ceil(4).max(1);
+        let quads = c * kh * row_quads;
+        let wv = weight.as_slice();
+        let mut q = vec![0i8; o * quads * 4];
+        let mut scales = vec![0.0f32; o];
+        let mut wsum = vec![0i32; o];
+        for oc in 0..o {
+            let row = &wv[oc * ckk..(oc + 1) * ckk];
+            let maxabs = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+            let s = if maxabs > 0.0 { maxabs / W_QMAX } else { 1.0 };
+            scales[oc] = s;
+            let mut sum = 0i32;
+            for ci in 0..c {
+                for ki in 0..kh {
+                    for kj in 0..kw {
+                        let x = row[(ci * kh + ki) * kw + kj];
+                        let v = (x / s).round().clamp(-W_QMAX, W_QMAX) as i32;
+                        sum += v;
+                        let quad = (ci * kh + ki) * row_quads + kj / 4;
+                        q[(oc * quads + quad) * 4 + kj % 4] = v as i8;
+                    }
+                }
+            }
+            wsum[oc] = sum;
+        }
+        Ok(QuantConv2dWeight {
+            q,
+            scales,
+            wsum,
+            o,
+            c,
+            kh,
+            kw,
+            row_quads,
+            quads,
+        })
+    }
+
+    /// Output channels.
+    pub fn out_channels(&self) -> usize {
+        self.o
+    }
+
+    /// Input channels.
+    pub fn in_channels(&self) -> usize {
+        self.c
+    }
+
+    /// Kernel height/width.
+    pub fn kernel(&self) -> (usize, usize) {
+        (self.kh, self.kw)
+    }
+
+    /// Bytes held by the quantized weight (the REE memory the int8 branch
+    /// ships instead of f32 weights).
+    pub fn packed_bytes(&self) -> usize {
+        self.q.len() + self.scales.len() * 4 + self.wsum.len() * 4
+    }
+}
+
+/// Affine u8 activation quantization parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActQuant {
+    /// Real-value step per quantization level.
+    pub scale: f32,
+    /// The u8 code representing real 0.0.
+    pub zero_point: u8,
+}
+
+impl ActQuant {
+    /// Parameters covering the real range `[lo, hi]`. The range is widened
+    /// to include 0.0 so the zero point is exact (padding correctness
+    /// depends on it).
+    pub fn from_range(lo: f32, hi: f32) -> ActQuant {
+        let lo = lo.min(0.0);
+        let hi = hi.max(0.0);
+        let scale = ((hi - lo) / 255.0).max(1e-10);
+        let zero_point = (-lo / scale).round().clamp(0.0, 255.0) as u8;
+        ActQuant { scale, zero_point }
+    }
+
+    /// Dynamic per-tensor calibration: exact min/max scan. Used for the
+    /// network input, which has no upstream BatchNorm to derive a static
+    /// range from.
+    pub fn from_tensor(x: &Tensor) -> ActQuant {
+        let (mut lo, mut hi) = (0.0f32, 0.0f32);
+        for &v in x.as_slice() {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        ActQuant::from_range(lo, hi)
+    }
+
+    /// Quantizes one real value to its u8 code.
+    #[inline]
+    pub fn quantize(&self, x: f32) -> u8 {
+        (x / self.scale + f32::from(self.zero_point))
+            .round()
+            .clamp(0.0, 255.0) as u8
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer microkernels.
+// ---------------------------------------------------------------------------
+
+/// True when the CPU can run the `maddubs` microkernel.
+#[inline]
+fn have_avx2() -> bool {
+    #[cfg(target_arch = "x86_64")]
+    {
+        std::arch::is_x86_feature_detected!("avx2")
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        false
+    }
+}
+
+/// Portable panel build for one quad: 4 consecutive row bytes per output
+/// position. Identical layout to the SIMD shuffle path.
+#[inline]
+fn build_quad_portable(row: &[u8], dst: &mut [u8], owr: usize, stride: usize, jb4: usize) {
+    for p in 0..owr {
+        let base = p * stride + jb4;
+        dst[p * 4..p * 4 + 4].copy_from_slice(&row[base..base + 4]);
+    }
+}
+
+/// Portable GEMM for one position block: accumulates every quad of up to 4
+/// weight rows into i32, exactly matching the AVX2 kernel (which never
+/// saturates by the ±64 weight range).
+#[inline]
+#[allow(clippy::needless_range_loop)]
+fn gemm_block_portable(
+    panel: &[u8],
+    rows: &[&[i8]],
+    quads: usize,
+    owr: usize,
+    p0: usize,
+    acc: &mut [[i32; POS_BLOCK]; 4],
+) {
+    for a in acc.iter_mut() {
+        *a = [0; POS_BLOCK];
+    }
+    for q in 0..quads {
+        let ap = &panel[(q * owr + p0) * 4..(q * owr + p0 + POS_BLOCK) * 4];
+        for (r, row) in rows.iter().enumerate() {
+            let wq = &row[q * 4..q * 4 + 4];
+            for p in 0..POS_BLOCK {
+                let mut s = 0i32;
+                for l in 0..4 {
+                    s += i32::from(ap[p * 4 + l]) * i32::from(wq[l]);
+                }
+                acc[r][p] += s;
+            }
+        }
+    }
+}
+
+/// AVX2 microkernels over the quad layout. `maddubs` multiplies
+/// unsigned×signed bytes into i16 pair-sums (non-saturating here by the
+/// ±64 weight range), `madd` with ones widens a whole quad to i32 — one
+/// instruction pair per quad per weight row covers 8 output positions.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    #![allow(unsafe_code)]
+
+    use std::arch::x86_64::{
+        __m256i, _mm256_add_epi32, _mm256_broadcastsi128_si256, _mm256_castsi128_si256,
+        _mm256_inserti128_si256, _mm256_loadu_si256, _mm256_madd_epi16, _mm256_maddubs_epi16,
+        _mm256_set1_epi16, _mm256_set1_epi32, _mm256_setr_epi8, _mm256_setzero_si256,
+        _mm256_shuffle_epi8, _mm256_storeu_si256, _mm_loadu_si128,
+    };
+
+    use super::POS_BLOCK;
+
+    /// Builds one 32-byte panel block for stride 1: the 4-byte windows of
+    /// `src` starting at offsets `0..8`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `src` must be readable for 16 bytes and `dst`
+    /// writable for 32.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn slide1(src: *const u8, dst: *mut u8) {
+        // SAFETY: per the function contract; the shuffle indices stay
+        // within the broadcast 16-byte lane (max index 10).
+        unsafe {
+            let idx = _mm256_setr_epi8(
+                0, 1, 2, 3, 1, 2, 3, 4, 2, 3, 4, 5, 3, 4, 5, 6, //
+                4, 5, 6, 7, 5, 6, 7, 8, 6, 7, 8, 9, 7, 8, 9, 10,
+            );
+            let b = _mm256_broadcastsi128_si256(_mm_loadu_si128(src.cast()));
+            _mm256_storeu_si256(dst.cast(), _mm256_shuffle_epi8(b, idx));
+        }
+    }
+
+    /// Builds one 32-byte panel block for stride 2: the 4-byte windows of
+    /// `src` starting at offsets `0, 2, .., 14`.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2; `src` must be readable for 24 bytes and `dst`
+    /// writable for 32.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn slide2(src: *const u8, dst: *mut u8) {
+        // SAFETY: per the function contract; lane 0 reads `src[0..16]`,
+        // lane 1 reads `src[8..24]`, shuffle indices stay in-lane (max 9).
+        unsafe {
+            let idx = _mm256_setr_epi8(
+                0, 1, 2, 3, 2, 3, 4, 5, 4, 5, 6, 7, 6, 7, 8, 9, //
+                0, 1, 2, 3, 2, 3, 4, 5, 4, 5, 6, 7, 6, 7, 8, 9,
+            );
+            let lo = _mm_loadu_si128(src.cast());
+            let hi = _mm_loadu_si128(src.add(8).cast());
+            let b = _mm256_inserti128_si256(_mm256_castsi128_si256(lo), hi, 1);
+            _mm256_storeu_si256(dst.cast(), _mm256_shuffle_epi8(b, idx));
+        }
+    }
+
+    /// Integer GEMM for one position block: 4 weight rows × 8 positions,
+    /// all quads. Accumulators are written to `acc` as plain i32 lanes.
+    ///
+    /// # Safety
+    ///
+    /// Requires AVX2. `panel` must hold `quads * owr * 4` bytes with
+    /// `p0 + POS_BLOCK <= owr`; every pointer in `rows` must hold
+    /// `quads * 4` weight bytes.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn gemm_block4(
+        panel: *const u8,
+        rows: [*const i8; 4],
+        quads: usize,
+        owr: usize,
+        p0: usize,
+        acc: &mut [[i32; POS_BLOCK]; 4],
+    ) {
+        // SAFETY: per the function contract, every 32-byte panel load and
+        // 4-byte weight load below stays in bounds.
+        unsafe {
+            let ones = _mm256_set1_epi16(1);
+            let mut v = [_mm256_setzero_si256(); 4];
+            for q in 0..quads {
+                let av = _mm256_loadu_si256(panel.add((q * owr + p0) * 4).cast());
+                for (r, &row) in rows.iter().enumerate() {
+                    let wv = _mm256_set1_epi32(row.add(q * 4).cast::<i32>().read_unaligned());
+                    let p16 = _mm256_maddubs_epi16(av, wv);
+                    v[r] = _mm256_add_epi32(v[r], _mm256_madd_epi16(p16, ones));
+                }
+            }
+            for (a, vr) in acc.iter_mut().zip(v) {
+                _mm256_storeu_si256(a.as_mut_ptr().cast::<__m256i>(), vr);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Forward pass.
+// ---------------------------------------------------------------------------
+
+/// Quantized convolution forward: u8 activations × i8 weights with an i32
+/// accumulator, dequantized (plus bias and optional fused ReLU) straight
+/// into the f32 output.
+///
+/// Matches the f32 convolution up to quantization error; the secure branch
+/// never routes through this path.
+///
+/// # Errors
+///
+/// Returns rank/shape errors for inconsistent operands.
+pub fn conv2d_forward_q8(
+    input: &Tensor,
+    qw: &QuantConv2dWeight,
+    act: ActQuant,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    relu: bool,
+) -> Result<Tensor> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op: "conv2d_q8",
+        });
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    if c != qw.c {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![qw.o, qw.c, qw.kh, qw.kw],
+            got: vec![n, c, h, w],
+            op: "conv2d_q8 (input channels)",
+        });
+    }
+    let oh = conv_output_size(h, qw.kh, stride, pad)?;
+    let ow = conv_output_size(w, qw.kw, stride, pad)?;
+    if let Some(b) = bias {
+        if b.numel() != qw.o {
+            return Err(TensorError::LengthMismatch {
+                expected: qw.o,
+                got: b.numel(),
+                op: "conv2d_q8 (bias)",
+            });
+        }
+    }
+    let mut out = Tensor::zeros(&[n, qw.o, oh, ow]);
+    let iv = input.as_slice();
+    let bias_v = bias.map(Tensor::as_slice);
+    let spatial = oh * ow;
+    let out_sample = qw.o * spatial;
+    par::for_each_chunk_mut(out.as_mut_slice(), out_sample.max(1), |ni, chunk| {
+        forward_sample_q8(
+            &iv[ni * c * h * w..(ni + 1) * c * h * w],
+            qw,
+            act,
+            bias_v,
+            (h, w, oh, ow),
+            (stride, pad),
+            relu,
+            chunk,
+        );
+    });
+    Ok(out)
+}
+
+/// One sample of the quantized forward: quantize the sample into a
+/// zero-point-padded image, then per output row build the quad panel with
+/// sliding-window shuffles and run the integer GEMM.
+#[allow(clippy::too_many_arguments)]
+fn forward_sample_q8(
+    sample: &[f32],
+    qw: &QuantConv2dWeight,
+    act: ActQuant,
+    bias: Option<&[f32]>,
+    (h, w, oh, ow): (usize, usize, usize, usize),
+    (stride, pad): (usize, usize),
+    relu: bool,
+    dst: &mut [f32],
+) {
+    let (c, kh, row_quads, quads) = (qw.c, qw.kh, qw.row_quads, qw.quads);
+    let spatial = oh * ow;
+    let zp = act.zero_point;
+    let zp_i32 = i32::from(zp);
+    let inv_scale = 1.0 / act.scale;
+
+    // Zero-point-padded quantized image. The width slack past the real
+    // padding keeps every sliding-window load of the tail position block in
+    // bounds; slack bytes are zp, and only zero-weight taps or discarded
+    // positions ever read them.
+    let hpad = h + 2 * pad;
+    let wpad = w + 2 * pad + POS_BLOCK * stride + 4 * row_quads + 24;
+    let mut qpad = take_bytes(c * hpad * wpad);
+    qpad.fill(zp);
+    let zpf = f32::from(zp);
+    for ci in 0..c {
+        for ih in 0..h {
+            let src = &sample[(ci * h + ih) * w..(ci * h + ih + 1) * w];
+            let drow = &mut qpad[(ci * hpad + ih + pad) * wpad + pad..][..w];
+            for (d, &x) in drow.iter_mut().zip(src) {
+                // Round-half-up via the saturating cast (truncation equals
+                // floor for the non-negative in-range values, and the cast
+                // clamps the rest); `round()`/`floor()` would lower to a
+                // per-element libm call on baseline targets. Codes differ
+                // from `ActQuant::quantize` only on exact half-steps.
+                *d = (x * inv_scale + zpf + 0.5) as u8;
+            }
+        }
+    }
+
+    // Panel for one output row: [quad][position][4 taps], positions padded
+    // to a POS_BLOCK multiple (padded positions are computed and dropped).
+    let owr = ow.div_ceil(POS_BLOCK) * POS_BLOCK;
+    let mut panel = take_bytes(quads * owr * 4);
+    let simd = have_avx2() && stride <= 2;
+    let mut acc = [[0i32; POS_BLOCK]; 4];
+    for ohi in 0..oh {
+        let mut q = 0;
+        for ci in 0..c {
+            for ki in 0..kh {
+                let row = &qpad[(ci * hpad + ohi * stride + ki) * wpad..][..wpad];
+                for jb in 0..row_quads {
+                    let dstq = &mut panel[q * owr * 4..(q + 1) * owr * 4];
+                    if simd {
+                        #[cfg(target_arch = "x86_64")]
+                        for p0 in (0..owr).step_by(POS_BLOCK) {
+                            // SAFETY: AVX2 verified; the source offset plus
+                            // the kernel's read span stays within `wpad`
+                            // (see the slack above), and the destination
+                            // block is 32 in-bounds panel bytes.
+                            #[allow(unsafe_code)]
+                            unsafe {
+                                let src = row.as_ptr().add(p0 * stride + jb * 4);
+                                let d = dstq.as_mut_ptr().add(p0 * 4);
+                                if stride == 1 {
+                                    avx2::slide1(src, d);
+                                } else {
+                                    avx2::slide2(src, d);
+                                }
+                            }
+                        }
+                    } else {
+                        build_quad_portable(row, dstq, owr, stride, jb * 4);
+                    }
+                    q += 1;
+                }
+            }
+        }
+
+        let t0 = ohi * ow;
+        for p0 in (0..ow).step_by(POS_BLOCK) {
+            let mut oc = 0;
+            while oc < qw.o {
+                let nr = (qw.o - oc).min(4);
+                let mut rowbuf: [&[i8]; 4] = [&[]; 4];
+                for (r, slot) in rowbuf.iter_mut().enumerate().take(nr) {
+                    *slot = &qw.q[(oc + r) * quads * 4..(oc + r + 1) * quads * 4];
+                }
+                let rows = &rowbuf[..nr];
+                if simd && nr == 4 {
+                    #[cfg(target_arch = "x86_64")]
+                    // SAFETY: AVX2 verified; panel holds `quads * owr * 4`
+                    // bytes with `p0 + POS_BLOCK <= owr`, each row holds
+                    // `quads * 4` bytes.
+                    #[allow(unsafe_code)]
+                    unsafe {
+                        avx2::gemm_block4(
+                            panel.as_ptr(),
+                            [
+                                rows[0].as_ptr(),
+                                rows[1].as_ptr(),
+                                rows[2].as_ptr(),
+                                rows[3].as_ptr(),
+                            ],
+                            quads,
+                            owr,
+                            p0,
+                            &mut acc,
+                        );
+                    }
+                    #[cfg(not(target_arch = "x86_64"))]
+                    gemm_block_portable(&panel, rows, quads, owr, p0, &mut acc);
+                } else {
+                    gemm_block_portable(&panel, rows, quads, owr, p0, &mut acc);
+                }
+                let pn = (ow - p0).min(POS_BLOCK);
+                for (r, acc_row) in acc.iter().enumerate().take(nr) {
+                    let ch = oc + r;
+                    let deq = act.scale * qw.scales[ch];
+                    let corr = zp_i32 * qw.wsum[ch];
+                    let b = bias.map_or(0.0, |bv| bv[ch]);
+                    let drow = &mut dst[ch * spatial + t0 + p0..][..pn];
+                    for (d, &a) in drow.iter_mut().zip(&acc_row[..pn]) {
+                        let mut v = deq * (a - corr) as f32 + b;
+                        if relu {
+                            v = v.max(0.0);
+                        }
+                        *d = v;
+                    }
+                }
+                oc += nr;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::init;
+    use crate::ops::conv::conv2d_forward_naive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quant_error_bound(input: &Tensor, qw: &QuantConv2dWeight, act: ActQuant) -> f32 {
+        // Worst case per output: ckk terms each off by ≤ s_a/2 · |w| plus
+        // the weight rounding ≤ s_w/2 · |a|; a loose but sufficient bound.
+        let ckk = qw.c * qw.kh * qw.kw;
+        let wmax = qw.scales.iter().fold(0.0f32, |m, &s| m.max(s)) * W_QMAX;
+        let amax = input.as_slice().iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+        let smax = qw.scales.iter().fold(0.0f32, |m, &s| m.max(s));
+        ckk as f32 * (act.scale * wmax + smax * (amax + act.scale))
+    }
+
+    #[test]
+    fn quantized_forward_tracks_f32_reference() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for &(c, o, k, stride, pad) in &[
+            (3usize, 8usize, 3usize, 1usize, 1usize),
+            (8, 16, 1, 1, 0),
+            (4, 6, 5, 2, 2),
+        ] {
+            let x = init::randn(&[2, c, 12, 12], 1.0, &mut rng);
+            let w = init::randn(&[o, c, k, k], 0.2, &mut rng);
+            let qw = QuantConv2dWeight::quantize(&w).unwrap();
+            let act = ActQuant::from_tensor(&x);
+            let q = conv2d_forward_q8(&x, &qw, act, None, stride, pad, false).unwrap();
+            let f = conv2d_forward_naive(&x, &w, None, stride, pad).unwrap();
+            assert_eq!(q.dims(), f.dims());
+            let bound = quant_error_bound(&x, &qw, act);
+            let max_err = q
+                .as_slice()
+                .iter()
+                .zip(f.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                max_err <= bound,
+                "c{c} o{o} k{k} s{stride} p{pad}: err {max_err} > bound {bound}"
+            );
+            // The bound is loose; also require practically-tight tracking.
+            let scale_ref = f
+                .as_slice()
+                .iter()
+                .fold(0.0f32, |m, &v| m.max(v.abs()))
+                .max(1.0);
+            assert!(
+                max_err / scale_ref < 0.05,
+                "c{c} o{o} k{k}: relative error {max_err}/{scale_ref} too large"
+            );
+        }
+    }
+
+    #[test]
+    fn odd_geometries_match_portable_reference() {
+        // Shapes that exercise the position-block tail, the oc remainder
+        // (o not a multiple of 4) and stride-2 shuffles.
+        let mut rng = StdRng::seed_from_u64(12);
+        for &(c, o, k, stride, pad, hw) in &[
+            (5usize, 7usize, 3usize, 1usize, 1usize, 9usize),
+            (2, 3, 3, 2, 1, 11),
+            (4, 9, 5, 2, 2, 13),
+            (3, 4, 1, 1, 0, 6),
+        ] {
+            let x = init::randn(&[2, c, hw, hw], 1.0, &mut rng);
+            let w = init::randn(&[o, c, k, k], 0.2, &mut rng);
+            let qw = QuantConv2dWeight::quantize(&w).unwrap();
+            let act = ActQuant::from_tensor(&x);
+            let q = conv2d_forward_q8(&x, &qw, act, None, stride, pad, false).unwrap();
+            let f = conv2d_forward_naive(&x, &w, None, stride, pad).unwrap();
+            let scale_ref = f
+                .as_slice()
+                .iter()
+                .fold(0.0f32, |m, &v| m.max(v.abs()))
+                .max(1.0);
+            let max_err = q
+                .as_slice()
+                .iter()
+                .zip(f.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0f32, f32::max);
+            assert!(
+                max_err / scale_ref < 0.08,
+                "c{c} o{o} k{k} s{stride} p{pad} {hw}x{hw}: err {max_err} vs {scale_ref}"
+            );
+        }
+    }
+
+    #[test]
+    fn relu_epilogue_clamps() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let x = init::randn(&[1, 3, 6, 6], 1.0, &mut rng);
+        let w = init::randn(&[4, 3, 3, 3], 0.3, &mut rng);
+        let qw = QuantConv2dWeight::quantize(&w).unwrap();
+        let act = ActQuant::from_tensor(&x);
+        let y = conv2d_forward_q8(&x, &qw, act, None, 1, 1, true).unwrap();
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn zero_point_covers_negative_ranges() {
+        let a = ActQuant::from_range(-2.0, 6.0);
+        assert!(a.zero_point > 0);
+        // Real 0.0 must round-trip exactly through the zero point.
+        assert_eq!(a.quantize(0.0), a.zero_point);
+    }
+
+    #[test]
+    fn byte_arena_reaches_steady_state() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let x = init::randn(&[1, 4, 10, 10], 1.0, &mut rng);
+        let w = init::randn(&[8, 4, 3, 3], 0.3, &mut rng);
+        let qw = QuantConv2dWeight::quantize(&w).unwrap();
+        let act = ActQuant::from_tensor(&x);
+        let a = conv2d_forward_q8(&x, &qw, act, None, 1, 1, false).unwrap();
+        let b = conv2d_forward_q8(&x, &qw, act, None, 1, 1, false).unwrap();
+        assert_eq!(
+            a.as_slice(),
+            b.as_slice(),
+            "quantized forward must be deterministic"
+        );
+    }
+}

@@ -210,11 +210,20 @@ fn ensure_workers(pool: &Arc<Pool>, wanted: usize) {
 /// only when every call has finished. `count` must be ≥ 2 (smaller runs are
 /// inlined by [`run`]).
 fn run_erased(count: usize, f: &(dyn Fn(usize) + Sync)) {
+    // A cap of 1 means fully serial — run inline instead of enqueueing.
+    // Going through the shared queue would let workers spawned under an
+    // earlier, larger cap steal tasks, which both violates the serial
+    // contract and migrates thread-local scratch arenas across threads so
+    // they never reach allocation steady state.
+    if max_threads() <= 1 {
+        for index in 0..count {
+            f(index);
+        }
+        return;
+    }
     let pool = pool();
     // The calling thread participates, so `max_threads() - 1` workers give
-    // exactly the configured concurrency; excess tasks queue. With a cap of
-    // 1 no workers come up at all and the caller drains its own queue —
-    // `TBNET_THREADS=1` runs fully serial.
+    // exactly the configured concurrency; excess tasks queue.
     ensure_workers(pool, count.min(max_threads()).saturating_sub(1));
     // SAFETY: `f` outlives every use of the erased reference. Tasks holding
     // it exist only in the queue or on an executing thread, and this
@@ -470,6 +479,10 @@ mod tests {
 
     #[test]
     fn pool_workers_persist_across_calls() {
+        // Pin a cap above 1: with a cap of 1 `run` executes fully inline
+        // and never touches the pool (see `run_erased`), so on a
+        // single-core host there would be nothing to observe here.
+        set_max_threads(2);
         // Warm the pool with a first multi-task call…
         let _ = run((0..8).collect::<Vec<_>>(), |_i, x: i32| x * 2);
         let jobs = pool_jobs_completed();
@@ -488,6 +501,7 @@ mod tests {
             pool_workers() <= max_threads().max(threads_from_env()),
             "worker population must stay within the thread cap"
         );
+        reset_max_threads();
     }
 
     #[test]

@@ -90,6 +90,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nfunctional split inference: {} payloads, {} bytes crossed REE→TEE (one-way by type)",
         split.channel.messages, split.channel.bytes
     );
+    let t = &split.timings;
+    println!(
+        "  measured stages: total {:.3} ms (ree {:.3} | transfer {:.3} | tee {:.3} | merge {:.3}) \
+         — same shape as the simulator's LatencyReport above",
+        t.total_ms, t.ree_ms, t.transfer_ms, t.tee_ms, t.merge_ms
+    );
     let monolithic = artifacts.model.predict(&batch.images)?;
     let max_diff = split
         .logits
@@ -99,5 +105,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
     println!("  max |split − monolithic| logit difference: {max_diff:.2e}");
+
+    // --- Inference fast path: fused f32 and the int8 REE branch. ---
+    let eval = data
+        .test()
+        .gather(&(0..data.test().len()).collect::<Vec<_>>());
+    let model = &mut artifacts.model;
+    let time_best = |f: &mut dyn FnMut()| {
+        f(); // warm caches, packs and arenas
+        (0..5)
+            .map(|_| {
+                let t0 = std::time::Instant::now();
+                f();
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::MAX, f64::min)
+    };
+    let unfused_ms = time_best(&mut || {
+        model.predict(&eval.images).expect("predict");
+    });
+    let fused_ms = time_best(&mut || {
+        model.predict_fused(&eval.images).expect("fused predict");
+    });
+    let int8_ms = time_best(&mut || {
+        model.predict_int8(&eval.images).expect("int8 predict");
+    });
+    println!("\ninference fast path ({} samples):", eval.images.dim(0));
+    println!("  unfused f32 (training-shaped): {unfused_ms:.3} ms");
+    println!(
+        "  fused f32 (BN-folded epilogues): {fused_ms:.3} ms ({:.2}x)",
+        unfused_ms / fused_ms
+    );
+    println!(
+        "  int8 M_R + f32 M_T             : {int8_ms:.3} ms ({:.2}x)",
+        unfused_ms / int8_ms
+    );
     Ok(())
 }

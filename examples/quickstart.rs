@@ -9,6 +9,8 @@
 //! iterative pruning → rollback finalization) and reports what a user sees
 //! versus what an attacker gets.
 
+use std::time::Instant;
+
 use tbnet_core::attack::direct_use_attack;
 use tbnet_core::pipeline::{run_pipeline, PipelineConfig};
 use tbnet_data::{DatasetKind, SyntheticCifar};
@@ -28,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "training victim + building TBNet ({} units)…",
         spec.units.len()
     );
-    let artifacts = run_pipeline(&spec, &data, &PipelineConfig::smoke())?;
+    let mut artifacts = run_pipeline(&spec, &data, &PipelineConfig::smoke())?;
 
     let attack_acc = direct_use_attack(&artifacts.model, data.test())?;
     println!("victim accuracy : {:.1}%", artifacts.victim_acc * 100.0);
@@ -63,6 +65,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             .iter()
             .map(|u| u.out_channels())
             .collect::<Vec<_>>()
+    );
+
+    // Serving uses the fused inference path: BatchNorm folded into the
+    // packed conv weights, ReLU and the branch merge run as conv epilogues.
+    let batch = data
+        .test()
+        .gather(&(0..data.test().len()).collect::<Vec<_>>());
+    let model = &mut artifacts.model;
+    let time_best = |f: &mut dyn FnMut()| {
+        f(); // warm caches, packs and arenas
+        (0..5)
+            .map(|_| {
+                let t0 = Instant::now();
+                f();
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .fold(f64::MAX, f64::min)
+    };
+    let unfused_ms = time_best(&mut || {
+        model.predict(&batch.images).expect("predict");
+    });
+    let fused_ms = time_best(&mut || {
+        model.predict_fused(&batch.images).expect("fused predict");
+    });
+    println!(
+        "\ninference latency ({} samples): unfused {unfused_ms:.3} ms → fused {fused_ms:.3} ms \
+         ({:.2}x)",
+        batch.images.dim(0),
+        unfused_ms / fused_ms
     );
     Ok(())
 }

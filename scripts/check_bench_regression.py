@@ -58,6 +58,10 @@ def load_rows(path: str) -> dict[str, float]:
             # training-engine report: gate every phase/engine/worker cell.
             key = f'{row.get("phase", "train")}|{row["engine"]}|W{row["workers"]}'
             rows[key] = float(row["seconds"])
+        elif "path" in row:
+            # inference report: gate every execution path/shape cell.
+            key = f'infer|{row["path"]}|{row.get("shape", "")}'
+            rows[key] = float(row["ms"])
     if not rows:
         print(f"error: {path} contains no gateable results", file=sys.stderr)
         sys.exit(2)
@@ -73,6 +77,25 @@ def main() -> int:
         type=float,
         default=0.25,
         help="maximum calibrated per-row slowdown (default 0.25 = 25%%)",
+    )
+    ap.add_argument(
+        "--min-agreement",
+        type=float,
+        default=None,
+        help="fail unless the current report's int8_top1_agreement "
+        "reaches this floor (accuracy-delta gate for inference reports)",
+    )
+    ap.add_argument(
+        "--min-fused-speedup",
+        type=float,
+        default=None,
+        help="fail unless the current report's fused_speedup reaches this floor",
+    )
+    ap.add_argument(
+        "--min-int8-speedup",
+        type=float,
+        default=None,
+        help="fail unless the current report's int8_mr_speedup reaches this floor",
     )
     args = ap.parse_args()
 
@@ -115,6 +138,30 @@ def main() -> int:
     for key in missing:
         print(f"  {key:45} MISSING from current report")
 
+    # Quality-floor gates on the current report's top-level summary fields
+    # (wall-clock *ratios* measured within one run are machine-calibrated by
+    # construction, so unlike raw times they can be gated absolutely).
+    floor_failures = []
+    floors = [
+        ("int8_top1_agreement", args.min_agreement),
+        ("fused_speedup", args.min_fused_speedup),
+        ("int8_mr_speedup", args.min_int8_speedup),
+    ]
+    if any(floor is not None for _, floor in floors):
+        with open(args.current, encoding="utf-8") as fh:
+            current_report = json.load(fh)
+        for field, floor in floors:
+            if floor is None:
+                continue
+            value = current_report.get(field)
+            if value is None:
+                floor_failures.append(f"{field} missing from {args.current}")
+                continue
+            status = "ok" if float(value) >= floor else "BELOW FLOOR"
+            print(f"  {field:45} floor {floor:10.3f}  cur {float(value):10.3f}  {status}")
+            if float(value) < floor:
+                floor_failures.append(f"{field} {float(value):.4f} < floor {floor:.4f}")
+
     if missing:
         print(f"FAIL: {len(missing)} baseline row(s) missing — bench coverage regressed")
     if failures:
@@ -122,7 +169,9 @@ def main() -> int:
             f"FAIL: {len(failures)} row(s) slower than {args.threshold:.0%} "
             "both raw and calibrated"
         )
-    if missing or failures:
+    for reason in floor_failures:
+        print(f"FAIL: {reason}")
+    if missing or failures or floor_failures:
         return 1
     print("PASS: no per-kernel regression beyond threshold")
     return 0

@@ -188,4 +188,87 @@ fn fused_conv_engine_reaches_allocation_steady_state() {
         );
     }
     par::reset_max_threads();
+
+    // Phase 3: the inference fast path. Fused-epilogue forwards, index-free
+    // eval pooling and the int8 kernel must likewise allocate only their
+    // outputs once warm — steady-state inference scratch lives in the
+    // arenas (f32 panels) and the byte arena (u8/i8 panels).
+    par::set_max_threads(1);
+    inference_steady_state();
+    par::reset_max_threads();
+}
+
+/// Asserts output-only allocation for the fused f32 epilogue forward, the
+/// index-free eval max-pool, and the int8 quantized forward.
+fn inference_steady_state() {
+    use tbnet_tensor::ops::{conv2d_forward_q8, ActQuant, Epilogue, QuantConv2dWeight};
+
+    let parallel = BackendKind::Parallel.imp();
+    let mut rng = StdRng::seed_from_u64(31);
+    let x = init::randn(&[2, 8, 12, 12], 1.0, &mut rng);
+    let w3 = init::randn(&[8, 8, 3, 3], 0.5, &mut rng);
+    let packed = tbnet_tensor::ops::PackedConv2dWeight::new(&w3).unwrap();
+    let bias = init::randn(&[8], 0.1, &mut rng);
+    let merge = {
+        let probe = parallel
+            .conv2d_forward_fused(&x, &packed, Some(&bias), 1, 1, Epilogue::Relu)
+            .unwrap();
+        init::randn(probe.dims(), 1.0, &mut rng)
+    };
+
+    // Fused forward with every epilogue variant: warm once, then assert the
+    // second call allocates only its output tensor.
+    for (label, epi) in [
+        ("fused relu", Epilogue::Relu),
+        ("fused add-relu", Epilogue::AddRelu(&merge)),
+        ("fused relu-add", Epilogue::ReluAdd(&merge)),
+    ] {
+        let _ = parallel
+            .conv2d_forward_fused(&x, &packed, Some(&bias), 1, 1, epi)
+            .unwrap();
+        let arena_before = arena::reserved_elems();
+        let a0 = allocated_bytes();
+        let out = parallel
+            .conv2d_forward_fused(&x, &packed, Some(&bias), 1, 1, epi)
+            .unwrap();
+        let delta = allocated_bytes() - a0;
+        let budget = tensor_bytes(&out) + SLACK;
+        assert!(
+            delta <= budget,
+            "{label}: warmed fused forward allocated {delta} B, budget {budget} B"
+        );
+        assert_eq!(arena::reserved_elems(), arena_before, "{label}: arena grew");
+    }
+
+    // Index-free eval pooling: no winners map, only the pooled output.
+    let _ = parallel.maxpool2d_eval(&x, 2).unwrap();
+    let a0 = allocated_bytes();
+    let pooled = parallel.maxpool2d_eval(&x, 2).unwrap();
+    let delta = allocated_bytes() - a0;
+    let budget = tensor_bytes(&pooled) + SLACK;
+    assert!(
+        delta <= budget,
+        "maxpool2d_eval: warmed call allocated {delta} B, budget {budget} B \
+         (an index map would roughly double the output bytes)"
+    );
+
+    // Int8 forward: u8 image, panels and i32 accumulators all come from the
+    // byte arena once warm.
+    let qw = QuantConv2dWeight::quantize(&w3).unwrap();
+    let act = ActQuant::from_tensor(&x);
+    let _ = conv2d_forward_q8(&x, &qw, act, Some(&bias), 1, 1, true).unwrap();
+    let arena_before = arena::reserved_elems();
+    let a0 = allocated_bytes();
+    let qout = conv2d_forward_q8(&x, &qw, act, Some(&bias), 1, 1, true).unwrap();
+    let delta = allocated_bytes() - a0;
+    let budget = tensor_bytes(&qout) + SLACK;
+    assert!(
+        delta <= budget,
+        "int8 conv: warmed call allocated {delta} B, budget {budget} B"
+    );
+    assert_eq!(
+        arena::reserved_elems(),
+        arena_before,
+        "int8 conv: second call must not grow the f32 arena"
+    );
 }
