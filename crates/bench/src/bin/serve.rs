@@ -1,0 +1,274 @@
+//! Serving-runtime report: drives the fault-tolerant split-inference engine
+//! with open-loop load under a healthy and a faulted scenario, and writes
+//! `BENCH_serve.json` at the repo root (or the path given as the first
+//! argument).
+//!
+//! Measured, not estimated:
+//!
+//! * throughput and p50/p99 request latency per scenario (the regression
+//!   keys are `serve|{scenario}|{metric}`);
+//! * shed/degraded/retry/requeue/restart counts under a seeded fault
+//!   schedule (world-switch failures, payload corruption, consumer stalls
+//!   and a mid-run consumer crash) — with the zero-lost-requests invariant
+//!   checked on both scenarios;
+//! * the healthy path's pipeline overlap, validated against the event-driven
+//!   simulator by calibrating its cost model from the measured stage times.
+//!
+//! Run with `cargo run --release -p tbnet-bench --bin serve`.
+
+use std::time::{Duration, Instant};
+
+use serde::Serialize;
+use tbnet_core::pipeline::{run_pipeline, PipelineConfig};
+use tbnet_core::serve::{ServeConfig, ServeEngine, ServeReport};
+use tbnet_core::TwoBranchModel;
+use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_models::vgg;
+use tbnet_tee::FaultPlan;
+use tbnet_tensor::{par, Tensor};
+
+#[derive(Debug, Clone, Serialize)]
+struct ScenarioRow {
+    /// Scenario identifier (regression key: `serve|{scenario}|{metric}`).
+    scenario: String,
+    metric: String,
+    value_ms: f64,
+}
+
+#[derive(Debug, Clone, Serialize)]
+struct ScenarioSummary {
+    scenario: String,
+    admitted: u64,
+    answered: u64,
+    degraded: u64,
+    shed: u64,
+    expired: u64,
+    shed_rate: f64,
+    /// Completed answers (full + degraded) per second of scenario wall
+    /// clock, submit of the first request to the end of the drain.
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    send_retries: u64,
+    requeues: u64,
+    consumer_restarts: u64,
+    corruption_detected: u64,
+    faults_injected: u64,
+    mean_batch: f64,
+    measured_overlap: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ServeBenchReport {
+    report: String,
+    threads: usize,
+    requests_per_scenario: usize,
+    results: Vec<ScenarioRow>,
+    scenarios: Vec<ScenarioSummary>,
+    /// Shed fraction of the healthy scenario (ceiling-gated in CI: a
+    /// healthy engine at this load should shed almost nothing).
+    healthy_shed_rate: f64,
+    /// Shed fraction of the faulted scenario (ceiling-gated in CI).
+    faulted_shed_rate: f64,
+    /// Every admitted request reached exactly one terminal outcome.
+    healthy_zero_lost: bool,
+    faulted_zero_lost: bool,
+    healthy_measured_overlap: f64,
+    healthy_simulated_overlap: f64,
+    /// measured/simulated stage overlap of the healthy path (1.0 = the
+    /// concurrent runtime pipelines exactly as the calibrated simulator
+    /// predicts).
+    healthy_overlap_ratio: f64,
+    note: String,
+}
+
+/// A trained smoke-pipeline deployment plus its eval images — serving an
+/// untrained network would measure tie-breaking noise, not the runtime.
+fn trained_deployment() -> (TwoBranchModel, Vec<Tensor>) {
+    let data = SyntheticCifar::generate(
+        DatasetKind::Cifar10Like
+            .config()
+            .with_classes(3)
+            .with_train_per_class(10)
+            .with_test_per_class(8)
+            .with_size(8, 8)
+            .with_noise_std(0.25),
+    );
+    let spec = vgg::vgg_from_stages("serve-bench", &[(8, 1), (8, 1)], 3, 3, (8, 8));
+    let mut cfg = PipelineConfig::smoke();
+    cfg.prune.drop_budget = 1.0;
+    let artifacts = run_pipeline(&spec, &data, &cfg).expect("smoke pipeline trains");
+    let images = (0..data.test().len())
+        .map(|i| data.test().gather(&[i]).images)
+        .collect();
+    (artifacts.model, images)
+}
+
+fn bench_config() -> ServeConfig {
+    ServeConfig {
+        ree_workers: 1,
+        max_batch: 8,
+        batch_linger: Duration::from_micros(500),
+        queue_high_water: 64,
+        default_deadline: Duration::from_secs(5),
+        channel_cap: 4,
+        send_timeout: Duration::from_millis(250),
+        recv_timeout: Duration::from_millis(250),
+        max_send_retries: 3,
+        max_requeues: 3,
+        backoff_base: Duration::from_micros(300),
+        backoff_cap: Duration::from_millis(5),
+        unhealthy_after: 5,
+        healthy_after: 2,
+        probe_interval: Duration::from_millis(5),
+        drain_timeout: Duration::from_secs(60),
+    }
+}
+
+/// Open-loop load: submissions arrive on a fixed schedule regardless of
+/// completion (the serving regime where backpressure actually matters).
+fn run_scenario(
+    label: &str,
+    model: &TwoBranchModel,
+    images: &[Tensor],
+    plan: FaultPlan,
+    requests: usize,
+    inter_arrival: Duration,
+) -> (ServeReport, ScenarioSummary, Vec<ScenarioRow>) {
+    let engine = ServeEngine::start(model, bench_config(), plan).expect("engine starts");
+    let started = Instant::now();
+    for i in 0..requests {
+        engine
+            .submit(&images[i % images.len()])
+            .expect("admission accepts while open");
+        std::thread::sleep(inter_arrival);
+    }
+    let report = engine.shutdown();
+    let elapsed = started.elapsed().as_secs_f64();
+
+    let completed = report.counts.answered + report.counts.degraded;
+    let summary = ScenarioSummary {
+        scenario: label.to_string(),
+        admitted: report.counts.admitted,
+        answered: report.counts.answered,
+        degraded: report.counts.degraded,
+        shed: report.counts.shed,
+        expired: report.counts.expired,
+        shed_rate: report.shed_rate(),
+        throughput_rps: completed as f64 / elapsed.max(1e-9),
+        p50_ms: report.latency_percentile(0.5),
+        p99_ms: report.latency_percentile(0.99),
+        send_retries: report.metrics.send_retries,
+        requeues: report.metrics.requeues,
+        consumer_restarts: report.metrics.consumer_restarts,
+        corruption_detected: report.metrics.corruption_detected,
+        faults_injected: report.faults.total_injected(),
+        mean_batch: report.mean_batch,
+        measured_overlap: report.measured_overlap,
+    };
+    let rows = vec![
+        ScenarioRow {
+            scenario: label.to_string(),
+            metric: "p50".to_string(),
+            value_ms: summary.p50_ms,
+        },
+        ScenarioRow {
+            scenario: label.to_string(),
+            metric: "p99".to_string(),
+            value_ms: summary.p99_ms,
+        },
+    ];
+    println!(
+        "{label:<9} {:.1} req/s | p50 {:.3} ms p99 {:.3} ms | shed {:.1}% | \
+         answered {} degraded {} expired {} | retries {} requeues {} restarts {} | \
+         batch {:.2} overlap {:.3}",
+        summary.throughput_rps,
+        summary.p50_ms,
+        summary.p99_ms,
+        summary.shed_rate * 100.0,
+        summary.answered,
+        summary.degraded,
+        summary.expired,
+        summary.send_retries,
+        summary.requeues,
+        summary.consumer_restarts,
+        summary.mean_batch,
+        summary.measured_overlap,
+    );
+    (report, summary, rows)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_serve.json".to_string());
+    let requests = 160usize;
+    let inter_arrival = Duration::from_micros(250);
+
+    let (model, images) = trained_deployment();
+
+    let (healthy_report, healthy, mut results) = run_scenario(
+        "healthy",
+        &model,
+        &images,
+        FaultPlan::none(),
+        requests,
+        inter_arrival,
+    );
+    // A seeded schedule exercising every recovery path: transient
+    // world-switch aborts, one scribbled payload, periodic consumer stalls
+    // and a mid-run consumer crash.
+    let plan = FaultPlan::seeded(42)
+        .with_world_switch_failure_rate(0.08)
+        .with_corrupt_payload_at(12)
+        .with_consumer_stall_every(20, Duration::from_millis(2))
+        .with_consumer_crash_at(30);
+    let (faulted_report, faulted, faulted_rows) =
+        run_scenario("faulted", &model, &images, plan, requests, inter_arrival);
+    results.extend(faulted_rows);
+
+    let healthy_zero_lost =
+        healthy_report.completions.len() as u64 == healthy_report.counts.admitted;
+    let faulted_zero_lost =
+        faulted_report.completions.len() as u64 == faulted_report.counts.admitted;
+    assert!(healthy_zero_lost && faulted_zero_lost, "lost requests");
+
+    // Validate the healthy pipeline against the event-driven simulator:
+    // calibrate its cost model from the measured stage means and compare
+    // the achieved stage overlap with the simulated schedule's.
+    let validation = healthy_report
+        .validate_pipeline(&model.mt().spec(), &model.mr().spec())
+        .expect("healthy run calibrates");
+    println!(
+        "overlap: measured {:.3} vs simulated {:.3} (ratio {:.3})",
+        validation.measured_overlap, validation.simulated_overlap, validation.ratio
+    );
+
+    let report = ServeBenchReport {
+        report: "serve".to_string(),
+        threads: par::max_threads(),
+        requests_per_scenario: requests,
+        results,
+        healthy_shed_rate: healthy.shed_rate,
+        faulted_shed_rate: faulted.shed_rate,
+        scenarios: vec![healthy, faulted],
+        healthy_zero_lost,
+        faulted_zero_lost,
+        healthy_measured_overlap: validation.measured_overlap,
+        healthy_simulated_overlap: validation.simulated_overlap,
+        healthy_overlap_ratio: validation.ratio,
+        note: "open-loop load (fixed inter-arrival) against the concurrent \
+               split-inference serving runtime on a trained smoke deployment. \
+               The healthy scenario runs fault-free and calibrates the \
+               event-driven latency simulator from its measured stage times; \
+               the faulted scenario replays a seeded nemesis schedule \
+               (world-switch aborts with bounded-backoff retries, a corrupted \
+               payload caught by checksum, periodic consumer stalls, and a \
+               consumer crash recovered by supervisor restart) and must still \
+               give every admitted request exactly one terminal outcome"
+            .to_string(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_serve.json");
+    println!("wrote {out_path}");
+}

@@ -26,7 +26,10 @@
 //!    `M_R`, fine-tuning with partial data, and the `M_T`-only ablation;
 //! 6. [`deploy`] — deployment planning against the simulated TEE substrate
 //!    (latency and secure-memory reports, plus a *functional* split
-//!    inference over the type-enforced one-way channel).
+//!    inference over the type-enforced one-way channel);
+//! 7. [`serve`] — the fault-tolerant concurrent serving runtime around that
+//!    split: deadlines, dynamic batching, backpressure, nemesis-driven TEE
+//!    fault injection and graceful int8 degradation.
 //!
 //! [`pipeline::run_pipeline`] chains all six steps and is what the benchmark
 //! harness calls to regenerate every table and figure of the paper.
@@ -54,6 +57,7 @@ pub mod parallel;
 pub mod persist;
 pub mod pipeline;
 pub mod pruning;
+pub mod serve;
 pub mod train;
 pub mod transfer;
 

@@ -1,0 +1,40 @@
+//! Shared fixture for the serving-runtime integration suites: a tiny
+//! finalized two-branch model produced by the full TBNet pipeline, built
+//! once per test binary.
+
+#![allow(dead_code)] // each test binary uses a subset of the helpers
+
+use std::sync::OnceLock;
+
+use tbnet_core::pipeline::{run_pipeline, PipelineConfig, TbnetArtifacts};
+use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_models::vgg;
+use tbnet_tensor::Tensor;
+
+static FIXTURE: OnceLock<(TbnetArtifacts, SyntheticCifar)> = OnceLock::new();
+
+/// A finalized smoke-scale TBNet model plus its dataset.
+pub fn fixture() -> &'static (TbnetArtifacts, SyntheticCifar) {
+    FIXTURE.get_or_init(|| {
+        let data = SyntheticCifar::generate(
+            DatasetKind::Cifar10Like
+                .config()
+                .with_classes(3)
+                .with_train_per_class(10)
+                .with_test_per_class(5)
+                .with_size(8, 8)
+                .with_noise_std(0.25),
+        );
+        let spec = vgg::vgg_from_stages("v", &[(8, 1), (8, 1)], 3, 3, (8, 8));
+        let mut cfg = PipelineConfig::smoke();
+        cfg.prune.drop_budget = 1.0;
+        let artifacts = run_pipeline(&spec, &data, &cfg).expect("smoke pipeline");
+        (artifacts, data)
+    })
+}
+
+/// The `i`-th test image (wrapping around) as a `[1, C, H, W]` tensor.
+pub fn test_image(i: usize) -> Tensor {
+    let (_, data) = fixture();
+    data.test().gather(&[i % data.test().len()]).images
+}

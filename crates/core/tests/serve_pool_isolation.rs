@@ -1,0 +1,53 @@
+//! Regression test for the cap-1 serial contract of the shared worker
+//! pool, extended to the serving runtime: after the pool has been warmed
+//! under a multi-thread cap, a serve session at `max_threads() == 1` must
+//! run every kernel inline — leftover pool workers must not steal its
+//! batch tasks (which would migrate thread-local scratch arenas and break
+//! the serial contract `run_erased` promises).
+//!
+//! This test owns its process (one test per integration binary) because it
+//! mutates the global thread cap and diffs the process-wide pool job
+//! counter; sibling tests sharing the pool would race both.
+
+mod common;
+
+use tbnet_core::serve::{ServeConfig, ServeEngine};
+use tbnet_tee::FaultPlan;
+use tbnet_tensor::par;
+
+#[test]
+fn cap1_serve_session_never_steals_pool_tasks() {
+    // Build the fixture before touching the cap so the pipeline's own
+    // parallelism does not land in the measured window.
+    let (artifacts, _) = common::fixture();
+
+    // Warm the pool under a multi-thread cap so idle workers exist and
+    // could steal tasks if the cap-1 path enqueued any.
+    par::set_max_threads(4);
+    let tripled = par::run((0..16).collect::<Vec<i32>>(), |_i, x| x * 3);
+    assert_eq!(tripled[5], 15);
+    assert!(
+        par::pool_workers() >= 1,
+        "warm-up must have spawned pool workers"
+    );
+
+    par::set_max_threads(1);
+    let before = par::pool_jobs_completed();
+    let engine = ServeEngine::start(
+        &artifacts.model,
+        ServeConfig::fast_test(),
+        FaultPlan::none(),
+    )
+    .unwrap();
+    for i in 0..8 {
+        engine.submit(&common::test_image(i)).unwrap();
+    }
+    let report = engine.shutdown();
+    assert_eq!(report.counts.answered, 8);
+    assert_eq!(
+        par::pool_jobs_completed(),
+        before,
+        "a cap-1 serve session must not enqueue a single pool task"
+    );
+    par::reset_max_threads();
+}

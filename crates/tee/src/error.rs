@@ -26,6 +26,20 @@ pub enum TeeError {
         /// Name of the offending field.
         field: &'static str,
     },
+    /// An SMC world switch aborted (transient; the caller should retry a
+    /// bounded number of times with backoff).
+    WorldSwitchFailed {
+        /// 1-based attempt number that failed.
+        attempt: u32,
+    },
+    /// A payload crossed the channel with a checksum mismatch — shared
+    /// memory was scribbled between send and receive.
+    PayloadCorrupted {
+        /// Checksum the sender computed.
+        expected: u64,
+        /// Checksum the receiver computed.
+        got: u64,
+    },
 }
 
 impl fmt::Display for TeeError {
@@ -43,6 +57,13 @@ impl fmt::Display for TeeError {
             TeeError::InvalidCostModel { field } => {
                 write!(f, "cost model field `{field}` must be positive")
             }
+            TeeError::WorldSwitchFailed { attempt } => {
+                write!(f, "world switch failed (attempt {attempt})")
+            }
+            TeeError::PayloadCorrupted { expected, got } => write!(
+                f,
+                "payload corrupted in transit: checksum {got:#018x} != expected {expected:#018x}"
+            ),
         }
     }
 }

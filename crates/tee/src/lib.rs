@@ -14,7 +14,14 @@
 //!   switch" design requirement of the paper holds by construction.
 //! * [`executor`] — an event-driven latency simulator for (a) the baseline
 //!   "entire model inside the TEE" deployment and (b) the TBNet two-branch
-//!   deployment, reproducing the paper's Table 3 comparison.
+//!   deployment, reproducing the paper's Table 3 comparison; plus
+//!   [`executor::calibrate_cost_model`], which fits a [`CostModel`] to stage
+//!   times measured by the concurrent serving runtime so the simulator
+//!   becomes a tested model of the real pipeline.
+//! * [`fault`] — a deterministic, seeded nemesis ([`FaultPlan`]) injecting
+//!   secure-world failures (aborted world switches, channel stalls, payload
+//!   corruption, secure-memory exhaustion, TA crashes) for the serving
+//!   runtime's recovery paths to be tested against.
 //!
 //! # Example
 //!
@@ -33,6 +40,7 @@
 
 pub mod channel;
 pub mod executor;
+pub mod fault;
 
 mod cost;
 mod error;
@@ -41,7 +49,11 @@ mod world;
 
 pub use cost::CostModel;
 pub use error::TeeError;
-pub use executor::{simulate_baseline, simulate_partition, simulate_two_branch, LatencyReport};
+pub use executor::{
+    calibrate_cost_model, simulate_baseline, simulate_partition, simulate_two_branch,
+    LatencyReport, MeasuredStages,
+};
+pub use fault::{checksum_f32, corrupt_f32, ConsumerFault, FaultCounts, FaultKind, FaultPlan};
 pub use memory::{MemoryLedger, MemoryReport};
 pub use world::{Deployment, ModelHandle, SecureWorld};
 

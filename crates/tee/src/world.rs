@@ -99,6 +99,17 @@ impl SecureWorld {
             .ok_or(TeeError::UnknownHandle { id: handle.0 })
     }
 
+    /// Unloads every model, releasing the whole budget. The serving
+    /// runtime's supervisor calls this before reloading the secure branch
+    /// into a restarted trusted application — a crashed TA's pool is
+    /// reclaimed by the secure OS, so stale footprints must not keep
+    /// charging the budget.
+    pub fn unload_all(&mut self) {
+        for (_, loaded) in self.models.drain() {
+            self.ledger.release(loaded.report.total());
+        }
+    }
+
     /// Bytes currently allocated in secure memory.
     pub fn used(&self) -> usize {
         self.ledger.used()
@@ -164,6 +175,21 @@ mod tests {
         let cost = CostModel::raspberry_pi3();
         let world = SecureWorld::from_cost_model(&cost);
         assert_eq!(world.available(), cost.secure_memory_budget);
+    }
+
+    #[test]
+    fn unload_all_reclaims_everything() {
+        let mut world = SecureWorld::new(64 * 1024 * 1024);
+        let spec = vgg::vgg_tiny(10, 3, (16, 16));
+        let h1 = world.load_model(&spec, Deployment::Baseline).unwrap();
+        let _h2 = world.load_model(&spec, Deployment::SecureBranch).unwrap();
+        assert!(world.used() > 0);
+        world.unload_all();
+        assert_eq!(world.used(), 0);
+        assert!(world.unload(h1).is_err(), "handles are stale after reset");
+        // The freed budget is usable again (the restart path).
+        world.load_model(&spec, Deployment::SecureBranch).unwrap();
+        assert!(world.used() > 0);
     }
 
     #[test]

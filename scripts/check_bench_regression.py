@@ -62,6 +62,10 @@ def load_rows(path: str) -> dict[str, float]:
             # inference report: gate every execution path/shape cell.
             key = f'infer|{row["path"]}|{row.get("shape", "")}'
             rows[key] = float(row["ms"])
+        elif "scenario" in row:
+            # serving-runtime report: gate each scenario's latency percentiles.
+            key = f'serve|{row["scenario"]}|{row["metric"]}'
+            rows[key] = float(row["value_ms"])
     if not rows:
         print(f"error: {path} contains no gateable results", file=sys.stderr)
         sys.exit(2)
@@ -96,6 +100,19 @@ def main() -> int:
         type=float,
         default=None,
         help="fail unless the current report's int8_mr_speedup reaches this floor",
+    )
+    ap.add_argument(
+        "--max-shed-rate",
+        type=float,
+        default=None,
+        help="fail if the serving report's healthy_shed_rate exceeds this "
+        "ceiling (a healthy engine at bench load should shed almost nothing)",
+    )
+    ap.add_argument(
+        "--max-faulted-shed-rate",
+        type=float,
+        default=None,
+        help="fail if the serving report's faulted_shed_rate exceeds this ceiling",
     )
     args = ap.parse_args()
 
@@ -147,7 +164,11 @@ def main() -> int:
         ("fused_speedup", args.min_fused_speedup),
         ("int8_mr_speedup", args.min_int8_speedup),
     ]
-    if any(floor is not None for _, floor in floors):
+    ceilings = [
+        ("healthy_shed_rate", args.max_shed_rate),
+        ("faulted_shed_rate", args.max_faulted_shed_rate),
+    ]
+    if any(limit is not None for _, limit in floors + ceilings):
         with open(args.current, encoding="utf-8") as fh:
             current_report = json.load(fh)
         for field, floor in floors:
@@ -161,6 +182,17 @@ def main() -> int:
             print(f"  {field:45} floor {floor:10.3f}  cur {float(value):10.3f}  {status}")
             if float(value) < floor:
                 floor_failures.append(f"{field} {float(value):.4f} < floor {floor:.4f}")
+        for field, ceiling in ceilings:
+            if ceiling is None:
+                continue
+            value = current_report.get(field)
+            if value is None:
+                floor_failures.append(f"{field} missing from {args.current}")
+                continue
+            status = "ok" if float(value) <= ceiling else "ABOVE CEILING"
+            print(f"  {field:45} ceil  {ceiling:10.3f}  cur {float(value):10.3f}  {status}")
+            if float(value) > ceiling:
+                floor_failures.append(f"{field} {float(value):.4f} > ceiling {ceiling:.4f}")
 
     if missing:
         print(f"FAIL: {len(missing)} baseline row(s) missing — bench coverage regressed")
