@@ -1,0 +1,1241 @@
+//! Capacity planning: inverting the cost model into deployment decisions.
+//!
+//! The paper prices one fixed TBNet deployment (Table 3, Fig. 3). This
+//! module runs the pricing machinery *backwards*, answering the two
+//! questions an operator actually asks:
+//!
+//! * **Which deployment should I build?** [`optimize_deployment`] searches
+//!   the (pruning iterations × rollback point × batch size) space for the
+//!   cheapest candidate meeting a latency/secure-memory/capacity SLO. Each
+//!   candidate is priced analytically — [`DeploymentPlan::from_specs`] +
+//!   the event-driven simulator — so the search spends no training time;
+//!   only the winner needs to go through
+//!   [`run_pipeline`](crate::pipeline::run_pipeline) (see
+//!   [`PipelineConfig::for_plan`](crate::pipeline::PipelineConfig::for_plan)).
+//! * **How many enclaves does my traffic mix need?** [`plan_fleet`] packs
+//!   tenant models into simulated [`SecureWorld`]s under both a memory and
+//!   a compute constraint, [`capacity_curve`] sweeps the secure-memory
+//!   budget to produce max-sustained-QPS-per-MB curves, and
+//!   [`FleetSchedule::round_robin`] emits the batched cross-tenant schedule
+//!   whose world-switch amortization those numbers assume.
+//!
+//! The cost model the planner prices against is fitted to the target host
+//! by a short live run: [`ServeReport::calibrated_cost_model`] turns
+//! measured stage times into a [`CostModel`], and [`validate_against_live`]
+//! closes the loop by checking a live run's throughput against the
+//! calibrated prediction bracket. `docs/CAPACITY.md` is the operator-facing
+//! walkthrough of this workflow.
+//!
+//! # The objective
+//!
+//! Candidates are ranked by **secure-world occupancy per request** —
+//! [`LatencyReport::secure_occupancy_s`] divided by the batch size. Unlike
+//! end-to-end latency (most of which the REE hides via pipelining), TEE
+//! compute, merges and world switches serialize across every request that
+//! shares a secure world, so occupancy is exactly the denominator of
+//! sustained fleet capacity. Ties break on secure bytes, then latency.
+//!
+//! # The accuracy proxy
+//!
+//! Pruning iterations trade accuracy for TEE cheapness, and the rollback
+//! point buys accuracy back by widening `M_R` at zero secure-memory cost
+//! (paper step ⑥). A training-free search needs a stand-in for fine-tuned
+//! accuracy, so the SLO carries a **capacity-retention floor**: the merged
+//! model's total channel count relative to the victim's
+//! ([`capacity_retention`]). The floor is what makes the rollback dimension
+//! real — under a tight floor the optimizer must keep `M_R` wide while it
+//! prunes `M_T` hard.
+
+use serde::{Deserialize, Serialize};
+
+use tbnet_models::ModelSpec;
+use tbnet_tee::{
+    simulate_two_branch, simulate_two_branch_batched, CostModel, Deployment, LatencyReport,
+    MeasuredStages, MemoryReport, SecureWorld,
+};
+
+use crate::deploy::DeploymentPlan;
+use crate::pruning::PruneConfig;
+use crate::serve::ServeReport;
+use crate::{CoreError, Result};
+
+/// Exhaustive batch-assignment search is used while the choice product
+/// stays under this bound; larger fleets fall back to the greedy ascent.
+const EXHAUSTIVE_ASSIGNMENT_LIMIT: usize = 1 << 14;
+
+/// A service-level objective for one deployed model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Slo {
+    /// Human-readable label, carried into reports.
+    pub name: String,
+    /// Upper bound on the latency of one (batched) inference, seconds. A
+    /// request admitted into a batch waits for the whole batch, so the
+    /// bound is checked against the batch's end-to-end time.
+    pub max_latency_s: f64,
+    /// Upper bound on the deployment's secure-memory footprint, bytes.
+    pub secure_memory_bytes: usize,
+    /// Lower bound on [`capacity_retention`] — the training-free accuracy
+    /// proxy. `0.0` disables the floor.
+    pub min_capacity_retention: f64,
+}
+
+impl Slo {
+    /// Builds an SLO.
+    pub fn new(
+        name: &str,
+        max_latency_s: f64,
+        secure_memory_bytes: usize,
+        min_capacity_retention: f64,
+    ) -> Self {
+        Slo {
+            name: name.to_string(),
+            max_latency_s,
+            secure_memory_bytes,
+            min_capacity_retention,
+        }
+    }
+}
+
+/// The (pruning × rollback × batch) space [`optimize_deployment`] explores.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SearchSpace {
+    /// Fraction of channels removed per pruning iteration (paper: 0.10).
+    pub ratio: f32,
+    /// Minimum channels every pruning group keeps.
+    pub min_channels: usize,
+    /// Largest pruning-iteration count considered for `M_T`.
+    pub max_prune_iters: usize,
+    /// Batch sizes considered.
+    pub batches: Vec<usize>,
+}
+
+impl SearchSpace {
+    /// Derives the search space from the pruning configuration that would
+    /// realize it, so the planner explores exactly what
+    /// [`run_pipeline`](crate::pipeline::run_pipeline) can build.
+    pub fn from_prune_config(cfg: &PruneConfig, batches: Vec<usize>) -> Self {
+        SearchSpace {
+            ratio: cfg.ratio,
+            min_channels: cfg.min_channels,
+            max_prune_iters: cfg.max_iterations,
+            batches,
+        }
+    }
+
+    fn validate(&self) -> Result<()> {
+        if !(0.0..1.0).contains(&self.ratio) {
+            return Err(CoreError::InvalidConfig {
+                field: "ratio",
+                reason: format!("must be in [0, 1), got {}", self.ratio),
+            });
+        }
+        if self.min_channels == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "min_channels",
+                reason: "must be at least 1".into(),
+            });
+        }
+        if self.batches.is_empty() || self.batches.contains(&0) {
+            return Err(CoreError::InvalidConfig {
+                field: "batches",
+                reason: "need at least one non-zero batch size".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// One priced point of the search space.
+#[derive(Debug, Clone)]
+pub struct CandidatePlan {
+    /// Pruning iterations applied to the secure branch `M_T`.
+    pub prune_iters: usize,
+    /// Pruning iterations applied to the unsecured branch `M_R`
+    /// (`rollback ≤ prune_iters`; smaller = wider `M_R` = more accuracy
+    /// headroom at zero secure-memory cost).
+    pub rollback: usize,
+    /// Samples per REE→TEE crossing.
+    pub batch: usize,
+    /// Per-iteration pruning ratio the architectures assume.
+    pub ratio: f32,
+    /// The candidate `M_T` architecture.
+    pub mt_spec: ModelSpec,
+    /// The candidate `M_R` architecture.
+    pub mr_spec: ModelSpec,
+    /// Simulated schedule of one whole batch.
+    pub latency: LatencyReport,
+    /// Secure-memory footprint at this batch size.
+    pub memory: MemoryReport,
+    /// Capacity-retention proxy of the candidate (see [`capacity_retention`]).
+    pub capacity_retention: f64,
+}
+
+impl CandidatePlan {
+    /// Seconds the secure world is busy per *request* — the planner's
+    /// objective and the fleet capacity denominator.
+    pub fn occupancy_per_request_s(&self) -> f64 {
+        self.latency.secure_occupancy_s() / self.batch as f64
+    }
+
+    /// Sustained single-world throughput bound implied by the occupancy.
+    pub fn max_qps(&self) -> f64 {
+        1.0 / self.occupancy_per_request_s()
+    }
+
+    /// End-to-end latency of one batch (what an admitted request can wait).
+    pub fn latency_s(&self) -> f64 {
+        self.latency.total_s
+    }
+
+    /// Secure-memory footprint in bytes.
+    pub fn secure_bytes(&self) -> usize {
+        self.memory.total()
+    }
+}
+
+/// The analytic pruning schedule: every pruning group's width decays
+/// geometrically, `w_k = max(min_channels, round(w_0 · (1-ratio)^k))`,
+/// clamped to the victim's width. Widths are decided per *group* (from the
+/// group's first unit) and applied to every unit in the group, mirroring
+/// the shared keep-masks of [`crate::pruning`] — which is what keeps
+/// residual skip additions shape-consistent in the pruned spec.
+///
+/// # Errors
+///
+/// Propagates spec validation errors from the victim.
+pub fn pruned_spec(
+    victim: &ModelSpec,
+    ratio: f32,
+    min_channels: usize,
+    iters: usize,
+) -> Result<ModelSpec> {
+    victim.trace().map_err(CoreError::Model)?;
+    let keep = (1.0 - ratio as f64).powi(iters as i32);
+    let mut spec = victim.clone();
+    let mut group_width: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    for u in &mut spec.units {
+        let target = *group_width.entry(u.group).or_insert_with(|| {
+            let scaled = (u.out_channels as f64 * keep).round() as usize;
+            scaled.max(min_channels).min(u.out_channels)
+        });
+        u.out_channels = target;
+    }
+    spec.name = format!("{}-k{iters}", victim.name);
+    Ok(spec)
+}
+
+/// Training-free accuracy proxy: the merged model's channel capacity
+/// relative to the victim's, `(ΣC(M_T) + ΣC(M_R)) / (2·ΣC(victim))`. Both
+/// branches feed every merged feature map, so joint width is what the
+/// composite-weight pruning of [`crate::pruning`] preserves; the rollback
+/// point buys this back on the `M_R` side without touching secure memory.
+pub fn capacity_retention(victim: &ModelSpec, mt: &ModelSpec, mr: &ModelSpec) -> f64 {
+    let total = |s: &ModelSpec| s.units.iter().map(|u| u.out_channels).sum::<usize>() as f64;
+    let denom = 2.0 * total(victim);
+    if denom > 0.0 {
+        (total(mt) + total(mr)) / denom
+    } else {
+        0.0
+    }
+}
+
+/// Searches the (pruning × rollback × batch) space for the feasible
+/// candidate with the lowest secure-world occupancy per request. Ties
+/// break on secure bytes, then batch latency.
+///
+/// Feasibility requires all three SLO clauses: batch latency within
+/// `max_latency_s`, batched footprint within `secure_memory_bytes`, and
+/// [`capacity_retention`] at or above `min_capacity_retention`.
+///
+/// # Errors
+///
+/// [`CoreError::NoFeasiblePlan`] when the space contains no candidate
+/// meeting the SLO (the reason names the tightest misses), plus config,
+/// spec and cost-model validation errors.
+///
+/// # Examples
+///
+/// ```
+/// use tbnet_core::planner::{optimize_deployment, SearchSpace, Slo};
+/// use tbnet_models::vgg;
+/// use tbnet_tee::CostModel;
+///
+/// let victim = vgg::vgg_tiny(10, 3, (16, 16));
+/// let space = SearchSpace {
+///     ratio: 0.2,
+///     min_channels: 2,
+///     max_prune_iters: 2,
+///     batches: vec![1, 4],
+/// };
+/// let slo = Slo::new("generous", 1.0, 64 << 20, 0.0);
+/// let plan = optimize_deployment(&victim, &space, &slo, &CostModel::raspberry_pi3()).unwrap();
+/// assert!(plan.latency_s() <= slo.max_latency_s);
+/// assert!(plan.secure_bytes() <= slo.secure_memory_bytes);
+/// ```
+pub fn optimize_deployment(
+    victim: &ModelSpec,
+    space: &SearchSpace,
+    slo: &Slo,
+    cost: &CostModel,
+) -> Result<CandidatePlan> {
+    space.validate()?;
+    cost.validate().map_err(CoreError::Tee)?;
+    let mut best: Option<CandidatePlan> = None;
+    let mut explored = 0usize;
+    let (mut best_latency, mut best_bytes, mut best_retention) = (f64::INFINITY, usize::MAX, 0.0);
+
+    for prune_iters in 0..=space.max_prune_iters {
+        let mt = pruned_spec(victim, space.ratio, space.min_channels, prune_iters)?;
+        for rollback in 0..=prune_iters {
+            let mr = pruned_spec(victim, space.ratio, space.min_channels, rollback)?;
+            let retention = capacity_retention(victim, &mt, &mr);
+            // Congruence check once per architecture pair.
+            let deploy = DeploymentPlan::from_specs(victim.clone(), mt.clone(), mr.clone())?;
+            for &batch in &space.batches {
+                explored += 1;
+                let latency =
+                    simulate_two_branch_batched(&deploy.mt_spec, &deploy.mr_spec, cost, batch)?;
+                let memory = MemoryReport::for_secure_branch_batched(&deploy.mt_spec, batch)?;
+                best_latency = best_latency.min(latency.total_s);
+                best_bytes = best_bytes.min(memory.total());
+                best_retention = f64::max(best_retention, retention);
+                if latency.total_s > slo.max_latency_s
+                    || memory.total() > slo.secure_memory_bytes
+                    || retention < slo.min_capacity_retention
+                {
+                    continue;
+                }
+                let candidate = CandidatePlan {
+                    prune_iters,
+                    rollback,
+                    batch,
+                    ratio: space.ratio,
+                    mt_spec: deploy.mt_spec.clone(),
+                    mr_spec: deploy.mr_spec.clone(),
+                    latency,
+                    memory,
+                    capacity_retention: retention,
+                };
+                let better = match &best {
+                    None => true,
+                    Some(b) => {
+                        let (co, cb, cl) = (
+                            candidate.occupancy_per_request_s(),
+                            candidate.secure_bytes(),
+                            candidate.latency_s(),
+                        );
+                        let (bo, bb, bl) =
+                            (b.occupancy_per_request_s(), b.secure_bytes(), b.latency_s());
+                        co < bo || (co == bo && (cb < bb || (cb == bb && cl < bl)))
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+    }
+
+    best.ok_or_else(|| CoreError::NoFeasiblePlan {
+        explored,
+        reason: format!(
+            "tightest candidates reached latency {:.3e}s (SLO {:.3e}s), \
+             {} secure bytes (SLO {}), retention {:.3} (floor {:.3})",
+            best_latency,
+            slo.max_latency_s,
+            best_bytes,
+            slo.secure_memory_bytes,
+            best_retention,
+            slo.min_capacity_retention
+        ),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Fleet packing.
+// ---------------------------------------------------------------------------
+
+/// One tenant model plus its offered load, as the fleet packer sees it.
+#[derive(Debug, Clone)]
+pub struct TenantDemand {
+    /// Tenant label, carried into reports.
+    pub name: String,
+    /// The tenant's secure branch.
+    pub mt_spec: ModelSpec,
+    /// The tenant's unsecured branch.
+    pub mr_spec: ModelSpec,
+    /// Samples per REE→TEE crossing for this tenant.
+    pub batch: usize,
+    /// Offered load in requests per second.
+    pub qps: f64,
+}
+
+impl TenantDemand {
+    /// Builds a demand from an optimizer-chosen plan.
+    pub fn from_plan(name: &str, plan: &CandidatePlan, qps: f64) -> Self {
+        TenantDemand {
+            name: name.to_string(),
+            mt_spec: plan.mt_spec.clone(),
+            mr_spec: plan.mr_spec.clone(),
+            batch: plan.batch,
+            qps,
+        }
+    }
+}
+
+/// One secure world's share of a [`FleetPlan`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorldPlan {
+    /// Indices into the input tenant slice.
+    pub tenants: Vec<usize>,
+    /// Secure bytes the world's tenants occupy.
+    pub used_bytes: usize,
+    /// The world's byte budget.
+    pub budget_bytes: usize,
+    /// Σ qps·occupancy of the world's tenants — the fraction of the secure
+    /// world's time the offered load keeps busy (must stay ≤ 1).
+    pub compute_utilization: f64,
+}
+
+/// Result of [`plan_fleet`]: tenant models packed into secure worlds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetPlan {
+    /// Per-world assignments, in packing order.
+    pub worlds: Vec<WorldPlan>,
+}
+
+impl FleetPlan {
+    /// Number of secure worlds (enclaves) the mix needs.
+    pub fn world_count(&self) -> usize {
+        self.worlds.len()
+    }
+}
+
+/// Packs tenants into as few [`SecureWorld`]s as first-fit-decreasing
+/// achieves, honoring both constraints a real enclave imposes: the byte
+/// budget (checked by *actually loading* each tenant's batched secure
+/// branch into the world) and secure-time capacity (Σ qps·occupancy ≤ 1).
+///
+/// # Errors
+///
+/// [`CoreError::NoFeasiblePlan`] when a single tenant alone exceeds a
+/// world's byte budget or compute capacity (such a tenant must be sharded,
+/// which this planner does not do), plus spec/cost validation errors.
+pub fn plan_fleet(
+    tenants: &[TenantDemand],
+    cost: &CostModel,
+    world_budget_bytes: usize,
+) -> Result<FleetPlan> {
+    cost.validate().map_err(CoreError::Tee)?;
+    // Price every tenant once.
+    let mut priced: Vec<(usize, usize, f64)> = Vec::with_capacity(tenants.len()); // (idx, bytes, util)
+    for (i, t) in tenants.iter().enumerate() {
+        let report = simulate_two_branch_batched(&t.mt_spec, &t.mr_spec, cost, t.batch)?;
+        let occ_per_req = report.secure_occupancy_s() / t.batch.max(1) as f64;
+        let bytes = MemoryReport::for_secure_branch_batched(&t.mt_spec, t.batch)?.total();
+        let util = t.qps * occ_per_req;
+        if bytes > world_budget_bytes || util > 1.0 {
+            return Err(CoreError::NoFeasiblePlan {
+                explored: i + 1,
+                reason: format!(
+                    "tenant `{}` needs {} bytes (budget {}) at utilization {:.3}; \
+                     it must be sharded across worlds, which plan_fleet does not do",
+                    t.name, bytes, world_budget_bytes, util
+                ),
+            });
+        }
+        priced.push((i, bytes, util));
+    }
+    // First-fit-decreasing by footprint.
+    priced.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    let mut worlds: Vec<(SecureWorld, WorldPlan)> = Vec::new();
+    for (idx, _, util) in priced {
+        let t = &tenants[idx];
+        let deployment = Deployment::SecureBranchBatched(t.batch);
+        let placed = worlds.iter_mut().find_map(|(world, plan)| {
+            if plan.compute_utilization + util > 1.0 {
+                return None;
+            }
+            match world.load_model(&t.mt_spec, deployment) {
+                Ok(_) => Some(plan),
+                Err(_) => None, // does not fit this world's remaining bytes
+            }
+        });
+        match placed {
+            Some(plan) => {
+                plan.tenants.push(idx);
+                plan.compute_utilization += util;
+            }
+            None => {
+                let mut world = SecureWorld::new(world_budget_bytes);
+                world.load_model(&t.mt_spec, deployment)?;
+                worlds.push((
+                    world,
+                    WorldPlan {
+                        tenants: vec![idx],
+                        used_bytes: 0,
+                        budget_bytes: world_budget_bytes,
+                        compute_utilization: util,
+                    },
+                ));
+            }
+        }
+    }
+    let worlds = worlds
+        .into_iter()
+        .map(|(world, mut plan)| {
+            plan.used_bytes = world.used();
+            plan
+        })
+        .collect();
+    Ok(FleetPlan { worlds })
+}
+
+// ---------------------------------------------------------------------------
+// Capacity curves.
+// ---------------------------------------------------------------------------
+
+/// One tenant's share of a traffic mix, for [`capacity_curve`].
+#[derive(Debug, Clone)]
+pub struct TenantMix {
+    /// Tenant label.
+    pub name: String,
+    /// The tenant's secure branch.
+    pub mt_spec: ModelSpec,
+    /// The tenant's unsecured branch.
+    pub mr_spec: ModelSpec,
+    /// Fraction of total traffic this tenant receives (normalized by the
+    /// curve builder).
+    pub fraction: f64,
+}
+
+/// One point of a capacity curve.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityPoint {
+    /// Secure-memory budget of this point, bytes.
+    pub budget_bytes: usize,
+    /// Max sustained aggregate QPS at this budget (0.0 when infeasible).
+    pub qps: f64,
+    /// Per-tenant batch sizes achieving it (input order).
+    pub batches: Vec<usize>,
+    /// Whether any batch assignment fit the budget.
+    pub feasible: bool,
+}
+
+/// Max sustained QPS as a function of the secure-memory budget.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CapacityCurve {
+    /// Points in ascending budget order.
+    pub points: Vec<CapacityPoint>,
+}
+
+impl CapacityCurve {
+    /// Largest sustained QPS on the curve.
+    pub fn max_qps(&self) -> f64 {
+        self.points.iter().fold(0.0, |m, p| f64::max(m, p.qps))
+    }
+
+    /// The curve's knee: the smallest budget reaching ≥ 95 % of the curve
+    /// maximum — the point past which more secure memory stops paying.
+    /// `None` when no point is feasible.
+    pub fn knee(&self) -> Option<&CapacityPoint> {
+        let target = 0.95 * self.max_qps();
+        if target <= 0.0 {
+            return None;
+        }
+        self.points.iter().find(|p| p.feasible && p.qps >= target)
+    }
+}
+
+/// Sweeps secure-memory budgets for the best batch assignment per budget:
+/// maximize aggregate `QPS = 1 / Σ fraction·occupancy_per_request(batch)`
+/// subject to `Σ footprint(batch) ≤ budget`. Larger batches amortize world
+/// switches but cost linearly more secure memory, so each budget picks its
+/// own trade-off — the curve is the pareto front the operator reads.
+///
+/// While the assignment product `batch_choices^tenants` stays under 2^14
+/// the search is exhaustive (which makes the curve provably monotone in
+/// the budget: a larger budget's feasible set contains the smaller's);
+/// beyond that a greedy batch-upgrade ascent is used.
+///
+/// # Errors
+///
+/// Config validation errors for an empty mix, empty budget/batch lists or
+/// non-positive fractions, plus spec/cost validation errors.
+pub fn capacity_curve(
+    mix: &[TenantMix],
+    cost: &CostModel,
+    budgets: &[usize],
+    batch_choices: &[usize],
+) -> Result<CapacityCurve> {
+    cost.validate().map_err(CoreError::Tee)?;
+    if mix.is_empty() || budgets.is_empty() || batch_choices.is_empty() {
+        return Err(CoreError::InvalidConfig {
+            field: "capacity_curve",
+            reason: "need at least one tenant, one budget and one batch choice".into(),
+        });
+    }
+    if batch_choices.contains(&0) {
+        return Err(CoreError::InvalidConfig {
+            field: "batch_choices",
+            reason: "batch sizes must be non-zero".into(),
+        });
+    }
+    let total_fraction: f64 = mix.iter().map(|t| t.fraction).sum();
+    let fractions_valid = total_fraction.is_finite()
+        && total_fraction > 0.0
+        && mix.iter().all(|t| t.fraction >= 0.0);
+    if !fractions_valid {
+        return Err(CoreError::InvalidConfig {
+            field: "fraction",
+            reason: "tenant fractions must be non-negative and sum above zero".into(),
+        });
+    }
+
+    // Price every (tenant, batch) pair once: (occupancy per request, bytes).
+    let mut table: Vec<Vec<(f64, usize)>> = Vec::with_capacity(mix.len());
+    for t in mix {
+        let mut row = Vec::with_capacity(batch_choices.len());
+        for &b in batch_choices {
+            let report = simulate_two_branch_batched(&t.mt_spec, &t.mr_spec, cost, b)?;
+            let occ = report.secure_occupancy_s() / b as f64;
+            let bytes = MemoryReport::for_secure_branch_batched(&t.mt_spec, b)?.total();
+            row.push((occ, bytes));
+        }
+        table.push(row);
+    }
+    let fractions: Vec<f64> = mix.iter().map(|t| t.fraction / total_fraction).collect();
+
+    let combos = batch_choices
+        .len()
+        .checked_pow(mix.len() as u32)
+        .unwrap_or(usize::MAX);
+    let mut budgets = budgets.to_vec();
+    budgets.sort_unstable();
+    let points = budgets
+        .into_iter()
+        .map(|budget| {
+            let assignment = if combos <= EXHAUSTIVE_ASSIGNMENT_LIMIT {
+                best_assignment_exhaustive(&table, &fractions, budget)
+            } else {
+                best_assignment_greedy(&table, &fractions, budget)
+            };
+            match assignment {
+                Some((choice, qps)) => CapacityPoint {
+                    budget_bytes: budget,
+                    qps,
+                    batches: choice.iter().map(|&c| batch_choices[c]).collect(),
+                    feasible: true,
+                },
+                None => CapacityPoint {
+                    budget_bytes: budget,
+                    qps: 0.0,
+                    batches: Vec::new(),
+                    feasible: false,
+                },
+            }
+        })
+        .collect();
+    Ok(CapacityCurve { points })
+}
+
+fn assignment_qps(table: &[Vec<(f64, usize)>], fractions: &[f64], choice: &[usize]) -> f64 {
+    let weighted_occ: f64 = choice
+        .iter()
+        .enumerate()
+        .map(|(t, &c)| fractions[t] * table[t][c].0)
+        .sum();
+    if weighted_occ > 0.0 {
+        1.0 / weighted_occ
+    } else {
+        0.0
+    }
+}
+
+fn assignment_bytes(table: &[Vec<(f64, usize)>], choice: &[usize]) -> usize {
+    choice.iter().enumerate().map(|(t, &c)| table[t][c].1).sum()
+}
+
+fn best_assignment_exhaustive(
+    table: &[Vec<(f64, usize)>],
+    fractions: &[f64],
+    budget: usize,
+) -> Option<(Vec<usize>, f64)> {
+    let choices = table[0].len();
+    let mut choice = vec![0usize; table.len()];
+    let mut best: Option<(Vec<usize>, f64)> = None;
+    loop {
+        if assignment_bytes(table, &choice) <= budget {
+            let qps = assignment_qps(table, fractions, &choice);
+            if best.as_ref().is_none_or(|(_, b)| qps > *b) {
+                best = Some((choice.clone(), qps));
+            }
+        }
+        // Odometer increment over the assignment product.
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                return best;
+            }
+            choice[i] += 1;
+            if choice[i] < choices {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+fn best_assignment_greedy(
+    table: &[Vec<(f64, usize)>],
+    fractions: &[f64],
+    budget: usize,
+) -> Option<(Vec<usize>, f64)> {
+    // Start every tenant at its cheapest-bytes choice.
+    let mut choice: Vec<usize> = table
+        .iter()
+        .map(|row| {
+            row.iter()
+                .enumerate()
+                .min_by(|a, b| a.1 .1.cmp(&b.1 .1).then(a.0.cmp(&b.0)))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect();
+    if assignment_bytes(table, &choice) > budget {
+        return None;
+    }
+    // Repeatedly apply the single-tenant upgrade with the best occupancy
+    // gain per extra byte that still fits.
+    loop {
+        let current_bytes = assignment_bytes(table, &choice);
+        let mut best_move: Option<(usize, usize, f64)> = None; // (tenant, choice, gain/byte)
+        for (t, row) in table.iter().enumerate() {
+            let (cur_occ, cur_bytes) = row[choice[t]];
+            for (c, &(occ, bytes)) in row.iter().enumerate() {
+                if occ >= cur_occ {
+                    continue;
+                }
+                let extra = bytes.saturating_sub(cur_bytes);
+                if current_bytes + extra > budget {
+                    continue;
+                }
+                let gain = fractions[t] * (cur_occ - occ) / extra.max(1) as f64;
+                if best_move.as_ref().is_none_or(|&(_, _, g)| gain > g) {
+                    best_move = Some((t, c, gain));
+                }
+            }
+        }
+        match best_move {
+            Some((t, c, _)) => choice[t] = c,
+            None => break,
+        }
+    }
+    let qps = assignment_qps(table, fractions, &choice);
+    Some((choice, qps))
+}
+
+// ---------------------------------------------------------------------------
+// Cross-tenant scheduling.
+// ---------------------------------------------------------------------------
+
+/// One batched secure-world crossing in a [`FleetSchedule`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScheduleSlot {
+    /// Index into the tenant slice.
+    pub tenant: usize,
+    /// Samples carried by this crossing.
+    pub batch: usize,
+}
+
+/// A deterministic batched cross-tenant schedule.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetSchedule {
+    /// Crossings in execution order.
+    pub slots: Vec<ScheduleSlot>,
+    /// REE→TEE world switches the schedule performs.
+    pub switches: u64,
+    /// Switches the same traffic would cost unbatched (one request per
+    /// crossing) — the amortization baseline.
+    pub unbatched_switches: u64,
+}
+
+impl FleetSchedule {
+    /// Builds the round-robin batched schedule for the given per-tenant
+    /// request counts: tenants take turns emitting one full (or final
+    /// partial) batch until every request is scheduled. Round-robin bounds
+    /// each tenant's inter-service gap, which is what keeps per-tenant tail
+    /// latency flat while batching amortizes the switch cost.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when `requests` and `tenants` lengths
+    /// disagree, plus spec validation errors (unit counts set the switch
+    /// cost per crossing).
+    pub fn round_robin(tenants: &[TenantDemand], requests: &[u64]) -> Result<FleetSchedule> {
+        if tenants.len() != requests.len() {
+            return Err(CoreError::InvalidConfig {
+                field: "requests",
+                reason: format!(
+                    "got {} request counts for {} tenants",
+                    requests.len(),
+                    tenants.len()
+                ),
+            });
+        }
+        // Switches per crossing: one per unit plus the input delivery.
+        let per_crossing: Vec<u64> = tenants
+            .iter()
+            .map(|t| t.mt_spec.units.len() as u64 + 1)
+            .collect();
+        let mut remaining = requests.to_vec();
+        let mut slots = Vec::new();
+        let mut switches = 0u64;
+        while remaining.iter().any(|&r| r > 0) {
+            for (t, rem) in remaining.iter_mut().enumerate() {
+                if *rem == 0 {
+                    continue;
+                }
+                let batch = (tenants[t].batch.max(1) as u64).min(*rem);
+                *rem -= batch;
+                slots.push(ScheduleSlot {
+                    tenant: t,
+                    batch: batch as usize,
+                });
+                switches += per_crossing[t];
+            }
+        }
+        let unbatched_switches = requests
+            .iter()
+            .zip(&per_crossing)
+            .map(|(&r, &s)| r * s)
+            .sum();
+        Ok(FleetSchedule {
+            slots,
+            switches,
+            unbatched_switches,
+        })
+    }
+
+    /// Requests the schedule serves per tenant (conservation check: equals
+    /// the requested counts).
+    pub fn served_per_tenant(&self, tenants: usize) -> Vec<u64> {
+        let mut served = vec![0u64; tenants];
+        for s in &self.slots {
+            served[s.tenant] += s.batch as u64;
+        }
+        served
+    }
+
+    /// World-switch amortization over the unbatched baseline (≥ 1.0; equals
+    /// the mean batch size when every crossing is full).
+    pub fn amortization_factor(&self) -> f64 {
+        if self.switches == 0 {
+            1.0
+        } else {
+            self.unbatched_switches as f64 / self.switches as f64
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live validation.
+// ---------------------------------------------------------------------------
+
+/// Result of checking predicted capacity against a live serving run.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct LiveValidation {
+    /// Throughput the live run achieved, requests per second.
+    pub measured_qps: f64,
+    /// Calibrated lower bracket: throughput with zero pipelining
+    /// (`batch / stage_sum`).
+    pub predicted_serial_qps: f64,
+    /// Calibrated upper bracket: steady-state two-stage pipeline throughput
+    /// (`batch / bottleneck stage`).
+    pub predicted_pipelined_qps: f64,
+    /// Multiplicative tolerance applied to the bracket.
+    pub tolerance: f64,
+    /// `measured ∈ [serial/tolerance, pipelined·tolerance]`.
+    pub within_tolerance: bool,
+}
+
+/// Checks a measured throughput against the prediction bracket implied by
+/// measured stage times: the calibrated simulator gives a serial floor
+/// (stage sum) and a pipelined ceiling (bottleneck stage), and the live
+/// number must land inside that bracket widened by `tolerance` on both
+/// sides. This is the planner's ground-truth hook — capacity curves are
+/// only trustworthy when live runs keep landing inside the bracket.
+///
+/// # Errors
+///
+/// Propagates calibration/spec/cost validation errors.
+pub fn validate_qps(
+    stages: &MeasuredStages,
+    batch: usize,
+    mt_spec: &ModelSpec,
+    mr_spec: &ModelSpec,
+    measured_qps: f64,
+    tolerance: f64,
+) -> Result<LiveValidation> {
+    let batch = batch.max(1);
+    let cost = tbnet_tee::calibrate_cost_model(mt_spec, mr_spec, stages, batch)?;
+    let sim = simulate_two_branch(mt_spec, mr_spec, &cost)?;
+    // The calibrated simulator replays the measured batch, so its stage
+    // totals are per-batch times.
+    let serial_s = sim.stage_sum_s();
+    let ree_stage_s = sim.ree_compute_s + sim.transfer_s + sim.switch_s;
+    let tee_stage_s = sim.tee_compute_s + sim.merge_s;
+    let bottleneck_s = ree_stage_s.max(tee_stage_s).max(1e-12);
+    let predicted_serial_qps = batch as f64 / serial_s.max(1e-12);
+    let predicted_pipelined_qps = batch as f64 / bottleneck_s;
+    let tolerance = tolerance.max(1.0);
+    let within_tolerance = measured_qps >= predicted_serial_qps / tolerance
+        && measured_qps <= predicted_pipelined_qps * tolerance;
+    Ok(LiveValidation {
+        measured_qps,
+        predicted_serial_qps,
+        predicted_pipelined_qps,
+        tolerance,
+        within_tolerance,
+    })
+}
+
+/// [`validate_qps`] fed from a live [`ServeReport`]: the report supplies
+/// the measured stage times and mean batch, the caller supplies the
+/// wall-clock throughput it observed.
+///
+/// # Errors
+///
+/// [`CoreError::InvalidConfig`] when the run completed no healthy batch,
+/// plus calibration errors.
+pub fn validate_against_live(
+    report: &ServeReport,
+    mt_spec: &ModelSpec,
+    mr_spec: &ModelSpec,
+    measured_qps: f64,
+    tolerance: f64,
+) -> Result<LiveValidation> {
+    // Reuse the report's own calibration gate for the no-batches case.
+    report.calibrated_cost_model(mt_spec, mr_spec)?;
+    let batch = (report.mean_batch.round() as usize).max(1);
+    validate_qps(
+        &report.stages,
+        batch,
+        mt_spec,
+        mr_spec,
+        measured_qps,
+        tolerance,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbnet_models::{resnet, vgg};
+
+    fn victim() -> ModelSpec {
+        vgg::vgg_tiny(10, 3, (16, 16))
+    }
+
+    fn space() -> SearchSpace {
+        SearchSpace {
+            ratio: 0.2,
+            min_channels: 2,
+            max_prune_iters: 4,
+            batches: vec![1, 2, 4, 8],
+        }
+    }
+
+    #[test]
+    fn pruned_spec_decays_and_respects_floor() {
+        let v = victim();
+        let mut prev: usize = v.units.iter().map(|u| u.out_channels).sum();
+        for k in 1..=6 {
+            let p = pruned_spec(&v, 0.3, 2, k).unwrap();
+            p.trace().unwrap();
+            let total: usize = p.units.iter().map(|u| u.out_channels).sum();
+            assert!(total <= prev, "iteration {k} widened the spec");
+            assert!(p.units.iter().all(|u| u.out_channels >= 2));
+            prev = total;
+        }
+        // k=0 is the victim (clamped).
+        assert_eq!(pruned_spec(&v, 0.3, 2, 0).unwrap().units, v.units);
+    }
+
+    #[test]
+    fn pruned_spec_keeps_residual_groups_valid() {
+        let v = resnet::resnet20_tiny(10, 3, (16, 16));
+        for k in 0..5 {
+            let p = pruned_spec(&v, 0.25, 2, k).unwrap();
+            // Skip-connected units kept shape-consistent via shared groups.
+            p.trace().unwrap();
+        }
+    }
+
+    #[test]
+    fn capacity_retention_rewards_rollback() {
+        let v = victim();
+        let mt = pruned_spec(&v, 0.3, 2, 4).unwrap();
+        let narrow = capacity_retention(&v, &mt, &mt);
+        let wide = capacity_retention(&v, &mt, &pruned_spec(&v, 0.3, 2, 1).unwrap());
+        let full = capacity_retention(&v, &v, &v);
+        assert!(narrow < wide && wide < full);
+        assert!((full - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimizer_never_returns_slo_violating_plan() {
+        let v = victim();
+        let cost = CostModel::raspberry_pi3();
+        let slos = [
+            Slo::new("generous", 1.0, 64 << 20, 0.0),
+            Slo::new("tight-latency", 0.01, 64 << 20, 0.6),
+            Slo::new("tight-memory", 1.0, 1 << 20, 0.5),
+        ];
+        for slo in &slos {
+            let plan = optimize_deployment(&v, &space(), slo, &cost).unwrap();
+            assert!(
+                plan.latency_s() <= slo.max_latency_s,
+                "{}: latency {} over SLO {}",
+                slo.name,
+                plan.latency_s(),
+                slo.max_latency_s
+            );
+            assert!(plan.secure_bytes() <= slo.secure_memory_bytes);
+            assert!(plan.capacity_retention >= slo.min_capacity_retention);
+            assert!(plan.rollback <= plan.prune_iters);
+            assert!(plan.max_qps() > 0.0);
+        }
+    }
+
+    #[test]
+    fn optimizer_minimizes_occupancy_among_feasible() {
+        let v = victim();
+        let cost = CostModel::raspberry_pi3();
+        let slo = Slo::new("check", 0.5, 8 << 20, 0.55);
+        let sp = space();
+        let plan = optimize_deployment(&v, &sp, &slo, &cost).unwrap();
+        // Brute-force the same space and confirm nothing feasible beats it.
+        for k in 0..=sp.max_prune_iters {
+            let mt = pruned_spec(&v, sp.ratio, sp.min_channels, k).unwrap();
+            for r in 0..=k {
+                let mr = pruned_spec(&v, sp.ratio, sp.min_channels, r).unwrap();
+                if capacity_retention(&v, &mt, &mr) < slo.min_capacity_retention {
+                    continue;
+                }
+                for &b in &sp.batches {
+                    let lat = simulate_two_branch_batched(&mt, &mr, &cost, b).unwrap();
+                    let mem = MemoryReport::for_secure_branch_batched(&mt, b).unwrap();
+                    if lat.total_s > slo.max_latency_s || mem.total() > slo.secure_memory_bytes {
+                        continue;
+                    }
+                    let occ = lat.secure_occupancy_s() / b as f64;
+                    assert!(
+                        plan.occupancy_per_request_s() <= occ + 1e-15,
+                        "({k},{r},{b}) occ {occ} beats chosen {}",
+                        plan.occupancy_per_request_s()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_slo_reports_no_feasible_plan() {
+        let v = victim();
+        let cost = CostModel::raspberry_pi3();
+        let slo = Slo::new("impossible", 1e-9, 1, 0.0);
+        match optimize_deployment(&v, &space(), &slo, &cost) {
+            Err(CoreError::NoFeasiblePlan { explored, reason }) => {
+                assert!(explored > 0);
+                assert!(reason.contains("latency"));
+            }
+            other => panic!("expected NoFeasiblePlan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn distinct_slos_choose_distinct_plans() {
+        let v = victim();
+        let cost = CostModel::raspberry_pi3();
+        let interactive = Slo::new("interactive", 0.012, 32 << 20, 0.55);
+        let constrained = Slo::new("constrained", 0.5, 1 << 20, 0.45);
+        let a = optimize_deployment(&v, &space(), &interactive, &cost).unwrap();
+        let b = optimize_deployment(&v, &space(), &constrained, &cost).unwrap();
+        assert_ne!(
+            (a.prune_iters, a.rollback, a.batch),
+            (b.prune_iters, b.rollback, b.batch),
+            "both SLOs chose ({}, {}, {})",
+            a.prune_iters,
+            a.rollback,
+            a.batch
+        );
+    }
+
+    fn demand(name: &str, k: usize, r: usize, batch: usize, qps: f64) -> TenantDemand {
+        let v = victim();
+        TenantDemand {
+            name: name.into(),
+            mt_spec: pruned_spec(&v, 0.2, 2, k).unwrap(),
+            mr_spec: pruned_spec(&v, 0.2, 2, r).unwrap(),
+            batch,
+            qps,
+        }
+    }
+
+    #[test]
+    fn fleet_packing_respects_both_constraints() {
+        let cost = CostModel::raspberry_pi3();
+        let tenants: Vec<TenantDemand> = (0..6)
+            .map(|i| demand(&format!("t{i}"), 2, 1, 4, 10.0))
+            .collect();
+        let budget = 2 << 20;
+        let fleet = plan_fleet(&tenants, &cost, budget).unwrap();
+        assert!(!fleet.worlds.is_empty());
+        let mut seen = vec![false; tenants.len()];
+        for w in &fleet.worlds {
+            assert!(w.used_bytes <= w.budget_bytes);
+            assert!(w.compute_utilization <= 1.0 + 1e-12);
+            for &t in &w.tenants {
+                assert!(!seen[t], "tenant {t} placed twice");
+                seen[t] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every tenant placed");
+        // Oversized tenant rejected with the planner error.
+        let huge = vec![demand("huge", 0, 0, 64, 1.0)];
+        assert!(matches!(
+            plan_fleet(&huge, &cost, 1 << 16),
+            Err(CoreError::NoFeasiblePlan { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_curve_monotone_in_budget() {
+        let cost = CostModel::raspberry_pi3();
+        let v = victim();
+        let mix: Vec<TenantMix> = (0..3)
+            .map(|i| TenantMix {
+                name: format!("m{i}"),
+                mt_spec: pruned_spec(&v, 0.2, 2, 2 + i).unwrap(),
+                mr_spec: pruned_spec(&v, 0.2, 2, 1).unwrap(),
+                fraction: 1.0 + i as f64,
+            })
+            .collect();
+        let budgets: Vec<usize> = (1..=12).map(|i| i * (1 << 20)).collect();
+        let curve = capacity_curve(&mix, &cost, &budgets, &[1, 2, 4, 8, 16]).unwrap();
+        assert_eq!(curve.points.len(), budgets.len());
+        for pair in curve.points.windows(2) {
+            assert!(
+                pair[1].qps >= pair[0].qps - 1e-12,
+                "curve dipped: {} MB -> {:.1} qps, {} MB -> {:.1} qps",
+                pair[0].budget_bytes >> 20,
+                pair[0].qps,
+                pair[1].budget_bytes >> 20,
+                pair[1].qps
+            );
+        }
+        let knee = curve.knee().expect("some budget is feasible");
+        assert!(knee.qps >= 0.95 * curve.max_qps());
+        // The knee is the *first* such budget.
+        for p in &curve.points {
+            if p.budget_bytes < knee.budget_bytes {
+                assert!(p.qps < 0.95 * curve.max_qps());
+            } else {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn greedy_assignment_stays_within_budget() {
+        // Force the greedy path with a tiny exhaustive limit stand-in: call
+        // the greedy directly on the table the curve would build.
+        let cost = CostModel::raspberry_pi3();
+        let v = victim();
+        let mt = pruned_spec(&v, 0.2, 2, 2).unwrap();
+        let batches = [1usize, 2, 4, 8];
+        let mut row = Vec::new();
+        for &b in &batches {
+            let rep = simulate_two_branch_batched(&mt, &v, &cost, b).unwrap();
+            let bytes = MemoryReport::for_secure_branch_batched(&mt, b)
+                .unwrap()
+                .total();
+            row.push((rep.secure_occupancy_s() / b as f64, bytes));
+        }
+        let table = vec![row.clone(), row];
+        let fractions = [0.5, 0.5];
+        let budget = 4 << 20;
+        let (choice, qps) = best_assignment_greedy(&table, &fractions, budget).unwrap();
+        assert!(assignment_bytes(&table, &choice) <= budget);
+        assert!(qps > 0.0);
+        // Greedy never beats exhaustive, and both fit the budget.
+        let (ex_choice, ex_qps) = best_assignment_exhaustive(&table, &fractions, budget).unwrap();
+        assert!(assignment_bytes(&table, &ex_choice) <= budget);
+        assert!(ex_qps >= qps - 1e-12);
+    }
+
+    #[test]
+    fn round_robin_schedule_conserves_requests() {
+        let tenants = vec![
+            demand("a", 2, 1, 4, 1.0),
+            demand("b", 3, 2, 8, 1.0),
+            demand("c", 1, 0, 3, 1.0),
+        ];
+        let requests = [10u64, 17, 4];
+        let sched = FleetSchedule::round_robin(&tenants, &requests).unwrap();
+        assert_eq!(sched.served_per_tenant(tenants.len()), requests.to_vec());
+        // No crossing exceeds its tenant's batch size.
+        for s in &sched.slots {
+            assert!(s.batch >= 1 && s.batch <= tenants[s.tenant].batch);
+        }
+        // Batching strictly amortizes switches for this traffic.
+        assert!(sched.switches < sched.unbatched_switches);
+        assert!(sched.amortization_factor() > 1.0);
+        // Length mismatch rejected.
+        assert!(FleetSchedule::round_robin(&tenants, &[1, 2]).is_err());
+    }
+
+    #[test]
+    fn live_validation_brackets_measured_qps() {
+        let v = victim();
+        let mt = pruned_spec(&v, 0.2, 2, 2).unwrap();
+        let stages = MeasuredStages {
+            ree_s: 0.030,
+            tee_s: 0.050,
+            transfer_s: 0.004,
+            merge_s: 0.002,
+            switch_s: 0.001,
+        };
+        let batch = 8;
+        // A throughput between the serial floor and pipelined ceiling passes.
+        let serial = validate_qps(&stages, batch, &mt, &v, 0.0, 1.0).unwrap();
+        assert!(serial.predicted_pipelined_qps >= serial.predicted_serial_qps);
+        let mid = 0.5 * (serial.predicted_serial_qps + serial.predicted_pipelined_qps);
+        assert!(
+            validate_qps(&stages, batch, &mt, &v, mid, 1.0)
+                .unwrap()
+                .within_tolerance
+        );
+        // Far outside the bracket fails even with slack...
+        let absurd = 100.0 * serial.predicted_pipelined_qps;
+        assert!(
+            !validate_qps(&stages, batch, &mt, &v, absurd, 2.0)
+                .unwrap()
+                .within_tolerance
+        );
+        // ...and tolerance widens the bracket symmetrically.
+        let low = serial.predicted_serial_qps * 0.6;
+        assert!(
+            !validate_qps(&stages, batch, &mt, &v, low, 1.0)
+                .unwrap()
+                .within_tolerance
+        );
+        assert!(
+            validate_qps(&stages, batch, &mt, &v, low, 2.0)
+                .unwrap()
+                .within_tolerance
+        );
+    }
+}

@@ -342,14 +342,7 @@ impl ServeReport {
         mt_spec: &ModelSpec,
         mr_spec: &ModelSpec,
     ) -> Result<PipelineValidation> {
-        if self.metrics.batches == 0 {
-            return Err(CoreError::InvalidConfig {
-                field: "validate_pipeline",
-                reason: "no healthy batches completed; nothing to calibrate from".into(),
-            });
-        }
-        let batch = (self.mean_batch.round() as usize).max(1);
-        let cost = calibrate_cost_model(mt_spec, mr_spec, &self.stages, batch)?;
+        let cost = self.calibrated_cost_model(mt_spec, mr_spec)?;
         let simulated = simulate_two_branch(mt_spec, mr_spec, &cost)?;
         let simulated_overlap = simulated.pipeline_overlap();
         Ok(PipelineValidation {
@@ -358,6 +351,30 @@ impl ServeReport {
             ratio: self.measured_overlap / simulated_overlap,
             simulated,
         })
+    }
+
+    /// Fits a [`CostModel`] to this run's measured per-batch stage times at
+    /// its mean batch size — the host-calibration step of capacity planning:
+    /// a short live run on the target host turns into the cost model the
+    /// planner ([`crate::planner`]) prices every candidate against.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::InvalidConfig`] when no healthy batch completed (there
+    /// is nothing to calibrate from), plus spec/cost validation errors.
+    pub fn calibrated_cost_model(
+        &self,
+        mt_spec: &ModelSpec,
+        mr_spec: &ModelSpec,
+    ) -> Result<CostModel> {
+        if self.metrics.batches == 0 {
+            return Err(CoreError::InvalidConfig {
+                field: "calibrated_cost_model",
+                reason: "no healthy batches completed; nothing to calibrate from".into(),
+            });
+        }
+        let batch = (self.mean_batch.round() as usize).max(1);
+        Ok(calibrate_cost_model(mt_spec, mr_spec, &self.stages, batch)?)
     }
 }
 

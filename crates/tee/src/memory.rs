@@ -133,6 +133,30 @@ impl MemoryReport {
             merge_buffer_bytes: peak * BYTES_PER_ELEM,
         })
     }
+
+    /// Footprint of the TBNet deployment at batch granularity: weights are
+    /// shared across the batch, but the working activations and the merge
+    /// staging buffer hold `batch` samples at once. This is the memory side
+    /// of the batching trade-off the capacity planner searches: a larger
+    /// batch amortizes world switches (see
+    /// [`CostModel::for_batch`](crate::CostModel::for_batch)) at the price
+    /// of a linearly larger secure working set.
+    ///
+    /// `batch == 0` is treated as 1 (identical to
+    /// [`MemoryReport::for_secure_branch`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates spec validation errors.
+    pub fn for_secure_branch_batched(mt_spec: &ModelSpec, batch: usize) -> Result<Self> {
+        let per_sample = MemoryReport::for_secure_branch(mt_spec)?;
+        let b = batch.max(1);
+        Ok(MemoryReport {
+            weight_bytes: per_sample.weight_bytes,
+            activation_bytes: per_sample.activation_bytes * b,
+            merge_buffer_bytes: per_sample.merge_buffer_bytes * b,
+        })
+    }
 }
 
 #[cfg(test)]

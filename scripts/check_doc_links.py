@@ -1,18 +1,21 @@
 #!/usr/bin/env python3
-"""Dead-path check for the prose docs (ARCHITECTURE.md, README.md).
+"""Dead-path check for the prose docs (ARCHITECTURE.md, README.md,
+docs/CAPACITY.md).
 
 The architecture docs anchor their explanations to concrete repo paths
 (`crates/core/src/dp_train.rs`, `tests/attack_parity.rs`, ...). A rename or
 move silently strands those references; this script fails CI when it finds
-one. Two kinds of references are checked, both resolved against the repo
-root (the directory containing the checked file):
+one. Two kinds of references are checked:
 
 1. relative markdown link targets — ``[text](path)`` where the target has
-   no URL scheme and no leading ``#``; an in-page anchor suffix is stripped;
+   no URL scheme and no leading ``#``; an in-page anchor suffix is stripped.
+   Resolved against the checked file's own directory (standard markdown
+   semantics, so docs in subdirectories link with ``../``);
 2. backtick-quoted repo paths — `` `crates/...` `` tokens that start with a
    known top-level directory and contain a ``/``. Tokens with glob or
    placeholder characters (``*``, ``<``, ``{``) are skipped, and a
-   ``path:line`` suffix is stripped.
+   ``path:line`` suffix is stripped. Always resolved against the repo root
+   (this script's parent directory), wherever the checked doc lives.
 
 Usage:
     check_doc_links.py FILE.md [FILE.md ...]
@@ -28,34 +31,43 @@ import re
 import sys
 
 # Top-level directories whose backtick-quoted mentions are treated as paths.
-PATH_ROOTS = ("crates/", "tests/", "scripts/", "ci/", "src/", "examples/", ".github/")
+PATH_ROOTS = (
+    "crates/",
+    "tests/",
+    "scripts/",
+    "ci/",
+    "src/",
+    "examples/",
+    "docs/",
+    ".github/",
+)
 
 MD_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 BACKTICK = re.compile(r"`([^`\n]+)`")
 
 
-def candidate_paths(text: str) -> set[str]:
-    """Extracts every checkable path reference from a markdown document."""
-    refs: set[str] = set()
+def candidate_paths(text: str) -> list[tuple[str, bool]]:
+    """Extracts every checkable (path, is_repo_rooted) reference."""
+    refs: set[tuple[str, bool]] = set()
     for target in MD_LINK.findall(text):
         if "://" in target or target.startswith(("#", "mailto:")):
             continue
-        refs.add(target.split("#", 1)[0])
+        refs.add((target.split("#", 1)[0], False))
     for token in BACKTICK.findall(text):
         if not token.startswith(PATH_ROOTS) or "/" not in token:
             continue
         if any(ch in token for ch in "*<{ "):
             continue
         # Strip a `path:line` location suffix and trailing punctuation.
-        refs.add(token.split(":", 1)[0].rstrip("/."))
-    refs.discard("")
-    return refs
+        refs.add((token.split(":", 1)[0].rstrip("/."), True))
+    return sorted(ref for ref in refs if ref[0])
 
 
 def main() -> int:
     if len(sys.argv) < 2:
         print(__doc__, file=sys.stderr)
         return 2
+    repo_root = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
     failures = 0
     for doc in sys.argv[1:]:
         try:
@@ -64,9 +76,10 @@ def main() -> int:
         except OSError as exc:
             print(f"error: cannot read {doc}: {exc}", file=sys.stderr)
             return 2
-        root = os.path.dirname(os.path.abspath(doc))
-        for ref in sorted(candidate_paths(text)):
-            if not os.path.exists(os.path.join(root, ref)):
+        doc_dir = os.path.dirname(os.path.abspath(doc))
+        for ref, repo_rooted in candidate_paths(text):
+            base = repo_root if repo_rooted else doc_dir
+            if not os.path.exists(os.path.join(base, ref)):
                 print(f"{doc}: dangling path reference `{ref}`")
                 failures += 1
     if failures:

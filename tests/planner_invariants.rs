@@ -1,0 +1,210 @@
+//! Planner invariants: the deployment auto-optimizer and the fleet
+//! capacity planner must never emit a plan the SLO or the physics
+//! contradicts.
+//!
+//! * the SLO search never returns a violating plan, across model families;
+//! * capacity curves are monotone in the secure-memory budget;
+//! * the round-robin fleet schedule conserves per-tenant request counts;
+//! * the calibrated simulator brackets a live `ServeEngine` run's
+//!   throughput within the stated tolerance.
+
+use std::time::Duration;
+
+use tbnet_core::pipeline::{run_pipeline, PipelineConfig};
+use tbnet_core::planner::{
+    capacity_curve, optimize_deployment, plan_fleet, pruned_spec, validate_against_live,
+    FleetSchedule, SearchSpace, Slo, TenantDemand, TenantMix,
+};
+use tbnet_core::serve::{ServeConfig, ServeEngine};
+use tbnet_core::CoreError;
+use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_models::{resnet, vgg, ModelSpec};
+use tbnet_tee::CostModel;
+
+fn zoo() -> Vec<ModelSpec> {
+    vec![
+        vgg::vgg_tiny(10, 3, (16, 16)),
+        resnet::resnet20_tiny(10, 3, (16, 16)),
+    ]
+}
+
+fn space() -> SearchSpace {
+    SearchSpace {
+        ratio: 0.2,
+        min_channels: 2,
+        max_prune_iters: 4,
+        batches: vec![1, 2, 4, 8, 16],
+    }
+}
+
+#[test]
+fn search_never_returns_slo_violating_plan() {
+    let cost = CostModel::raspberry_pi3();
+    let slos = [
+        Slo::new("generous", 10.0, 64 << 20, 0.0),
+        Slo::new("latency-bound", 0.05, 64 << 20, 0.55),
+        Slo::new("memory-bound", 10.0, 1 << 20, 0.45),
+        Slo::new("balanced", 0.2, 4 << 20, 0.6),
+    ];
+    for victim in zoo() {
+        for slo in &slos {
+            match optimize_deployment(&victim, &space(), slo, &cost) {
+                Ok(plan) => {
+                    assert!(
+                        plan.latency_s() <= slo.max_latency_s,
+                        "{} / {}: latency {} over {}",
+                        victim.name,
+                        slo.name,
+                        plan.latency_s(),
+                        slo.max_latency_s
+                    );
+                    assert!(plan.secure_bytes() <= slo.secure_memory_bytes);
+                    assert!(plan.capacity_retention >= slo.min_capacity_retention);
+                    assert!(plan.rollback <= plan.prune_iters);
+                    // The winning architectures stay simulatable and loadable.
+                    plan.mt_spec.trace().unwrap();
+                    plan.mr_spec.trace().unwrap();
+                }
+                Err(CoreError::NoFeasiblePlan { explored, .. }) => {
+                    // Infeasibility must come with evidence of a real search.
+                    assert!(explored > 0, "{}: empty search", slo.name);
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn capacity_curve_is_monotone_in_budget() {
+    let cost = CostModel::raspberry_pi3();
+    let vgg_victim = vgg::vgg_tiny(10, 3, (16, 16));
+    let res_victim = resnet::resnet20_tiny(10, 3, (16, 16));
+    let mix = vec![
+        TenantMix {
+            name: "vgg-heavy".into(),
+            mt_spec: pruned_spec(&vgg_victim, 0.2, 2, 3).unwrap(),
+            mr_spec: pruned_spec(&vgg_victim, 0.2, 2, 1).unwrap(),
+            fraction: 3.0,
+        },
+        TenantMix {
+            name: "resnet-light".into(),
+            mt_spec: pruned_spec(&res_victim, 0.2, 2, 2).unwrap(),
+            mr_spec: pruned_spec(&res_victim, 0.2, 2, 0).unwrap(),
+            fraction: 1.0,
+        },
+    ];
+    let budgets: Vec<usize> = (1..=16).map(|i| i * (1 << 20)).collect();
+    let curve = capacity_curve(&mix, &cost, &budgets, &[1, 2, 4, 8, 16]).unwrap();
+    assert_eq!(curve.points.len(), budgets.len());
+    for pair in curve.points.windows(2) {
+        assert!(pair[1].budget_bytes > pair[0].budget_bytes);
+        assert!(
+            pair[1].qps >= pair[0].qps - 1e-12,
+            "capacity dipped between {} and {} MB",
+            pair[0].budget_bytes >> 20,
+            pair[1].budget_bytes >> 20
+        );
+    }
+    // The knee exists and sits at the first ≥95%-of-max budget.
+    let knee = curve.knee().expect("feasible curve has a knee");
+    assert!(knee.qps >= 0.95 * curve.max_qps());
+}
+
+#[test]
+fn fleet_schedule_conserves_per_tenant_requests() {
+    let victim = vgg::vgg_tiny(10, 3, (16, 16));
+    let tenants: Vec<TenantDemand> = [(2usize, 1usize, 4usize), (3, 2, 7), (4, 3, 1), (1, 0, 16)]
+        .iter()
+        .enumerate()
+        .map(|(i, &(k, r, b))| TenantDemand {
+            name: format!("tenant{i}"),
+            mt_spec: pruned_spec(&victim, 0.2, 2, k).unwrap(),
+            mr_spec: pruned_spec(&victim, 0.2, 2, r).unwrap(),
+            batch: b,
+            qps: 5.0,
+        })
+        .collect();
+    // Request counts deliberately not divisible by the batch sizes.
+    let requests = [13u64, 29, 5, 33];
+    let sched = FleetSchedule::round_robin(&tenants, &requests).unwrap();
+    assert_eq!(
+        sched.served_per_tenant(tenants.len()),
+        requests.to_vec(),
+        "schedule lost or invented requests"
+    );
+    for slot in &sched.slots {
+        assert!(slot.batch >= 1 && slot.batch <= tenants[slot.tenant].batch.max(1));
+    }
+    assert!(sched.amortization_factor() >= 1.0);
+    // The same tenants pack into finitely many worlds under the pi3 budget.
+    let cost = CostModel::raspberry_pi3();
+    let fleet = plan_fleet(&tenants, &cost, cost.secure_memory_budget).unwrap();
+    let placed: usize = fleet.worlds.iter().map(|w| w.tenants.len()).sum();
+    assert_eq!(placed, tenants.len());
+}
+
+#[test]
+fn calibrated_simulator_brackets_live_serving_throughput() {
+    // A short live ServeEngine run on a trained smoke deployment; the
+    // planner's validation hook must bracket its measured throughput.
+    // Large enough that per-batch compute dominates the scheduling overhead
+    // the stage timers cannot see (which a debug build inflates).
+    let data = SyntheticCifar::generate(
+        DatasetKind::Cifar10Like
+            .config()
+            .with_classes(3)
+            .with_train_per_class(10)
+            .with_test_per_class(8)
+            .with_size(12, 12)
+            .with_noise_std(0.25),
+    );
+    let spec = vgg::vgg_from_stages("planner-live", &[(12, 1), (12, 1)], 3, 3, (12, 12));
+    let mut cfg = PipelineConfig::smoke();
+    cfg.prune.drop_budget = 1.0;
+    let artifacts = run_pipeline(&spec, &data, &cfg).expect("smoke pipeline trains");
+    let model = artifacts.model;
+
+    let serve_cfg = ServeConfig {
+        ree_workers: 1,
+        max_batch: 4,
+        batch_linger: Duration::from_micros(100),
+        queue_high_water: 1024, // saturation load must not shed
+        default_deadline: Duration::from_secs(30),
+        ..ServeConfig::default()
+    };
+    let engine =
+        ServeEngine::start(&model, serve_cfg, tbnet_tee::FaultPlan::none()).expect("engine starts");
+    // Enough requests that fixed costs (engine start, linger, drain) stop
+    // dominating the wall clock the stage timers cannot see.
+    let requests = 160usize;
+    let started = std::time::Instant::now();
+    for i in 0..requests {
+        let image = data.test().gather(&[i % data.test().len()]).images;
+        engine.submit(&image).expect("admission accepts");
+    }
+    let report = engine.shutdown();
+    let elapsed = started.elapsed().as_secs_f64();
+    let completed = (report.counts.answered + report.counts.degraded) as f64;
+    assert!(completed > 0.0, "live run completed nothing");
+    let measured_qps = completed / elapsed.max(1e-9);
+
+    let mt = model.mt().spec();
+    let mr = model.mr().spec();
+    let tolerance = 4.0; // debug build on an arbitrary host: a wide, stated bracket
+    let validation = validate_against_live(&report, &mt, &mr, measured_qps, tolerance).unwrap();
+    assert!(
+        validation.predicted_serial_qps <= validation.predicted_pipelined_qps,
+        "bracket inverted: serial {} > pipelined {}",
+        validation.predicted_serial_qps,
+        validation.predicted_pipelined_qps
+    );
+    assert!(
+        validation.within_tolerance,
+        "measured {:.1} qps outside [{:.1}, {:.1}] × tolerance {}",
+        validation.measured_qps,
+        validation.predicted_serial_qps,
+        validation.predicted_pipelined_qps,
+        tolerance
+    );
+}
