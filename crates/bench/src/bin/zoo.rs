@@ -1,0 +1,236 @@
+//! Model-zoo end-to-end report: runs the full TBNet protect pipeline
+//! (victim training → two-branch transfer → iterative pruning → rollback
+//! finalization → attack → deployment pricing) over one victim per conv
+//! dispatch family and writes `BENCH_zoo.json` at the repo root (or the path
+//! given as the first argument).
+//!
+//! The zoo covers every shape class the conv engine dispatches on:
+//!
+//! * `resnet` — 3×3 stencils with stride-2 stage entries and identity skips
+//!   (direct 3×3 + strided 3×3 paths, residual `ChannelBook` alignment);
+//! * `vgg` — plain 3×3/stride-1 chains (the direct 3×3 path);
+//! * `vgg5x5` — 5×5/stride-1/pad-2 chains (the widened direct stencil);
+//! * `mobile` — depthwise 3×3 + pointwise 1×1 pairs (the per-channel
+//!   depthwise kernels and the 1×1 GEMM path).
+//!
+//! Per architecture the report records what the protection costs and buys:
+//! accuracy delta (two-branch vs victim), direct-use attack accuracy on the
+//! stolen rich branch, pruned parameter ratio, TEE secure-memory reduction,
+//! and the fused-f32 / int8 latency crossover with top-1 agreement. Rows are
+//! keyed `zoo|{arch}|{metric}` by the CI regression gate.
+//!
+//! Training runs with `WorkerPolicy::Fixed(1)` so every metric is a
+//! deterministic function of the seed, not of the runner's core count.
+//!
+//! Run with `cargo run --release -p tbnet-bench --bin zoo`.
+
+use std::time::Instant;
+
+use serde::Serialize;
+use tbnet_core::attack::direct_use_attack;
+use tbnet_core::deploy::DeploymentPlan;
+use tbnet_core::dp_train::WorkerPolicy;
+use tbnet_core::pipeline::{run_pipeline, PipelineConfig};
+use tbnet_data::{DatasetKind, SyntheticCifar};
+use tbnet_models::{mobile, resnet, vgg, ModelSpec};
+use tbnet_tensor::{arena, par, Tensor};
+
+#[derive(Debug, Clone, Serialize)]
+struct ZooRow {
+    /// Architecture identifier (regression key: `zoo|{arch}|{metric}`).
+    arch: String,
+    metric: String,
+    value: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ZooReport {
+    report: String,
+    threads: usize,
+    samples_per_measurement: usize,
+    results: Vec<ZooRow>,
+    /// Worst-case int8 top-1 agreement across the zoo (floor-gated in CI).
+    int8_top1_agreement: f64,
+    /// Worst-case unfused-over-fused speedup across the zoo (floor-gated).
+    fused_speedup: f64,
+    /// Whether repeated fused/int8 predictions stopped growing the scratch
+    /// arenas after warmup, across every architecture.
+    arena_flat: bool,
+    note: String,
+}
+
+/// Minimum wall-clock of `reps` runs after one warmup.
+fn time_min_ms<F: FnMut() -> Tensor>(mut f: F, reps: usize) -> f64 {
+    f();
+    let mut best = f64::MAX;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best * 1e3
+}
+
+fn argmax_rows(logits: &Tensor) -> Vec<usize> {
+    let classes = logits.dim(1);
+    logits
+        .as_slice()
+        .chunks(classes)
+        .map(|r| {
+            r.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.total_cmp(b.1))
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        })
+        .collect()
+}
+
+/// One victim per conv dispatch family, all at harness scale (8×8 inputs,
+/// 3 classes) so the whole zoo trains in CI seconds.
+fn zoo_specs(classes: usize) -> Vec<(&'static str, ModelSpec)> {
+    vec![
+        (
+            "resnet",
+            resnet::resnet_from_stages("resnet-zoo", &[8, 16], 1, classes, 3, (8, 8)),
+        ),
+        (
+            "vgg",
+            vgg::vgg_from_stages("vgg-zoo", &[(8, 1), (16, 1)], classes, 3, (8, 8)),
+        ),
+        (
+            "vgg5x5",
+            vgg::vgg5x5_from_stages("vgg5x5-zoo", &[(8, 1), (16, 1)], classes, 3, (8, 8)),
+        ),
+        (
+            "mobile",
+            mobile::mobile_from_stages("mobile-zoo", &[(8, 1), (16, 1)], classes, 3, (8, 8)),
+        ),
+    ]
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_zoo.json".to_string());
+    let reps = 7;
+    let classes = 3;
+    let data = SyntheticCifar::generate(
+        DatasetKind::Cifar10Like
+            .config()
+            .with_classes(classes)
+            .with_train_per_class(24)
+            .with_test_per_class(24)
+            .with_size(8, 8)
+            .with_noise_std(0.3),
+    );
+    let mut cfg = PipelineConfig::smoke();
+    // Always keep the pruned iterations (the zoo measures the protected
+    // deployment, not the budget policy) and pin the trainer to one worker
+    // so every metric is seed-deterministic across runners.
+    cfg.prune.drop_budget = 1.0;
+    cfg.workers = WorkerPolicy::Fixed(1);
+
+    let mut results = Vec::new();
+    let mut min_agreement = f64::MAX;
+    let mut min_fused_speedup = f64::MAX;
+    let mut arena_flat = true;
+
+    for (arch, spec) in zoo_specs(classes) {
+        let mut artifacts = run_pipeline(&spec, &data, &cfg)
+            .unwrap_or_else(|e| panic!("{arch}: protect pipeline failed: {e}"));
+        let params_before = artifacts.victim.param_count();
+        let params_after = artifacts.model.mt_mut().param_count();
+        let prune_ratio = 1.0 - params_after as f64 / params_before as f64;
+
+        let attack_acc =
+            direct_use_attack(&artifacts.model, data.test()).expect("direct-use attack");
+
+        let plan = DeploymentPlan::new(&artifacts.model, spec.clone()).expect("deployment plan");
+        let mem_reduction = plan.memory().expect("memory pricing").reduction_factor();
+
+        // Latency crossover on the protected model, over the full eval set.
+        let eval = data
+            .test()
+            .gather(&(0..data.test().len()).collect::<Vec<_>>());
+        let model = &mut artifacts.model;
+        let unfused_ms = time_min_ms(|| model.predict(&eval.images).expect("predict"), reps);
+        let fused_ms = time_min_ms(
+            || model.predict_fused(&eval.images).expect("fused predict"),
+            reps,
+        );
+        let int8_ms = time_min_ms(
+            || model.predict_int8(&eval.images).expect("int8 predict"),
+            reps,
+        );
+        let fused_speedup = unfused_ms / fused_ms;
+
+        // Steady state: the timed loops above warmed every path; further
+        // calls must not grow the scratch arenas.
+        let reserved = arena::reserved_elems();
+        std::hint::black_box(model.predict_fused(&eval.images).expect("fused predict"));
+        std::hint::black_box(model.predict_int8(&eval.images).expect("int8 predict"));
+        arena_flat &= arena::reserved_elems() == reserved;
+
+        let reference = model.predict(&eval.images).expect("reference predict");
+        let int8 = model.predict_int8(&eval.images).expect("int8 predict");
+        let ra = argmax_rows(&reference);
+        let qa = argmax_rows(&int8);
+        let agreement = ra.iter().zip(&qa).filter(|(a, b)| a == b).count() as f64 / ra.len() as f64;
+
+        min_agreement = min_agreement.min(agreement);
+        min_fused_speedup = min_fused_speedup.min(fused_speedup);
+
+        let victim_acc = f64::from(artifacts.victim_acc);
+        let tbnet_acc = f64::from(artifacts.tbnet_acc);
+        println!(
+            "{arch:<8} victim {victim_acc:.3} tbnet {tbnet_acc:.3} | attack {attack_acc:.3} | \
+             pruned {prune_ratio:.3} | mem x{mem_reduction:.2} | fused x{fused_speedup:.2} | \
+             int8 agree {agreement:.3}"
+        );
+
+        let mut push = |metric: &str, value: f64| {
+            results.push(ZooRow {
+                arch: arch.to_string(),
+                metric: metric.to_string(),
+                value,
+            });
+        };
+        push("victim_acc", victim_acc);
+        push("tbnet_acc", tbnet_acc);
+        push("acc_delta", tbnet_acc - victim_acc);
+        push("direct_use_attack_acc", f64::from(attack_acc));
+        push("prune_param_ratio", prune_ratio);
+        push("tee_mem_reduction", mem_reduction);
+        push("unfused_ms", unfused_ms);
+        push("fused_ms", fused_ms);
+        push("int8_ms", int8_ms);
+        push("fused_speedup", fused_speedup);
+        push("int8_top1_agreement", agreement);
+    }
+
+    let report = ZooReport {
+        report: "zoo".to_string(),
+        threads: par::max_threads(),
+        samples_per_measurement: reps,
+        results,
+        int8_top1_agreement: min_agreement,
+        fused_speedup: min_fused_speedup,
+        arena_flat,
+        note: "full protect pipeline (victim train, two-branch transfer, \
+               iterative pruning with rollback finalization, direct-use \
+               attack, deployment pricing) over one victim per conv dispatch \
+               family: resnet (3x3 + strided 3x3, residual skips), vgg \
+               (3x3), vgg5x5 (direct 5x5), mobile (depthwise 3x3 + pointwise \
+               1x1). Accuracy/attack/prune/memory rows are deterministic \
+               functions of the seed (single-worker training); latency rows \
+               are min-of-N wall clock on the protected model"
+            .to_string(),
+    };
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, json + "\n").expect("write BENCH_zoo.json");
+    println!(
+        "zoo: min int8 agreement {min_agreement:.3} | min fused x{min_fused_speedup:.2} | \
+         arena_flat={arena_flat} | wrote {out_path}"
+    );
+}

@@ -582,9 +582,8 @@ pub fn capacity_curve(
         });
     }
     let total_fraction: f64 = mix.iter().map(|t| t.fraction).sum();
-    let fractions_valid = total_fraction.is_finite()
-        && total_fraction > 0.0
-        && mix.iter().all(|t| t.fraction >= 0.0);
+    let fractions_valid =
+        total_fraction.is_finite() && total_fraction > 0.0 && mix.iter().all(|t| t.fraction >= 0.0);
     if !fractions_valid {
         return Err(CoreError::InvalidConfig {
             field: "fraction",

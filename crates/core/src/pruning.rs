@@ -321,8 +321,13 @@ pub fn apply_masks_to_chain(net: &mut ChainNet, masks: &[Vec<bool>]) -> Result<(
         }
         if i + 1 < n {
             let next = &mut net.units_mut()[i + 1];
-            let new_w = select_conv_in(&next.conv().weight().value, &keep_out)?;
-            next.conv_mut().set_weight(new_w);
+            // A depthwise successor has no input-channel axis to slice: its
+            // weight is `[C, 1, K, K]` and dim 0 is pruned by its own mask
+            // (identical to this one — the spec forces a shared group).
+            if !next.conv().is_depthwise() {
+                let new_w = select_conv_in(&next.conv().weight().value, &keep_out)?;
+                next.conv_mut().set_weight(new_w);
+            }
         }
     }
 

@@ -66,14 +66,18 @@ pub struct Unit {
 impl Unit {
     /// Builds a unit with freshly initialized weights.
     pub fn new<R: Rng + ?Sized>(in_channels: usize, spec: UnitSpec, rng: &mut R) -> Self {
-        let conv = Conv2d::new(
-            in_channels,
-            spec.out_channels,
-            spec.kernel,
-            spec.stride,
-            spec.pad,
-            rng,
-        );
+        let conv = if spec.depthwise {
+            Conv2d::new_depthwise(spec.out_channels, spec.kernel, spec.stride, spec.pad, rng)
+        } else {
+            Conv2d::new(
+                in_channels,
+                spec.out_channels,
+                spec.kernel,
+                spec.stride,
+                spec.pad,
+                rng,
+            )
+        };
         let bn = BatchNorm2d::new(spec.out_channels);
         let pool = spec.pool_after.map(MaxPool2d::new);
         Unit {
@@ -237,6 +241,7 @@ impl Unit {
         let (scale, shift) = self.bn.inference_scale_shift();
         let stride = self.conv.stride();
         let pad = self.conv.pad();
+        let depthwise = self.conv.is_depthwise();
         let imp = self.backend.imp();
         let (pack, bias) = self.conv.packed_inference(&scale, &shift)?;
         let epilogue = match (skip, merge, self.pool.is_some()) {
@@ -245,7 +250,11 @@ impl Unit {
             _ => Epilogue::Relu,
         };
         let merge_fused = matches!(epilogue, Epilogue::ReluAdd(_));
-        let act = imp.conv2d_forward_fused(input, pack, Some(bias), stride, pad, epilogue)?;
+        let act = if depthwise {
+            imp.conv2d_depthwise_forward_fused(input, pack, Some(bias), stride, pad, epilogue)?
+        } else {
+            imp.conv2d_forward_fused(input, pack, Some(bias), stride, pad, epilogue)?
+        };
         let mut out = match self.pool.as_ref() {
             Some(p) => imp.maxpool2d_eval(&act, p.window())?,
             None => act,

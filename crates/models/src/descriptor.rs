@@ -30,6 +30,12 @@ pub struct UnitSpec {
     /// unit's pre-activation (post-BN) feature map. `None` for plain chains.
     /// The TBNet unsecured branch `M_R` strips these (paper §4).
     pub skip_from: Option<usize>,
+    /// Depthwise convolution: one `[K, K]` kernel per channel, no
+    /// cross-channel reduction (`out_channels` must equal the unit's input
+    /// channels, and the unit must share its pruning group with its
+    /// producer so the shared channel mask keeps the per-channel kernels
+    /// aligned with their inputs).
+    pub depthwise: bool,
 }
 
 impl UnitSpec {
@@ -44,6 +50,54 @@ impl UnitSpec {
             pool_after: None,
             group,
             skip_from: None,
+            depthwise: false,
+        }
+    }
+
+    /// A 5×5 stride-1 same-padding unit (the wide-receptive-field VGG
+    /// variant; dispatches to the conv engine's direct 5×5 stencil at small
+    /// geometry).
+    pub fn conv5x5(out_channels: usize, group: usize) -> Self {
+        UnitSpec {
+            out_channels,
+            kernel: 5,
+            stride: 1,
+            pad: 2,
+            pool_after: None,
+            group,
+            skip_from: None,
+            depthwise: false,
+        }
+    }
+
+    /// A depthwise 3×3 stride-1 same-padding unit over `channels` channels.
+    /// `group` must be the producing unit's pruning group (validated by
+    /// [`ModelSpec::trace`]).
+    pub fn depthwise3x3(channels: usize, group: usize) -> Self {
+        UnitSpec {
+            out_channels: channels,
+            kernel: 3,
+            stride: 1,
+            pad: 1,
+            pool_after: None,
+            group,
+            skip_from: None,
+            depthwise: true,
+        }
+    }
+
+    /// A pointwise (1×1) unit — the channel-mixing half of a depthwise-
+    /// separable pair.
+    pub fn conv1x1(out_channels: usize, group: usize) -> Self {
+        UnitSpec {
+            out_channels,
+            kernel: 1,
+            stride: 1,
+            pad: 0,
+            pool_after: None,
+            group,
+            skip_from: None,
+            depthwise: false,
         }
     }
 
@@ -140,6 +194,45 @@ impl ModelSpec {
                     reason: format!("unit {i} has zero kernel or stride"),
                 });
             }
+            // A pad ≥ kernel would let whole output positions read nothing
+            // but padding — geometrically representable, numerically silent
+            // zeros. Previously accepted; reject it outright.
+            if u.pad >= u.kernel {
+                return Err(ModelError::InvalidSpec {
+                    reason: format!(
+                        "unit {i}: pad {} ≥ kernel {} (output columns would read only padding)",
+                        u.pad, u.kernel
+                    ),
+                });
+            }
+            if u.depthwise {
+                if u.out_channels != in_c {
+                    return Err(ModelError::InvalidSpec {
+                        reason: format!(
+                            "unit {i}: depthwise out_channels {} must equal input channels {in_c}",
+                            u.out_channels
+                        ),
+                    });
+                }
+                if i == 0 {
+                    return Err(ModelError::InvalidSpec {
+                        reason: format!(
+                            "unit {i}: depthwise unit cannot be first (its channel mask must \
+                             be shared with a prunable producer)"
+                        ),
+                    });
+                }
+                if self.units[i - 1].group != u.group {
+                    return Err(ModelError::InvalidSpec {
+                        reason: format!(
+                            "unit {i}: depthwise unit must share its producer's pruning group \
+                             ({} vs {})",
+                            u.group,
+                            self.units[i - 1].group
+                        ),
+                    });
+                }
+            }
             let conv_h = conv_out(hw.0, u.kernel, u.stride, u.pad, i)?;
             let conv_w = conv_out(hw.1, u.kernel, u.stride, u.pad, i)?;
             let mut out_hw = (conv_h, conv_w);
@@ -228,7 +321,8 @@ impl ModelSpec {
         let traces = self.trace()?;
         let mut count = 0usize;
         for (u, t) in self.units.iter().zip(&traces) {
-            count += u.out_channels * t.in_channels * u.kernel * u.kernel; // conv
+            let in_factor = if u.depthwise { 1 } else { t.in_channels };
+            count += u.out_channels * in_factor * u.kernel * u.kernel; // conv
             count += 2 * u.out_channels; // BN γ and β
         }
         count += self.head_in_features()? * self.classes + self.classes;
@@ -244,7 +338,8 @@ impl ModelSpec {
         let traces = self.trace()?;
         let mut macs = 0u64;
         for (u, t) in self.units.iter().zip(&traces) {
-            let per_pos = (t.in_channels * u.kernel * u.kernel) as u64;
+            let in_factor = if u.depthwise { 1 } else { t.in_channels };
+            let per_pos = (in_factor * u.kernel * u.kernel) as u64;
             macs += per_pos * u.out_channels as u64 * (t.conv_hw.0 * t.conv_hw.1) as u64;
         }
         macs += (self.head_in_features()? * self.classes) as u64;
@@ -533,5 +628,66 @@ mod tests {
         assert_eq!(u.pool_after, Some(2));
         assert_eq!(u.stride, 2);
         assert_eq!(u.skip_from, Some(1));
+        assert!(!u.depthwise);
+        let u5 = UnitSpec::conv5x5(16, 0);
+        assert_eq!((u5.kernel, u5.pad, u5.stride), (5, 2, 1));
+        let dw = UnitSpec::depthwise3x3(16, 3);
+        assert!(dw.depthwise);
+        assert_eq!((dw.out_channels, dw.kernel, dw.pad), (16, 3, 1));
+        let pw = UnitSpec::conv1x1(24, 4);
+        assert_eq!((pw.kernel, pw.pad, pw.stride), (1, 0, 1));
+    }
+
+    #[test]
+    fn pad_swallowing_kernel_rejected() {
+        // pad ≥ kernel means border output columns read pure padding; the
+        // geometry formula happily produces a size, so trace must reject it
+        // explicitly.
+        let mut spec = plain_spec();
+        spec.units[0].pad = 3; // kernel is 3
+        let err = spec.trace().unwrap_err();
+        assert!(matches!(err, ModelError::InvalidSpec { .. }), "{err}");
+        let mut spec = plain_spec();
+        spec.units[0].kernel = 1;
+        spec.units[0].pad = 1;
+        assert!(spec.trace().is_err());
+    }
+
+    #[test]
+    fn depthwise_channel_mismatch_rejected() {
+        let mut spec = plain_spec();
+        // Unit 1 enters with 8 channels; a depthwise unit must keep them.
+        spec.units[1] = UnitSpec::depthwise3x3(16, 0);
+        assert!(matches!(spec.trace(), Err(ModelError::InvalidSpec { .. })));
+        spec.units[1] = UnitSpec::depthwise3x3(8, 0);
+        assert!(spec.trace().is_ok());
+    }
+
+    #[test]
+    fn depthwise_first_unit_rejected() {
+        let mut spec = plain_spec();
+        spec.units[0] = UnitSpec::depthwise3x3(3, 0);
+        assert!(matches!(spec.trace(), Err(ModelError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn depthwise_group_split_rejected() {
+        let mut spec = plain_spec();
+        // Producer is group 0; a depthwise unit in its own group would prune
+        // its kernels independently of its inputs.
+        spec.units[1] = UnitSpec::depthwise3x3(8, 9);
+        assert!(matches!(spec.trace(), Err(ModelError::InvalidSpec { .. })));
+    }
+
+    #[test]
+    fn depthwise_param_and_mac_counts_drop_the_channel_factor() {
+        let mut spec = plain_spec();
+        spec.units[1] = UnitSpec::depthwise3x3(8, 0).with_pool(2);
+        let expected = 8 * 3 * 9 + 16 // conv1 + bn1
+            + 8 * 9 + 16 // depthwise conv2 ([8,1,3,3]) + bn2
+            + 8 * 4 * 4 * 10 + 10; // head
+        assert_eq!(spec.param_count().unwrap(), expected);
+        let dense_macs = plain_spec().forward_macs().unwrap();
+        assert!(spec.forward_macs().unwrap() < dense_macs);
     }
 }

@@ -40,6 +40,7 @@ mod chain;
 mod descriptor;
 mod error;
 
+pub mod mobile;
 pub mod quant;
 pub mod resnet;
 pub mod vgg;

@@ -1,0 +1,111 @@
+//! MobileNet-style depthwise-separable architecture builders.
+//!
+//! Each separable block is a depthwise 3×3 unit (per-channel spatial
+//! filtering, weight `[C, 1, 3, 3]`) followed by a pointwise 1×1 unit
+//! (cross-channel mixing). The depthwise unit shares its producer's pruning
+//! group — pruning a channel removes the matching depthwise kernel with it,
+//! keeping the chain consistent without an input-channel slice (see
+//! `apply_masks_to_chain`).
+
+use crate::{HeadSpec, ModelSpec, UnitSpec};
+
+/// Builds a depthwise-separable spec from `(width, blocks)` stages: a 3×3
+/// stem at the first stage's width, then per block a depthwise 3×3 (at the
+/// incoming width, sharing the producer's group) and a pointwise 1×1 (to the
+/// stage width, fresh group). The last block of every stage ends with a 2×2
+/// max-pool; the head is global-average-pool + linear.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty.
+pub fn mobile_from_stages(
+    name: &str,
+    stages: &[(usize, usize)],
+    classes: usize,
+    in_channels: usize,
+    input_hw: (usize, usize),
+) -> ModelSpec {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let mut units = Vec::new();
+    let mut next_group = 0usize;
+    let mut fresh_group = || {
+        let g = next_group;
+        next_group += 1;
+        g
+    };
+
+    let stem_group = fresh_group();
+    units.push(UnitSpec::conv3x3(stages[0].0, stem_group));
+    let mut cur_width = stages[0].0;
+    let mut cur_group = stem_group;
+
+    for &(width, blocks) in stages {
+        for b in 0..blocks {
+            units.push(UnitSpec::depthwise3x3(cur_width, cur_group));
+            let pw_group = fresh_group();
+            let mut pw = UnitSpec::conv1x1(width, pw_group);
+            if b == blocks - 1 {
+                pw = pw.with_pool(2);
+            }
+            units.push(pw);
+            cur_width = width;
+            cur_group = pw_group;
+        }
+    }
+
+    ModelSpec {
+        name: name.to_string(),
+        in_channels,
+        input_hw,
+        classes,
+        units,
+        head: HeadSpec::GapLinear,
+    }
+}
+
+/// Harness-scale depthwise-separable network (16×16 inputs, three pooled
+/// single-block stages): stem + 3 × (depthwise 3×3, pointwise 1×1).
+pub fn mobile_tiny(classes: usize, in_channels: usize, input_hw: (usize, usize)) -> ModelSpec {
+    mobile_from_stages(
+        "Mobile-t",
+        &[(16, 1), (32, 1), (64, 1)],
+        classes,
+        in_channels,
+        input_hw,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_tiny_traces() {
+        let spec = mobile_tiny(10, 3, (16, 16));
+        assert_eq!(spec.units.len(), 7); // stem + 3 × (dw, pw)
+        let t = spec.trace().unwrap();
+        assert_eq!(t.last().unwrap().out_hw, (2, 2));
+        assert_eq!(spec.head_in_features().unwrap(), 64);
+    }
+
+    #[test]
+    fn depthwise_units_alternate_and_share_producer_group() {
+        let spec = mobile_tiny(10, 3, (16, 16));
+        for (i, u) in spec.units.iter().enumerate() {
+            let expect_dw = i > 0 && i % 2 == 1;
+            assert_eq!(u.depthwise, expect_dw, "unit {i}");
+            if u.depthwise {
+                assert_eq!(u.group, spec.units[i - 1].group, "unit {i}");
+                assert_eq!(u.kernel, 3);
+            }
+        }
+    }
+
+    #[test]
+    fn separable_blocks_are_cheaper_than_dense() {
+        let mobile = mobile_tiny(10, 3, (16, 16));
+        let dense = crate::vgg::vgg_tiny(10, 3, (16, 16));
+        assert!(mobile.forward_macs().unwrap() < dense.forward_macs().unwrap());
+        assert!(mobile.param_count().unwrap() < dense.param_count().unwrap());
+    }
+}

@@ -81,7 +81,16 @@ impl QuantBranch {
                 &scale,
                 &shift,
             )?;
-            let weight = QuantConv2dWeight::quantize(pack.weight())?;
+            // Depthwise weights are stored `[C, 1, KH, KW]`; the integer
+            // kernel only speaks dense layouts, so expand to a block-diagonal
+            // `[C, C, KH, KW]` — the off-diagonal zeros quantize exactly, so
+            // the int8 output is unchanged.
+            let folded = if u.conv().is_depthwise() {
+                expand_depthwise_dense(pack.weight())?
+            } else {
+                pack.weight().clone()
+            };
+            let weight = QuantConv2dWeight::quantize(&folded)?;
             units.push(QuantUnit {
                 weight,
                 bias,
@@ -189,6 +198,22 @@ impl QuantBranch {
         }
         Ok(x)
     }
+}
+
+/// Expands a depthwise weight `[C, 1, KH, KW]` into the equivalent dense
+/// `[C, C, KH, KW]` block-diagonal weight (channel `c`'s taps on the
+/// diagonal, zeros elsewhere).
+fn expand_depthwise_dense(weight: &Tensor) -> Result<Tensor> {
+    let (c, kh, kw) = (weight.dim(0), weight.dim(2), weight.dim(3));
+    let mut dense = Tensor::zeros(&[c, c, kh, kw]);
+    let src = weight.as_slice();
+    let dst = dense.as_mut_slice();
+    let k = kh * kw;
+    for ch in 0..c {
+        let taps = &src[ch * k..(ch + 1) * k];
+        dst[(ch * c + ch) * k..(ch * c + ch) * k + k].copy_from_slice(taps);
+    }
+    Ok(dense)
 }
 
 #[cfg(test)]

@@ -144,6 +144,7 @@ pub fn bottleneck_from_stages(
                 pool_after: None,
                 group: fresh_group(),
                 skip_from: None,
+                depthwise: false,
             });
             units.push(UnitSpec::conv3x3(mid, fresh_group()));
             let mut expand = UnitSpec {
@@ -154,6 +155,7 @@ pub fn bottleneck_from_stages(
                 pool_after: None,
                 group: chain,
                 skip_from: None,
+                depthwise: false,
             };
             if !downsample {
                 expand = expand.with_skip_from(block_input_unit);

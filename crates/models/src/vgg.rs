@@ -71,6 +71,56 @@ pub fn vgg_tiny(classes: usize, in_channels: usize, input_hw: (usize, usize)) ->
     )
 }
 
+/// Like [`vgg_from_stages`] but with 5×5 convolutions (stride 1, pad 2 —
+/// spatial-preserving, same as the 3×3 units). Exercises the widened direct
+/// stencil in the conv engine end-to-end.
+///
+/// # Panics
+///
+/// Panics if `stages` is empty.
+pub fn vgg5x5_from_stages(
+    name: &str,
+    stages: &[(usize, usize)],
+    classes: usize,
+    in_channels: usize,
+    input_hw: (usize, usize),
+) -> ModelSpec {
+    assert!(!stages.is_empty(), "need at least one stage");
+    let mut units = Vec::new();
+    let mut group = 0usize;
+    for &(width, convs) in stages {
+        for ci in 0..convs {
+            let mut unit = UnitSpec::conv5x5(width, group);
+            group += 1;
+            if ci == convs - 1 {
+                unit = unit.with_pool(2);
+            }
+            units.push(unit);
+        }
+    }
+    ModelSpec {
+        name: name.to_string(),
+        in_channels,
+        input_hw,
+        classes,
+        units,
+        head: HeadSpec::FlattenLinear,
+    }
+}
+
+/// 5×5-kernel sibling of [`vgg_tiny`]: three pooled single-conv stages at
+/// the same widths, one wide receptive field per stage instead of two
+/// stacked 3×3s.
+pub fn vgg_tiny_5x5(classes: usize, in_channels: usize, input_hw: (usize, usize)) -> ModelSpec {
+    vgg5x5_from_stages(
+        "VGG5x5-t",
+        &[(16, 1), (32, 1), (64, 1)],
+        classes,
+        in_channels,
+        input_hw,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -119,5 +169,16 @@ mod tests {
     #[should_panic(expected = "at least one stage")]
     fn empty_stages_panic() {
         vgg_from_stages("x", &[], 10, 3, (16, 16));
+    }
+
+    #[test]
+    fn vgg5x5_tiny_traces_and_preserves_spatial() {
+        let spec = vgg_tiny_5x5(10, 3, (16, 16));
+        assert_eq!(spec.units.len(), 3);
+        assert!(spec.units.iter().all(|u| u.kernel == 5 && u.pad == 2));
+        let t = spec.trace().unwrap();
+        // pad 2 keeps conv spatial dims; only the pools shrink.
+        assert_eq!(t[0].conv_hw, (16, 16));
+        assert_eq!(t.last().unwrap().out_hw, (2, 2));
     }
 }

@@ -36,6 +36,10 @@ pub struct Conv2d {
     pad: usize,
     cache_input: Option<Tensor>,
     backend: BackendKind,
+    /// Depthwise mode: weight is `[C, 1, K, K]` (one kernel per channel, no
+    /// cross-channel reduction) and forward/backward route to the backend's
+    /// depthwise kernels instead of the GEMM engine.
+    depthwise: bool,
     /// Cache-blocked pack of `weight` consumed by the fused conv kernels.
     /// Built lazily on the first forward of a weight-update epoch and
     /// dropped on every path that may mutate the weight (`visit_params`,
@@ -76,9 +80,25 @@ impl Conv2d {
             pad,
             cache_input: None,
             backend: backend::global_kind(),
+            depthwise: false,
             packed: None,
             folded: None,
         }
+    }
+
+    /// Creates a bias-free *depthwise* convolution: `channels` independent
+    /// `[K, K]` kernels (weight `[channels, 1, K, K]`), each convolving its
+    /// own input channel.
+    pub fn new_depthwise<R: Rng + ?Sized>(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        pad: usize,
+        rng: &mut R,
+    ) -> Self {
+        let mut conv = Conv2d::new(1, channels, kernel, stride, pad, rng);
+        conv.depthwise = true;
+        conv
     }
 
     /// Creates a convolution with a zero-initialized bias.
@@ -100,9 +120,19 @@ impl Conv2d {
         self.weight.value.dim(0)
     }
 
-    /// Number of input channels.
+    /// Number of input channels (for a depthwise conv this is the channel
+    /// count itself — the weight's second dimension is the per-channel 1).
     pub fn in_channels(&self) -> usize {
-        self.weight.value.dim(1)
+        if self.depthwise {
+            self.weight.value.dim(0)
+        } else {
+            self.weight.value.dim(1)
+        }
+    }
+
+    /// Whether this is a depthwise convolution (weight `[C, 1, K, K]`).
+    pub fn is_depthwise(&self) -> bool {
+        self.depthwise
     }
 
     /// Kernel size (square).
@@ -202,13 +232,13 @@ impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Result<Tensor> {
         self.packed_weight()?;
         let packed = self.packed.as_ref().expect("packed ensured above");
-        let out = self.backend.imp().conv2d_forward_packed(
-            input,
-            packed,
-            self.bias.as_ref().map(|b| &b.value),
-            self.stride,
-            self.pad,
-        )?;
+        let imp = self.backend.imp();
+        let bias = self.bias.as_ref().map(|b| &b.value);
+        let out = if self.depthwise {
+            imp.conv2d_depthwise_forward(input, packed, bias, self.stride, self.pad)?
+        } else {
+            imp.conv2d_forward_packed(input, packed, bias, self.stride, self.pad)?
+        };
         self.cache_input = mode.is_train().then(|| input.clone());
         Ok(out)
     }
@@ -226,14 +256,25 @@ impl Layer for Conv2d {
         let input = self.cache_input.as_ref().expect("checked above");
         let packed = self.packed.as_ref().expect("ensured above");
         let imp = self.backend.imp();
-        let grads = imp.conv2d_backward_packed(
-            input,
-            packed,
-            grad_out,
-            self.stride,
-            self.pad,
-            self.bias.is_some(),
-        )?;
+        let grads = if self.depthwise {
+            imp.conv2d_depthwise_backward(
+                input,
+                packed,
+                grad_out,
+                self.stride,
+                self.pad,
+                self.bias.is_some(),
+            )?
+        } else {
+            imp.conv2d_backward_packed(
+                input,
+                packed,
+                grad_out,
+                self.stride,
+                self.pad,
+                self.bias.is_some(),
+            )?
+        };
         imp.add_assign(&mut self.weight.grad, &grads.grad_weight)?;
         if let (Some(b), Some(gb)) = (self.bias.as_mut(), grads.grad_bias) {
             imp.add_assign(&mut b.grad, &gb)?;

@@ -158,6 +158,73 @@ pub trait Backend: fmt::Debug + Send + Sync {
         self.conv2d_backward(input, packed.weight(), grad_out, stride, pad, has_bias)
     }
 
+    /// Depthwise 2-D convolution forward: weight `[C, 1, KH, KW]`, one
+    /// kernel per channel, no cross-channel reduction; see
+    /// [`ops::conv2d_depthwise_forward`].
+    ///
+    /// # Errors
+    ///
+    /// Shape/geometry errors as documented on
+    /// [`ops::conv2d_depthwise_forward`].
+    fn conv2d_depthwise_forward(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Tensor> {
+        ops::conv::conv2d_depthwise_forward_naive(input, packed.weight(), bias, stride, pad)
+    }
+
+    /// Depthwise forward with a fused [`Epilogue`]. The default body
+    /// composes the plain depthwise forward with the naive epilogue
+    /// applier, so it stays the reference the fused engine is tested
+    /// against.
+    ///
+    /// # Errors
+    ///
+    /// Shape/geometry errors as documented on
+    /// [`ops::conv2d_depthwise_forward_fused`].
+    fn conv2d_depthwise_forward_fused(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+        epilogue: Epilogue<'_>,
+    ) -> Result<Tensor> {
+        let mut out = self.conv2d_depthwise_forward(input, packed, bias, stride, pad)?;
+        ops::conv::apply_epilogue(&mut out, epilogue)?;
+        Ok(out)
+    }
+
+    /// Depthwise 2-D convolution backward; grad-weight is `[C, 1, KH, KW]`.
+    ///
+    /// # Errors
+    ///
+    /// Shape/geometry errors as documented on
+    /// [`ops::conv2d_depthwise_backward`].
+    fn conv2d_depthwise_backward(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        grad_out: &Tensor,
+        stride: usize,
+        pad: usize,
+        has_bias: bool,
+    ) -> Result<Conv2dGrads> {
+        ops::conv::conv2d_depthwise_backward_naive(
+            input,
+            packed.weight(),
+            grad_out,
+            stride,
+            pad,
+            has_bias,
+        )
+    }
+
     /// Elementwise `a + b`.
     ///
     /// # Errors
@@ -439,6 +506,41 @@ impl Backend for Parallel {
         has_bias: bool,
     ) -> Result<Conv2dGrads> {
         ops::parallel::conv2d_backward_packed(input, packed, grad_out, stride, pad, has_bias)
+    }
+
+    fn conv2d_depthwise_forward(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+    ) -> Result<Tensor> {
+        ops::parallel::conv2d_depthwise_forward(input, packed, bias, stride, pad, Epilogue::None)
+    }
+
+    fn conv2d_depthwise_forward_fused(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        bias: Option<&Tensor>,
+        stride: usize,
+        pad: usize,
+        epilogue: Epilogue<'_>,
+    ) -> Result<Tensor> {
+        ops::parallel::conv2d_depthwise_forward(input, packed, bias, stride, pad, epilogue)
+    }
+
+    fn conv2d_depthwise_backward(
+        &self,
+        input: &Tensor,
+        packed: &PackedConv2dWeight,
+        grad_out: &Tensor,
+        stride: usize,
+        pad: usize,
+        has_bias: bool,
+    ) -> Result<Conv2dGrads> {
+        ops::parallel::conv2d_depthwise_backward(input, packed, grad_out, stride, pad, has_bias)
     }
 
     fn add(&self, a: &Tensor, b: &Tensor) -> Result<Tensor> {

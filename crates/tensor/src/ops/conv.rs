@@ -745,6 +745,226 @@ pub(crate) fn conv2d_forward_naive(
     Ok(out)
 }
 
+/// Validates a depthwise convolution's operand shapes: input `[N, C, H, W]`
+/// against weight `[C, 1, KH, KW]` (one `[KH, KW]` kernel per channel).
+///
+/// # Errors
+///
+/// Returns rank/shape errors when the weight is not rank 4, its second
+/// dimension is not 1, or its channel count differs from the input's.
+pub(crate) fn check_depthwise_shapes(
+    input: &Tensor,
+    weight: &Tensor,
+) -> Result<(usize, usize, usize, usize, usize, usize)> {
+    if input.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: input.rank(),
+            op: "conv2d_depthwise",
+        });
+    }
+    if weight.rank() != 4 {
+        return Err(TensorError::RankMismatch {
+            expected: 4,
+            got: weight.rank(),
+            op: "conv2d_depthwise",
+        });
+    }
+    let (n, c, h, w) = (input.dim(0), input.dim(1), input.dim(2), input.dim(3));
+    let (wo, wc, kh, kw) = (weight.dim(0), weight.dim(1), weight.dim(2), weight.dim(3));
+    if wo != c || wc != 1 {
+        return Err(TensorError::ShapeMismatch {
+            expected: vec![c, 1, kh, kw],
+            got: weight.dims().to_vec(),
+            op: "conv2d_depthwise (per-channel weight)",
+        });
+    }
+    Ok((n, c, h, w, kh, kw))
+}
+
+/// Depthwise 2-D convolution forward: each input channel is convolved with
+/// its own `[KH, KW]` kernel (no cross-channel reduction).
+///
+/// * `input`: `[N, C, H, W]`
+/// * `weight`: `[C, 1, KH, KW]`
+/// * `bias`: optional `[C]`
+///
+/// Returns `[N, C, OH, OW]`.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent operands.
+pub fn conv2d_depthwise_forward(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    crate::backend::global().conv2d_depthwise_forward(input, packed, bias, stride, pad)
+}
+
+/// Depthwise forward with a fused bias + epilogue — the depthwise analogue
+/// of [`conv2d_forward_fused`].
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent operands, including
+/// an epilogue operand whose shape differs from the convolution output.
+pub fn conv2d_depthwise_forward_fused(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    epilogue: Epilogue<'_>,
+) -> Result<Tensor> {
+    crate::backend::global()
+        .conv2d_depthwise_forward_fused(input, packed, bias, stride, pad, epilogue)
+}
+
+/// Depthwise 2-D convolution backward pass.
+///
+/// # Errors
+///
+/// Returns shape/rank/geometry errors for inconsistent operands.
+pub fn conv2d_depthwise_backward(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    has_bias: bool,
+) -> Result<Conv2dGrads> {
+    crate::backend::global()
+        .conv2d_depthwise_backward(input, packed, grad_out, stride, pad, has_bias)
+}
+
+/// Reference depthwise forward: direct per-element taps in `ki → kj` order —
+/// the oracle the parallel plane kernels are pinned to.
+pub(crate) fn conv2d_depthwise_forward_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+) -> Result<Tensor> {
+    let (n, c, h, w, kh, kw) = check_depthwise_shapes(input, weight)?;
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    if let Some(b) = bias {
+        if b.dims() != [c] {
+            return Err(TensorError::ShapeMismatch {
+                expected: vec![c],
+                got: b.dims().to_vec(),
+                op: "conv2d_depthwise (bias)",
+            });
+        }
+    }
+    let mut out = Tensor::zeros(&[n, c, oh, ow]);
+    let iv = input.as_slice();
+    let wv = weight.as_slice();
+    let bv = bias.map(Tensor::as_slice);
+    let ov = out.as_mut_slice();
+    let spatial = oh * ow;
+    for plane in 0..n * c {
+        let ch = plane % c.max(1);
+        let src = &iv[plane * h * w..(plane + 1) * h * w];
+        let taps = &wv[ch * kh * kw..(ch + 1) * kh * kw];
+        let dst = &mut ov[plane * spatial..(plane + 1) * spatial];
+        let b = bv.map_or(0.0, |b| b[ch]);
+        for ohi in 0..oh {
+            for owi in 0..ow {
+                let mut acc = 0.0f32;
+                for ki in 0..kh {
+                    let ih = (ohi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..kw {
+                        let iw = (owi * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        acc += taps[ki * kw + kj] * src[ih as usize * w + iw as usize];
+                    }
+                }
+                dst[ohi * ow + owi] = acc + b;
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reference depthwise backward: sample-sequential accumulation, the oracle
+/// the chunk-folded parallel backward is pinned to.
+pub(crate) fn conv2d_depthwise_backward_naive(
+    input: &Tensor,
+    weight: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    has_bias: bool,
+) -> Result<Conv2dGrads> {
+    let (n, c, h, w, kh, kw) = check_depthwise_shapes(input, weight)?;
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    let expected = [n, c, oh, ow];
+    if grad_out.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            got: grad_out.dims().to_vec(),
+            op: "conv2d_depthwise_backward (grad_out)",
+        });
+    }
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_weight = Tensor::zeros(&[c, 1, kh, kw]);
+    let mut grad_bias = has_bias.then(|| Tensor::zeros(&[c]));
+    let iv = input.as_slice();
+    let gv = grad_out.as_slice();
+    let wv = weight.as_slice();
+    let gi = grad_input.as_mut_slice();
+    let gw = grad_weight.as_mut_slice();
+    let spatial = oh * ow;
+    for plane in 0..n * c {
+        let ch = plane % c.max(1);
+        let src = &iv[plane * h * w..(plane + 1) * h * w];
+        let g_p = &gv[plane * spatial..(plane + 1) * spatial];
+        let gi_p = &mut gi[plane * h * w..(plane + 1) * h * w];
+        let taps = &wv[ch * kh * kw..(ch + 1) * kh * kw];
+        let gw_c = &mut gw[ch * kh * kw..(ch + 1) * kh * kw];
+        for ohi in 0..oh {
+            for owi in 0..ow {
+                let g = g_p[ohi * ow + owi];
+                for ki in 0..kh {
+                    let ih = (ohi * stride + ki) as isize - pad as isize;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    for kj in 0..kw {
+                        let iw = (owi * stride + kj) as isize - pad as isize;
+                        if iw < 0 || iw >= w as isize {
+                            continue;
+                        }
+                        let idx = ih as usize * w + iw as usize;
+                        gi_p[idx] += taps[ki * kw + kj] * g;
+                        gw_c[ki * kw + kj] += src[idx] * g;
+                    }
+                }
+            }
+        }
+        if let Some(gb) = grad_bias.as_mut() {
+            let s: f32 = g_p.iter().sum();
+            gb.as_mut_slice()[ch] += s;
+        }
+    }
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    })
+}
+
 /// 2-D convolution backward pass.
 ///
 /// Recomputes im2col per sample (see module docs). `grad_out` must be

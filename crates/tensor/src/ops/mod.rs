@@ -16,7 +16,8 @@ pub(crate) mod reduce;
 
 pub use channel::{bn_backward_reduce, bn_input_grad, bn_normalize, channel_affine};
 pub use conv::{
-    apply_epilogue, col2im, col2im_panel, conv2d_backward, conv2d_forward, conv2d_forward_fused,
+    apply_epilogue, col2im, col2im_panel, conv2d_backward, conv2d_depthwise_backward,
+    conv2d_depthwise_forward, conv2d_depthwise_forward_fused, conv2d_forward, conv2d_forward_fused,
     conv_output_size, im2col, im2col_panel, Conv2dGrads, Epilogue, PackedConv2dWeight,
 };
 pub use elementwise::{add, add_assign, add_bias_rows, add_scaled, hadamard, scale, sub, unary};

@@ -35,8 +35,9 @@
 use crate::arena;
 use crate::ops::channel::{check_channel_vec, check_nchw};
 use crate::ops::conv::{
-    check_conv_shapes, col2im_panel, conv_output_size, im2col_panel, pack_panels_into,
-    pack_transposed_into, packed_panel_len, Conv2dGrads, Epilogue, PackView, PackedConv2dWeight,
+    check_conv_shapes, check_depthwise_shapes, col2im_panel, conv_output_size, im2col_panel,
+    pack_panels_into, pack_transposed_into, packed_panel_len, Conv2dGrads, Epilogue, PackView,
+    PackedConv2dWeight,
 };
 use crate::ops::elementwise::check_bias_rows;
 use crate::ops::matmul::check_rank2;
@@ -527,6 +528,15 @@ pub(crate) enum ConvPath {
     /// 3×3 / stride 1 / pad 1: blocked direct kernel (shifted row-axpy
     /// stencil), no patch matrix.
     Direct3x3,
+    /// 3×3 / stride ≥ 2 / pad 1 (the ResNet stage-entry shape): direct
+    /// stencil over strided column taps — the im2col panel for this shape
+    /// is 9× the output it produces, so skipping the unfold wins harder
+    /// than in the stride-1 case.
+    Direct3x3Strided,
+    /// 5×5 / stride 1 / pad 2: direct shifted row-axpy over five-tap rows.
+    /// The wider window raises the arithmetic intensity per loaded input
+    /// row, so the direct crossover sits above the 3×3 one.
+    Direct5x5,
     /// Everything else: panel-wise im2col into the arena.
     Im2colPanels,
 }
@@ -536,6 +546,11 @@ pub(crate) enum ConvPath {
 /// and zero unfold win while the working set is cache-tight; at larger
 /// geometry the packed GEMM's register blocking takes over).
 const DIRECT3X3_MAX_SAMPLE_FLOPS: usize = 1 << 21;
+
+/// Widened crossover for the direct 5×5 stencil: 25 taps per output element
+/// amortize each loaded input row over more arithmetic than 9 taps do, so
+/// the direct path stays ahead of the panel GEMM to twice the flop count.
+const DIRECT5X5_MAX_SAMPLE_FLOPS: usize = 1 << 22;
 
 /// Chooses the kernel for a convolution geometry. `sample_flops` is the
 /// per-sample multiply-add count (`2 · O · OH·OW · C·KH·KW`).
@@ -548,13 +563,19 @@ pub(crate) fn conv_path(
 ) -> ConvPath {
     if kh == 1 && kw == 1 && pad == 0 {
         ConvPath::MatmulOneByOne
-    } else if kh == 3
-        && kw == 3
+    } else if kh == 3 && kw == 3 && pad == 1 && sample_flops <= DIRECT3X3_MAX_SAMPLE_FLOPS {
+        if stride == 1 {
+            ConvPath::Direct3x3
+        } else {
+            ConvPath::Direct3x3Strided
+        }
+    } else if kh == 5
+        && kw == 5
         && stride == 1
-        && pad == 1
-        && sample_flops <= DIRECT3X3_MAX_SAMPLE_FLOPS
+        && pad == 2
+        && sample_flops <= DIRECT5X5_MAX_SAMPLE_FLOPS
     {
-        ConvPath::Direct3x3
+        ConvPath::Direct5x5
     } else {
         ConvPath::Im2colPanels
     }
@@ -677,6 +698,57 @@ fn axpy_shift3(dst: &mut [f32], src: &[f32], w0: f32, w1: f32, w2: f32) {
         dst[j] = ((dst[j] + w0 * src[j - 1]) + w1 * src[j]) + w2 * src[j + 1];
     }
     dst[n - 1] = (dst[n - 1] + w0 * src[n - 2]) + w1 * src[n - 1];
+}
+
+/// Strided variant of [`axpy_shift3`]: output column `owi` reads input
+/// columns `owi*stride + kj - 1`, dropping taps that fall in the horizontal
+/// padding. `src` is the full input row (`W` wide); each element's adds stay
+/// in `kj` order.
+#[inline(always)]
+fn axpy_shift3_strided(dst: &mut [f32], src: &[f32], w0: f32, w1: f32, w2: f32, stride: usize) {
+    let w = src.len();
+    for (owi, d) in dst.iter_mut().enumerate() {
+        let base = owi * stride;
+        let mut acc = *d;
+        if base >= 1 {
+            acc += w0 * src[base - 1];
+        }
+        acc += w1 * src[base];
+        if base + 1 < w {
+            acc += w2 * src[base + 1];
+        }
+        *d = acc;
+    }
+}
+
+/// Five-tap shifted row-axpy for the direct 5×5 / stride 1 / pad 2 kernel:
+/// `dst[j] += Σ_kj t[kj] * src[j + kj - 2]`, dropping taps that fall in the
+/// horizontal padding. The two border columns on each side take the checked
+/// path; the interior runs branch-free with all five taps in `kj` order.
+#[inline(always)]
+fn axpy_shift5(dst: &mut [f32], src: &[f32], t: &[f32; 5]) {
+    let n = dst.len();
+    let src = &src[..n];
+    if n == 0 {
+        return;
+    }
+    let lo = 2.min(n);
+    let hi = n.saturating_sub(2).max(lo);
+    for j in (0..lo).chain(hi..n) {
+        let mut acc = dst[j];
+        for (kj, &tv) in t.iter().enumerate() {
+            let iw = (j + kj) as isize - 2;
+            if iw >= 0 && (iw as usize) < n {
+                acc += tv * src[iw as usize];
+            }
+        }
+        dst[j] = acc;
+    }
+    for j in lo..hi {
+        dst[j] = ((((dst[j] + t[0] * src[j - 2]) + t[1] * src[j - 1]) + t[2] * src[j])
+            + t[3] * src[j + 1])
+            + t[4] * src[j + 2];
+    }
 }
 
 /// Fully fused 3×3 stencil: one pass over an output row applies all nine
@@ -1095,6 +1167,86 @@ fn direct3x3_rows(
     direct3x3_rows_body(sample, wv, dst, ch0, rows, c, h, w)
 }
 
+/// Direct 3×3 / stride ≥ 2 / pad 1 forward for output channels
+/// `ch0..ch0+rows` of one sample: per `ki` tap row, each valid output row
+/// pulls its strided column taps straight from the input row — no patch
+/// matrix, no gather. Per output element the adds land in `ci → ki → kj`
+/// order, matching the naive im2col oracle.
+#[allow(clippy::too_many_arguments)]
+fn direct3x3_strided_rows(
+    sample: &[f32],
+    wv: &[f32],
+    dst: &mut [f32],
+    ch0: usize,
+    rows: usize,
+    g: &ConvGeom,
+) {
+    let (c, h, w, s) = (g.c, g.h, g.w, g.stride);
+    let (oh, ow) = (g.oh, g.ow);
+    let spatial = oh * ow;
+    for r in 0..rows {
+        let block = &mut dst[r * spatial..(r + 1) * spatial];
+        for ci in 0..c {
+            let plane = &sample[ci * h * w..(ci + 1) * h * w];
+            for ki in 0..3usize {
+                let wbase = (((ch0 + r) * c + ci) * 3 + ki) * 3;
+                let (w0, w1, w2) = (wv[wbase], wv[wbase + 1], wv[wbase + 2]);
+                for ohi in 0..oh {
+                    let ih = (ohi * s + ki) as isize - 1;
+                    if ih < 0 || ih >= h as isize {
+                        continue;
+                    }
+                    let in_row = &plane[ih as usize * w..(ih as usize + 1) * w];
+                    let dst_row = &mut block[ohi * ow..(ohi + 1) * ow];
+                    axpy_shift3_strided(dst_row, in_row, w0, w1, w2, s);
+                }
+            }
+        }
+    }
+}
+
+/// Direct 5×5 / stride 1 / pad 2 forward for output channels
+/// `ch0..ch0+rows` of one sample (`OH = H`, `OW = W`): per `ki` tap row the
+/// valid output rows sweep [`axpy_shift5`] over the shifted input row. Per
+/// output element the adds land in `ci → ki → kj` order, matching the naive
+/// im2col oracle.
+#[allow(clippy::too_many_arguments)]
+fn direct5x5_rows(
+    sample: &[f32],
+    wv: &[f32],
+    dst: &mut [f32],
+    ch0: usize,
+    rows: usize,
+    c: usize,
+    h: usize,
+    w: usize,
+) {
+    let spatial = h * w;
+    for r in 0..rows {
+        let block = &mut dst[r * spatial..(r + 1) * spatial];
+        for ci in 0..c {
+            let plane = &sample[ci * spatial..(ci + 1) * spatial];
+            for ki in 0..5usize {
+                let wbase = (((ch0 + r) * c + ci) * 5 + ki) * 5;
+                let mut taps = [0.0f32; 5];
+                taps.copy_from_slice(&wv[wbase..wbase + 5]);
+                // Input row `ohi + ki - 2`; rows falling in the vertical
+                // padding contribute exact zeros and are skipped.
+                let lo = 2usize.saturating_sub(ki);
+                let hi = (h + 2).saturating_sub(ki).min(h);
+                for ohi in lo..hi {
+                    let ih = ohi + ki - 2;
+                    axpy_shift5(
+                        &mut block[ohi * w..(ohi + 1) * w],
+                        &plane[ih * w..(ih + 1) * w],
+                        &taps,
+                    );
+                }
+            }
+        }
+    }
+}
+
 /// Per-segment epilogue operand: the same variants as
 /// [`Epilogue`](crate::ops::conv::Epilogue), with the fused-add tensor
 /// already narrowed to the slice aligned with the `[rows, OH*OW]` output
@@ -1146,6 +1298,12 @@ fn forward_sample_rows(
         }
         ConvPath::Direct3x3 => {
             direct3x3_rows(sample, pv.weight, dst, ch0, rows, g.c, g.h, g.w);
+        }
+        ConvPath::Direct3x3Strided => {
+            direct3x3_strided_rows(sample, pv.weight, dst, ch0, rows, g);
+        }
+        ConvPath::Direct5x5 => {
+            direct5x5_rows(sample, pv.weight, dst, ch0, rows, g.c, g.h, g.w);
         }
         ConvPath::Im2colPanels => {
             let ckk = g.ckk();
@@ -1567,6 +1725,336 @@ pub(crate) fn conv2d_backward(
         kw,
     };
     conv2d_backward_view(input, &pv, grad_out, stride, pad, has_bias)
+}
+
+// ---------------------------------------------------------------------------
+// Depthwise convolution: per-channel kernels, no cross-channel GEMM.
+//
+// A depthwise conv's patch matrix would be block-diagonal — im2col wastes
+// C× its bandwidth materializing zeros — so the engine never unfolds:
+// each `(sample, channel)` output plane is one stencil over its own input
+// plane, chunked across the pool like the dense forward's output tiles.
+// ---------------------------------------------------------------------------
+
+/// One depthwise output plane: `dst` (`[OH, OW]`, zero-initialized) from one
+/// input plane and that channel's `[KH, KW]` taps. Shape-dispatches to the
+/// shifted row-axpy stencils where they exist; per output element the adds
+/// land in `ki → kj` order, matching the naive oracle.
+#[allow(clippy::too_many_arguments)]
+fn depthwise_plane_forward(
+    src: &[f32],
+    taps: &[f32],
+    dst: &mut [f32],
+    h: usize,
+    w: usize,
+    oh: usize,
+    ow: usize,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+    pad: usize,
+) {
+    if kh == 3 && kw == 3 && pad == 1 {
+        for ki in 0..3usize {
+            let (w0, w1, w2) = (taps[3 * ki], taps[3 * ki + 1], taps[3 * ki + 2]);
+            for ohi in 0..oh {
+                let ih = (ohi * stride + ki) as isize - 1;
+                if ih < 0 || ih >= h as isize {
+                    continue;
+                }
+                let in_row = &src[ih as usize * w..(ih as usize + 1) * w];
+                let dst_row = &mut dst[ohi * ow..(ohi + 1) * ow];
+                if stride == 1 {
+                    axpy_shift3(dst_row, in_row, w0, w1, w2);
+                } else {
+                    axpy_shift3_strided(dst_row, in_row, w0, w1, w2, stride);
+                }
+            }
+        }
+        return;
+    }
+    if kh == 5 && kw == 5 && stride == 1 && pad == 2 {
+        for ki in 0..5usize {
+            let mut t5 = [0.0f32; 5];
+            t5.copy_from_slice(&taps[5 * ki..5 * ki + 5]);
+            let lo = 2usize.saturating_sub(ki);
+            let hi = (h + 2).saturating_sub(ki).min(h);
+            for ohi in lo..hi {
+                let ih = ohi + ki - 2;
+                axpy_shift5(
+                    &mut dst[ohi * w..(ohi + 1) * w],
+                    &src[ih * w..(ih + 1) * w],
+                    &t5,
+                );
+            }
+        }
+        return;
+    }
+    // Generic geometry: direct per-element taps, still unfold-free.
+    for ohi in 0..oh {
+        for owi in 0..ow {
+            let mut acc = 0.0f32;
+            for ki in 0..kh {
+                let ih = (ohi * stride + ki) as isize - pad as isize;
+                if ih < 0 || ih >= h as isize {
+                    continue;
+                }
+                let in_row = &src[ih as usize * w..(ih as usize + 1) * w];
+                for kj in 0..kw {
+                    let iw = (owi * stride + kj) as isize - pad as isize;
+                    if iw < 0 || iw >= w as isize {
+                        continue;
+                    }
+                    acc += taps[ki * kw + kj] * in_row[iw as usize];
+                }
+            }
+            dst[ohi * ow + owi] = acc;
+        }
+    }
+}
+
+/// Depthwise forward with fused bias + epilogue: input `[N, C, H, W]`,
+/// weight `[C, 1, KH, KW]`, output `[N, C, OH, OW]`. Pool-chunked over
+/// `(sample, channel)` output planes.
+pub(crate) fn conv2d_depthwise_forward(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    bias: Option<&Tensor>,
+    stride: usize,
+    pad: usize,
+    epilogue: Epilogue<'_>,
+) -> Result<Tensor> {
+    let weight = packed.weight();
+    let (n, c, h, w, kh, kw) = check_depthwise_shapes(input, weight)?;
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    check_conv_bias(bias, c)?;
+    let out_dims = [n, c, oh, ow];
+    epilogue.check(&out_dims)?;
+    let mut out = Tensor::zeros(&out_dims);
+    let spatial = oh * ow;
+    let iv = input.as_slice();
+    let wv = weight.as_slice();
+    let bias_v = bias.map(Tensor::as_slice);
+    let epi_v = epilogue.operand().map(Tensor::as_slice);
+    let planes_per = conv_rows_per(n * c, 2 * spatial * kh * kw);
+    par::for_each_chunk_mut(
+        out.as_mut_slice(),
+        planes_per * spatial.max(1),
+        |ci, chunk| {
+            let mut plane = ci * planes_per;
+            let mut off = 0;
+            while off + spatial <= chunk.len() && spatial > 0 {
+                let ch = plane % c.max(1);
+                let src = &iv[plane * h * w..(plane + 1) * h * w];
+                let taps = &wv[ch * kh * kw..(ch + 1) * kh * kw];
+                let dst = &mut chunk[off..off + spatial];
+                depthwise_plane_forward(src, taps, dst, h, w, oh, ow, kh, kw, stride, pad);
+                let b = bias_v.map_or(0.0, |bv| bv[ch]);
+                let span = plane * spatial..(plane + 1) * spatial;
+                match (&epilogue, epi_v) {
+                    (Epilogue::None, _) => {
+                        if b != 0.0 {
+                            for x in dst.iter_mut() {
+                                *x += b;
+                            }
+                        }
+                    }
+                    (Epilogue::Relu, _) => {
+                        for x in dst.iter_mut() {
+                            *x = (*x + b).max(0.0);
+                        }
+                    }
+                    (Epilogue::AddRelu(_), Some(ev)) => {
+                        for (x, &tv) in dst.iter_mut().zip(&ev[span]) {
+                            *x = (*x + b + tv).max(0.0);
+                        }
+                    }
+                    (Epilogue::ReluAdd(_), Some(ev)) => {
+                        for (x, &tv) in dst.iter_mut().zip(&ev[span]) {
+                            *x = (*x + b).max(0.0) + tv;
+                        }
+                    }
+                    _ => unreachable!("fused-add epilogues carry an operand"),
+                }
+                plane += 1;
+                off += spatial;
+            }
+        },
+    );
+    Ok(out)
+}
+
+/// Depthwise backward kernel for the samples of one chunk: `gi_chunk` is the
+/// chunk's `[samples, C*H*W]` grad-input span (zero-initialized), `gw` the
+/// chunk's `[C*KH*KW]` weight-gradient accumulator, `gb` its `[C]` bias
+/// accumulator (empty when the conv has no bias).
+#[allow(clippy::too_many_arguments)]
+fn depthwise_backward_samples(
+    first: usize,
+    count: usize,
+    gi_chunk: &mut [f32],
+    gw: &mut [f32],
+    gb: &mut [f32],
+    iv: &[f32],
+    gv: &[f32],
+    wv: &[f32],
+    dims: (
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+        usize,
+    ),
+) {
+    let (c, h, w, oh, ow, kh, kw, stride, pad) = dims;
+    let spatial = oh * ow;
+    for local in 0..count {
+        let ni = first + local;
+        for ch in 0..c {
+            let src = &iv[(ni * c + ch) * h * w..(ni * c + ch + 1) * h * w];
+            let g_p = &gv[(ni * c + ch) * spatial..(ni * c + ch + 1) * spatial];
+            let gi_p = &mut gi_chunk[(local * c + ch) * h * w..(local * c + ch + 1) * h * w];
+            let taps = &wv[ch * kh * kw..(ch + 1) * kh * kw];
+            let gw_c = &mut gw[ch * kh * kw..(ch + 1) * kh * kw];
+            for ohi in 0..oh {
+                for owi in 0..ow {
+                    let g = g_p[ohi * ow + owi];
+                    if g == 0.0 {
+                        continue;
+                    }
+                    for ki in 0..kh {
+                        let ih = (ohi * stride + ki) as isize - pad as isize;
+                        if ih < 0 || ih >= h as isize {
+                            continue;
+                        }
+                        for kj in 0..kw {
+                            let iw = (owi * stride + kj) as isize - pad as isize;
+                            if iw < 0 || iw >= w as isize {
+                                continue;
+                            }
+                            let idx = ih as usize * w + iw as usize;
+                            gi_p[idx] += taps[ki * kw + kj] * g;
+                            gw_c[ki * kw + kj] += src[idx] * g;
+                        }
+                    }
+                }
+            }
+            if !gb.is_empty() {
+                let s: f32 = g_p.iter().sum();
+                gb[ch] += s;
+            }
+        }
+    }
+}
+
+/// Depthwise backward: grad-input `[N, C, H, W]`, grad-weight
+/// `[C, 1, KH, KW]`, optional grad-bias `[C]`. Chunked over whole samples;
+/// per-chunk weight/bias partials fold in chunk order.
+pub(crate) fn conv2d_depthwise_backward(
+    input: &Tensor,
+    packed: &PackedConv2dWeight,
+    grad_out: &Tensor,
+    stride: usize,
+    pad: usize,
+    has_bias: bool,
+) -> Result<Conv2dGrads> {
+    let weight = packed.weight();
+    let (n, c, h, w, kh, kw) = check_depthwise_shapes(input, weight)?;
+    let oh = conv_output_size(h, kh, stride, pad)?;
+    let ow = conv_output_size(w, kw, stride, pad)?;
+    let expected = [n, c, oh, ow];
+    if grad_out.dims() != expected {
+        return Err(TensorError::ShapeMismatch {
+            expected: expected.to_vec(),
+            got: grad_out.dims().to_vec(),
+            op: "conv2d_depthwise_backward (grad_out)",
+        });
+    }
+    let mut grad_input = Tensor::zeros(&[n, c, h, w]);
+    let mut grad_weight = Tensor::zeros(&[c, 1, kh, kw]);
+    let mut grad_bias = has_bias.then(|| Tensor::zeros(&[c]));
+    let iv = input.as_slice();
+    let gv = grad_out.as_slice();
+    let wv = weight.as_slice();
+    let gb_len = if has_bias { c } else { 0 };
+    let dims = (c, h, w, oh, ow, kh, kw, stride, pad);
+    let in_sample = c * h * w;
+
+    let min_samples = MIN_PAR_FLOPS
+        .div_ceil((4 * c * oh * ow * kh * kw).max(1))
+        .clamp(1, n.max(1));
+    let samples_per = n.div_ceil(par::max_threads()).max(min_samples);
+    let parts = if grad_input.numel() == 0 {
+        1
+    } else {
+        n.div_ceil(samples_per.max(1)).max(1)
+    };
+
+    let mut gw_acc = arena::take_zeroed(c * kh * kw);
+    let mut gb_acc = arena::take_zeroed(gb_len);
+    if parts <= 1 {
+        depthwise_backward_samples(
+            0,
+            n,
+            grad_input.as_mut_slice(),
+            &mut gw_acc,
+            &mut gb_acc,
+            iv,
+            gv,
+            wv,
+            dims,
+        );
+    } else {
+        let mut gw_parts: Vec<arena::Scratch> = (0..parts - 1)
+            .map(|_| arena::take_zeroed(c * kh * kw))
+            .collect();
+        let mut gb_parts: Vec<arena::Scratch> =
+            (0..parts - 1).map(|_| arena::take_zeroed(gb_len)).collect();
+        {
+            type BwdItem<'a> = (usize, &'a mut [f32], &'a mut [f32], &'a mut [f32]);
+            let mut items: Vec<BwdItem<'_>> = Vec::new();
+            let mut gi_chunks = grad_input
+                .as_mut_slice()
+                .chunks_mut(samples_per * in_sample.max(1));
+            let first_gi = gi_chunks.next().expect("at least one sample per part");
+            items.push((0, first_gi, &mut gw_acc, &mut gb_acc));
+            for ((ci, gi), (gw, gb)) in gi_chunks
+                .enumerate()
+                .zip(gw_parts.iter_mut().zip(gb_parts.iter_mut()))
+            {
+                items.push((ci + 1, gi, gw, gb));
+            }
+            par::run(items, |_, (ci, gi, gw, gb)| {
+                let count = gi.len() / in_sample.max(1);
+                depthwise_backward_samples(ci * samples_per, count, gi, gw, gb, iv, gv, wv, dims);
+            });
+        }
+        for gw in &gw_parts {
+            for (x, y) in gw_acc.iter_mut().zip(gw.iter()) {
+                *x += y;
+            }
+        }
+        for gbp in &gb_parts {
+            for (x, y) in gb_acc.iter_mut().zip(gbp.iter()) {
+                *x += y;
+            }
+        }
+    }
+
+    grad_weight.as_mut_slice().copy_from_slice(&gw_acc);
+    if let Some(gb) = grad_bias.as_mut() {
+        gb.as_mut_slice().copy_from_slice(&gb_acc);
+    }
+    Ok(Conv2dGrads {
+        grad_input,
+        grad_weight,
+        grad_bias,
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -73,6 +73,13 @@ def load_rows(path: str) -> dict[str, float]:
             # exact; any drift is a planner/cost-model change, not noise.
             key = f'plan|{row["plan"]}|{row["metric"]}'
             rows[key] = float(row["value"])
+        elif "arch" in row:
+            # model-zoo report: gate every architecture/metric cell. Accuracy,
+            # attack, prune-ratio and memory rows are seed-deterministic
+            # (single-worker training); latency rows ride the same median
+            # calibration as every other wall-clock metric.
+            key = f'zoo|{row["arch"]}|{row["metric"]}'
+            rows[key] = float(row["value"])
     if not rows:
         print(f"error: {path} contains no gateable results", file=sys.stderr)
         sys.exit(2)

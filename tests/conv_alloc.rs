@@ -110,6 +110,52 @@ fn assert_steady_state(x: &Tensor, w: &Tensor, stride: usize, pad: usize, label:
     );
 }
 
+/// Depthwise twin of [`assert_steady_state`]: one warmed-up depthwise
+/// forward + backward pair allocates only its returned tensors and grows no
+/// arena.
+fn assert_depthwise_steady_state(x: &Tensor, w: &Tensor, stride: usize, pad: usize, label: &str) {
+    let parallel = BackendKind::Parallel.imp();
+    let packed = tbnet_tensor::ops::PackedConv2dWeight::new(w).unwrap();
+    let out = parallel
+        .conv2d_depthwise_forward(x, &packed, None, stride, pad)
+        .unwrap();
+    let grad = init::randn(out.dims(), 1.0, &mut StdRng::seed_from_u64(7));
+    let _ = parallel
+        .conv2d_depthwise_backward(x, &packed, &grad, stride, pad, false)
+        .unwrap();
+
+    let arena_before = arena::reserved_elems();
+    let a0 = allocated_bytes();
+    let out2 = parallel
+        .conv2d_depthwise_forward(x, &packed, None, stride, pad)
+        .unwrap();
+    let fwd_delta = allocated_bytes() - a0;
+    let fwd_budget = tensor_bytes(&out2) + SLACK;
+    assert!(
+        fwd_delta <= fwd_budget,
+        "{label}: second forward allocated {fwd_delta} B, budget {fwd_budget} B \
+         (output only) — scratch leaked to the heap"
+    );
+
+    let a0 = allocated_bytes();
+    let grads = parallel
+        .conv2d_depthwise_backward(x, &packed, &grad, stride, pad, false)
+        .unwrap();
+    let bwd_delta = allocated_bytes() - a0;
+    let bwd_budget = tensor_bytes(&grads.grad_input) + tensor_bytes(&grads.grad_weight) + 2 * SLACK;
+    assert!(
+        bwd_delta <= bwd_budget,
+        "{label}: second backward allocated {bwd_delta} B, budget {bwd_budget} B \
+         (gradients only) — scratch leaked to the heap"
+    );
+
+    assert_eq!(
+        arena::reserved_elems(),
+        arena_before,
+        "{label}: second-step depthwise calls must not grow the scratch arena"
+    );
+}
+
 fn synthetic_batch(n: usize, c: usize, hw: usize, classes: usize, seed: u64) -> Batch {
     let mut rng = StdRng::seed_from_u64(seed);
     Batch {
@@ -129,12 +175,23 @@ fn fused_conv_engine_reaches_allocation_steady_state() {
 
     let w3 = init::randn(&[8, 8, 3, 3], 0.5, &mut rng);
     assert_steady_state(&x, &w3, 1, 1, "direct 3x3");
-    assert_steady_state(&x, &w3, 2, 1, "panel fallback (3x3 stride 2)");
+    assert_steady_state(&x, &w3, 2, 1, "direct 3x3 strided");
+    assert_steady_state(&x, &w3, 1, 0, "panel fallback (3x3 unpadded)");
     let w5 = init::randn(&[8, 8, 5, 5], 0.5, &mut rng);
-    assert_steady_state(&x, &w5, 1, 2, "panel fallback (5x5)");
+    assert_steady_state(&x, &w5, 1, 2, "direct 5x5");
+    assert_steady_state(&x, &w5, 2, 2, "panel fallback (5x5 stride 2)");
     let w1 = init::randn(&[8, 8, 1, 1], 0.5, &mut rng);
     assert_steady_state(&x, &w1, 1, 0, "1x1 matmul");
     assert_steady_state(&x, &w1, 2, 0, "1x1 strided matmul");
+
+    // Depthwise family: per-channel stencils (3x3, strided 3x3, 5x5) and the
+    // generic-tap fallback, forward and backward.
+    let dw3 = init::randn(&[8, 1, 3, 3], 0.5, &mut rng);
+    assert_depthwise_steady_state(&x, &dw3, 1, 1, "depthwise 3x3");
+    assert_depthwise_steady_state(&x, &dw3, 2, 1, "depthwise 3x3 strided");
+    assert_depthwise_steady_state(&x, &dw3, 1, 0, "depthwise 3x3 generic taps");
+    let dw5 = init::randn(&[8, 1, 5, 5], 0.5, &mut rng);
+    assert_depthwise_steady_state(&x, &dw5, 1, 2, "depthwise 5x5");
 
     // A larger geometry that crosses the pool-dispatch work floors still
     // keeps the arena flat (threads = 1 ⇒ the chunks run inline).

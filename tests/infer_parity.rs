@@ -62,6 +62,7 @@ fn warmed_unit_net(
             pool_after: pool,
             group: 0,
             skip_from: None,
+            depthwise: false,
         }],
         head: HeadSpec::GapLinear,
     };

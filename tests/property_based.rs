@@ -121,6 +121,149 @@ proptest! {
         prop_assert_eq!(&maps[0], after);
     }
 
+    /// im2col/col2im stay adjoint on the widened 5×5 stencil geometry — both
+    /// the direct-dispatch shape (stride 1 / pad 2) and the strided panel
+    /// fallback (stride 2).
+    #[test]
+    fn im2col_col2im_adjoint_5x5(
+        c in 1usize..4,
+        h in 5usize..9,
+        w in 5usize..9,
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = init::randn(&[c, h, w], 1.0, &mut rng);
+        let oh = ops::conv_output_size(h, 5, stride, 2).unwrap();
+        let ow = ops::conv_output_size(w, 5, stride, 2).unwrap();
+        let y = init::randn(&[c * 25, oh * ow], 1.0, &mut rng);
+        let cols = ops::im2col(x.as_slice(), c, h, w, 5, 5, stride, 2).unwrap();
+        let lhs: f32 = cols.as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let mut back = vec![0.0f32; c * h * w];
+        ops::col2im(&y, &mut back, c, h, w, 5, 5, stride, 2).unwrap();
+        let rhs: f32 = back.iter().zip(x.as_slice()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// The depthwise convolution is linear in both arguments, so its backward
+    /// pass must be the exact adjoint of the forward map:
+    /// ⟨dw(x; w), g⟩ = ⟨x, ∂L/∂x⟩ = ⟨w, ∂L/∂w⟩.
+    #[test]
+    fn depthwise_forward_backward_adjoint(
+        (n, c, h, w) in small_dims(),
+        wide in any::<bool>(),
+        stride in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let (kernel, pad) = if wide { (5, 2) } else { (3, 1) };
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = init::randn(&[n, c, h, w], 1.0, &mut rng);
+        let wt = init::randn(&[c, 1, kernel, kernel], 0.5, &mut rng);
+        let packed = ops::PackedConv2dWeight::new(&wt).unwrap();
+        let out = ops::conv2d_depthwise_forward(&x, &packed, None, stride, pad).unwrap();
+        let g = init::randn(out.dims(), 1.0, &mut rng);
+        let grads = ops::conv2d_depthwise_backward(&x, &packed, &g, stride, pad, false).unwrap();
+        let lhs: f32 = out.as_slice().iter().zip(g.as_slice()).map(|(a, b)| a * b).sum();
+        let via_x: f32 = x
+            .as_slice()
+            .iter()
+            .zip(grads.grad_input.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        let via_w: f32 = wt
+            .as_slice()
+            .iter()
+            .zip(grads.grad_weight.as_slice())
+            .map(|(a, b)| a * b)
+            .sum();
+        prop_assert!((lhs - via_x).abs() < 1e-2 * (1.0 + lhs.abs()));
+        prop_assert!((lhs - via_w).abs() < 1e-2 * (1.0 + lhs.abs()));
+    }
+
+    /// Weight gradients are additive over batch shards for the direct 5×5
+    /// path: per-sample backwards sum to the full-batch backward, and each
+    /// sample's input gradient is independent of its batch-mates — the
+    /// invariant the data-parallel trainer relies on.
+    #[test]
+    fn shard_grads_add_for_5x5(
+        n in 2usize..5,
+        c in 1usize..4,
+        hw in 5usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let o = 3;
+        let x = init::randn(&[n, c, hw, hw], 1.0, &mut rng);
+        let wt = init::randn(&[o, c, 5, 5], 0.5, &mut rng);
+        let out = ops::conv2d_forward(&x, &wt, None, 1, 2).unwrap();
+        let g = init::randn(out.dims(), 1.0, &mut rng);
+        let full = ops::conv2d_backward(&x, &wt, &g, 1, 2, false).unwrap();
+
+        let xs = c * hw * hw;
+        let gs = g.as_slice().len() / n;
+        let mut summed = vec![0.0f32; wt.as_slice().len()];
+        for i in 0..n {
+            let xi = Tensor::from_vec(x.as_slice()[i * xs..(i + 1) * xs].to_vec(), &[1, c, hw, hw])
+                .unwrap();
+            let gi_dims = [1, o, out.dim(2), out.dim(3)];
+            let gi =
+                Tensor::from_vec(g.as_slice()[i * gs..(i + 1) * gs].to_vec(), &gi_dims).unwrap();
+            let shard = ops::conv2d_backward(&xi, &wt, &gi, 1, 2, false).unwrap();
+            for (acc, v) in summed.iter_mut().zip(shard.grad_weight.as_slice()) {
+                *acc += v;
+            }
+            let full_gi = &full.grad_input.as_slice()[i * xs..(i + 1) * xs];
+            for (a, b) in shard.grad_input.as_slice().iter().zip(full_gi) {
+                prop_assert!((a - b).abs() < 1e-3 + 1e-3 * a.abs());
+            }
+        }
+        for (a, b) in summed.iter().zip(full.grad_weight.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3 + 1e-3 * a.abs());
+        }
+    }
+
+    /// The same shard additivity for the depthwise kernels (3×3 and 5×5
+    /// stencils chosen by the generator).
+    #[test]
+    fn shard_grads_add_for_depthwise(
+        n in 2usize..5,
+        c in 1usize..5,
+        hw in 5usize..8,
+        wide in any::<bool>(),
+        seed in 0u64..1000,
+    ) {
+        let (kernel, pad) = if wide { (5, 2) } else { (3, 1) };
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+        let x = init::randn(&[n, c, hw, hw], 1.0, &mut rng);
+        let wt = init::randn(&[c, 1, kernel, kernel], 0.5, &mut rng);
+        let packed = ops::PackedConv2dWeight::new(&wt).unwrap();
+        let out = ops::conv2d_depthwise_forward(&x, &packed, None, 1, pad).unwrap();
+        let g = init::randn(out.dims(), 1.0, &mut rng);
+        let full = ops::conv2d_depthwise_backward(&x, &packed, &g, 1, pad, false).unwrap();
+
+        let xs = c * hw * hw;
+        let gs = g.as_slice().len() / n;
+        let mut summed = vec![0.0f32; wt.as_slice().len()];
+        for i in 0..n {
+            let xi = Tensor::from_vec(x.as_slice()[i * xs..(i + 1) * xs].to_vec(), &[1, c, hw, hw])
+                .unwrap();
+            let gi_dims = [1, c, out.dim(2), out.dim(3)];
+            let gi =
+                Tensor::from_vec(g.as_slice()[i * gs..(i + 1) * gs].to_vec(), &gi_dims).unwrap();
+            let shard = ops::conv2d_depthwise_backward(&xi, &packed, &gi, 1, pad, false).unwrap();
+            for (acc, v) in summed.iter_mut().zip(shard.grad_weight.as_slice()) {
+                *acc += v;
+            }
+            let full_gi = &full.grad_input.as_slice()[i * xs..(i + 1) * xs];
+            for (a, b) in shard.grad_input.as_slice().iter().zip(full_gi) {
+                prop_assert!((a - b).abs() < 1e-3 + 1e-3 * a.abs());
+            }
+        }
+        for (a, b) in summed.iter().zip(full.grad_weight.as_slice()) {
+            prop_assert!((a - b).abs() < 1e-3 + 1e-3 * a.abs());
+        }
+    }
+
     /// Max pooling never invents values: every output element equals some
     /// input element, and pooling then backprop conserves gradient mass.
     #[test]

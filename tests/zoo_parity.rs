@@ -1,0 +1,301 @@
+//! Oracle parity for the model-zoo conv dispatch shapes: the strided direct
+//! 3×3 stencil, the widened direct 5×5 stencil and the depthwise per-channel
+//! kernels must agree with the `Naive` reference within 1e-5 — forward,
+//! backward, packed-weight and fused-epilogue entry points alike — across
+//! stride/pad/batch edge geometries.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tbnet_tensor::ops::{conv_output_size, Epilogue, PackedConv2dWeight};
+use tbnet_tensor::{init, par, Backend, BackendKind, Tensor};
+
+/// Force multi-chunk code paths even on single-core hosts (see
+/// `backend_parity.rs`).
+fn pin_threads() {
+    par::set_max_threads(3);
+}
+
+fn close(a: &Tensor, b: &Tensor, what: &str) {
+    assert_eq!(a.dims(), b.dims(), "{what}: shape mismatch");
+    let scale = a.as_slice().iter().fold(0.0f32, |m, x| m.max(x.abs()));
+    let tol = 1e-5 * (1.0 + scale);
+    for (i, (x, y)) in a.as_slice().iter().zip(b.as_slice()).enumerate() {
+        assert!(
+            (x - y).abs() <= 1e-5 * (1.0 + x.abs()) || (x - y).abs() <= tol,
+            "{what}[{i}]: naive {x} vs parallel {y} (tol {tol})"
+        );
+    }
+}
+
+fn naive() -> &'static dyn Backend {
+    BackendKind::Naive.imp()
+}
+
+fn parallel() -> &'static dyn Backend {
+    BackendKind::Parallel.imp()
+}
+
+/// Forward (raw + packed), fused epilogues and packed backward for one dense
+/// conv geometry, parallel vs naive.
+#[allow(clippy::too_many_arguments)]
+fn check_dense_case(
+    c: usize,
+    hw: usize,
+    o: usize,
+    kern: usize,
+    stride: usize,
+    pad: usize,
+    label: &str,
+    rng: &mut StdRng,
+) {
+    assert!(
+        conv_output_size(hw, kern, stride, pad).is_ok(),
+        "bad case {label}"
+    );
+    for n in [1usize, 3] {
+        let x = init::randn(&[n, c, hw, hw], 1.0, rng);
+        let w = init::randn(&[o, c, kern, kern], 0.5, rng);
+        let bias = init::randn(&[o], 0.1, rng);
+        let packed = PackedConv2dWeight::new(&w).unwrap();
+
+        let fwd_n = naive()
+            .conv2d_forward(&x, &w, Some(&bias), stride, pad)
+            .unwrap();
+        let fwd_p = parallel()
+            .conv2d_forward(&x, &w, Some(&bias), stride, pad)
+            .unwrap();
+        close(&fwd_n, &fwd_p, &format!("{label} fwd (raw weight)"));
+        let fwd_pk = parallel()
+            .conv2d_forward_packed(&x, &packed, Some(&bias), stride, pad)
+            .unwrap();
+        close(&fwd_n, &fwd_pk, &format!("{label} fwd (packed)"));
+
+        // Fused epilogues: plain ReLU, skip-add-then-ReLU, ReLU-then-merge.
+        let operand = init::randn(fwd_n.dims(), 1.0, rng);
+        for (epi, name) in [
+            (Epilogue::Relu, "relu"),
+            (Epilogue::AddRelu(&operand), "add_relu"),
+            (Epilogue::ReluAdd(&operand), "relu_add"),
+        ] {
+            let e_n = naive()
+                .conv2d_forward_fused(&x, &packed, Some(&bias), stride, pad, epi)
+                .unwrap();
+            let e_p = parallel()
+                .conv2d_forward_fused(&x, &packed, Some(&bias), stride, pad, epi)
+                .unwrap();
+            close(&e_n, &e_p, &format!("{label} fused {name}"));
+        }
+
+        let g = init::randn(fwd_n.dims(), 1.0, rng);
+        let bwd_n = naive()
+            .conv2d_backward(&x, &w, &g, stride, pad, true)
+            .unwrap();
+        let bwd_pk = parallel()
+            .conv2d_backward_packed(&x, &packed, &g, stride, pad, true)
+            .unwrap();
+        close(
+            &bwd_n.grad_input,
+            &bwd_pk.grad_input,
+            &format!("{label} grad_input"),
+        );
+        close(
+            &bwd_n.grad_weight,
+            &bwd_pk.grad_weight,
+            &format!("{label} grad_weight"),
+        );
+        close(
+            bwd_n.grad_bias.as_ref().unwrap(),
+            bwd_pk.grad_bias.as_ref().unwrap(),
+            &format!("{label} grad_bias"),
+        );
+    }
+}
+
+/// Strided 3×3 geometries dispatch to the stride-aware direct stencil below
+/// the flop ceiling and to panels above it; both must match the oracle.
+#[test]
+fn strided_3x3_matches_oracle() {
+    pin_threads();
+    let mut rng = StdRng::seed_from_u64(31);
+    // (c, hw, o, stride, label)
+    let cases: &[(usize, usize, usize, usize, &str)] = &[
+        (6, 10, 8, 2, "3x3 stride 2"),
+        (3, 9, 4, 2, "3x3 stride 2 odd width"),
+        (6, 11, 7, 2, "3x3 stride 2 remainder channels"),
+        (4, 12, 5, 3, "3x3 stride 3"),
+        (2, 5, 3, 2, "3x3 stride 2 tiny input"),
+        (64, 12, 64, 2, "3x3 stride 2 above flop ceiling (panels)"),
+    ];
+    for &(c, hw, o, stride, label) in cases {
+        check_dense_case(c, hw, o, 3, stride, 1, label, &mut rng);
+    }
+}
+
+/// 5×5/s1/p2 geometries dispatch to the widened direct stencil below the
+/// flop ceiling and to panels above it; both must match the oracle.
+#[test]
+fn direct_5x5_matches_oracle() {
+    pin_threads();
+    let mut rng = StdRng::seed_from_u64(51);
+    // (c, hw, o, label)
+    let cases: &[(usize, usize, usize, &str)] = &[
+        (4, 12, 6, "5x5 direct"),
+        (3, 9, 5, "5x5 direct odd width"),
+        (6, 10, 7, "5x5 direct remainder channels"),
+        (2, 5, 3, "5x5 input == kernel"),
+        (1, 4, 2, "5x5 input smaller than kernel (pad carries)"),
+        (48, 20, 48, "5x5 above flop ceiling (panels)"),
+    ];
+    for &(c, hw, o, label) in cases {
+        check_dense_case(c, hw, o, 5, 1, 2, label, &mut rng);
+    }
+}
+
+/// Depthwise forward/backward/fused parity across kernel/stride/pad edges,
+/// including the specialized 3×3 and 5×5 per-plane stencils and the generic
+/// fallback taps.
+#[test]
+fn depthwise_matches_oracle() {
+    pin_threads();
+    let mut rng = StdRng::seed_from_u64(71);
+    // (c, hw, kern, stride, pad, label)
+    let cases: &[(usize, usize, usize, usize, usize, &str)] = &[
+        (8, 10, 3, 1, 1, "dw 3x3"),
+        (8, 10, 3, 2, 1, "dw 3x3 stride 2"),
+        (5, 9, 3, 1, 0, "dw 3x3 unpadded (generic taps)"),
+        (6, 12, 5, 1, 2, "dw 5x5"),
+        (4, 11, 5, 2, 2, "dw 5x5 stride 2 (generic taps)"),
+        (3, 8, 4, 2, 1, "dw 4x4 stride 2 (generic taps)"),
+        (2, 6, 1, 1, 0, "dw 1x1"),
+        (16, 32, 3, 1, 1, "dw 3x3 multi-chunk scale"),
+    ];
+    for &(c, hw, kern, stride, pad, label) in cases {
+        if conv_output_size(hw, kern, stride, pad).is_err() {
+            panic!("bad case {label}");
+        }
+        for n in [1usize, 4] {
+            let x = init::randn(&[n, c, hw, hw], 1.0, &mut rng);
+            let w = init::randn(&[c, 1, kern, kern], 0.5, &mut rng);
+            let bias = init::randn(&[c], 0.1, &mut rng);
+            let packed = PackedConv2dWeight::new(&w).unwrap();
+
+            let fwd_n = naive()
+                .conv2d_depthwise_forward(&x, &packed, Some(&bias), stride, pad)
+                .unwrap();
+            let fwd_p = parallel()
+                .conv2d_depthwise_forward(&x, &packed, Some(&bias), stride, pad)
+                .unwrap();
+            close(&fwd_n, &fwd_p, &format!("{label} fwd"));
+
+            // A depthwise conv is a dense conv with a block-diagonal weight;
+            // pin the whole family to the dense oracle, not just to its own
+            // naive twin.
+            let mut dense = Tensor::zeros(&[c, c, kern, kern]);
+            for ch in 0..c {
+                let k2 = kern * kern;
+                let taps = &w.as_slice()[ch * k2..(ch + 1) * k2];
+                dense.as_mut_slice()[(ch * c + ch) * k2..(ch * c + ch) * k2 + k2]
+                    .copy_from_slice(taps);
+            }
+            let fwd_dense = naive()
+                .conv2d_forward(&x, &dense, Some(&bias), stride, pad)
+                .unwrap();
+            close(&fwd_dense, &fwd_p, &format!("{label} fwd vs dense oracle"));
+
+            let operand = init::randn(fwd_n.dims(), 1.0, &mut rng);
+            for (epi, name) in [
+                (Epilogue::Relu, "relu"),
+                (Epilogue::AddRelu(&operand), "add_relu"),
+                (Epilogue::ReluAdd(&operand), "relu_add"),
+            ] {
+                let e_n = naive()
+                    .conv2d_depthwise_forward_fused(&x, &packed, Some(&bias), stride, pad, epi)
+                    .unwrap();
+                let e_p = parallel()
+                    .conv2d_depthwise_forward_fused(&x, &packed, Some(&bias), stride, pad, epi)
+                    .unwrap();
+                close(&e_n, &e_p, &format!("{label} fused {name}"));
+            }
+
+            let g = init::randn(fwd_n.dims(), 1.0, &mut rng);
+            let bwd_n = naive()
+                .conv2d_depthwise_backward(&x, &packed, &g, stride, pad, true)
+                .unwrap();
+            let bwd_p = parallel()
+                .conv2d_depthwise_backward(&x, &packed, &g, stride, pad, true)
+                .unwrap();
+            close(
+                &bwd_n.grad_input,
+                &bwd_p.grad_input,
+                &format!("{label} grad_input"),
+            );
+            close(
+                &bwd_n.grad_weight,
+                &bwd_p.grad_weight,
+                &format!("{label} grad_weight"),
+            );
+            close(
+                bwd_n.grad_bias.as_ref().unwrap(),
+                bwd_p.grad_bias.as_ref().unwrap(),
+                &format!("{label} grad_bias"),
+            );
+
+            // Depthwise backward vs the dense oracle: the dense grad-weight's
+            // diagonal blocks are the depthwise grad-weight, and its
+            // off-diagonal blocks must vanish.
+            let bwd_dense = naive()
+                .conv2d_backward(&x, &dense, &g, stride, pad, true)
+                .unwrap();
+            close(
+                &bwd_dense.grad_input,
+                &bwd_p.grad_input,
+                &format!("{label} grad_input vs dense oracle"),
+            );
+            let k2 = kern * kern;
+            let gw_dense = bwd_dense.grad_weight.as_slice();
+            let mut gw_diag = Vec::with_capacity(c * k2);
+            for ch in 0..c {
+                gw_diag.extend_from_slice(&gw_dense[(ch * c + ch) * k2..(ch * c + ch) * k2 + k2]);
+            }
+            let gw_diag = Tensor::from_vec(gw_diag, &[c, 1, kern, kern]).unwrap();
+            close(
+                &gw_diag,
+                &bwd_p.grad_weight,
+                &format!("{label} grad_weight vs dense diagonal"),
+            );
+        }
+    }
+}
+
+/// Depthwise shape validation: a dense-shaped weight, a channel mismatch or
+/// a rank error must be rejected, not silently folded.
+#[test]
+fn depthwise_rejects_bad_shapes() {
+    let x = Tensor::zeros(&[1, 4, 6, 6]);
+    for bad in [
+        Tensor::zeros(&[4, 2, 3, 3]), // second dim must be 1
+        Tensor::zeros(&[3, 1, 3, 3]), // channel count mismatch
+        Tensor::zeros(&[4, 1, 3]),    // rank
+    ] {
+        let packed = match PackedConv2dWeight::new(&bad) {
+            Ok(p) => p,
+            Err(_) => continue, // rank error already caught at pack time
+        };
+        for backend in [naive(), parallel()] {
+            assert!(
+                backend
+                    .conv2d_depthwise_forward(&x, &packed, None, 1, 1)
+                    .is_err(),
+                "accepted weight {:?}",
+                bad.dims()
+            );
+            assert!(
+                backend
+                    .conv2d_depthwise_backward(&x, &packed, &x, 1, 1, false)
+                    .is_err(),
+                "backward accepted weight {:?}",
+                bad.dims()
+            );
+        }
+    }
+}
